@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: Execution Cache block size (Section 3.3 discusses the
+ * trade-off — the paper settled on eight-instruction blocks that
+ * usually hold three or more Issue Units; smaller blocks store
+ * instructions more densely but cost more accesses, very small
+ * blocks hurt performance).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flywheel;
+using namespace flywheel::bench;
+
+int
+main()
+{
+    const unsigned slot_counts[] = {4, 8, 16};
+    std::printf("Ablation: EC block size (slots per DA block), "
+                "FE0%%/BE50%%\n\n");
+    printHeader("bench", {"perf4", "perf8", "perf16", "daRd4",
+                          "daRd8", "daRd16"},
+                10);
+
+    RowAverage avg;
+    for (const auto &name :
+         {std::string("gzip"), std::string("mesa"),
+          std::string("vortex"), std::string("turb3d")}) {
+        RunResult r0 =
+            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+        printLabel(name);
+        double perf[3], reads[3];
+        for (int i = 0; i < 3; ++i) {
+            CoreParams p = clockedParams(0.0, 0.5);
+            p.ecBlockSlots = slot_counts[i];
+            // Keep the 128KB capacity: blocks shrink/grow with slots.
+            p.ecTotalBlocks = 2048 * 8 / slot_counts[i];
+            RunResult rf = run(name, CoreKind::Flywheel, p);
+            perf[i] = double(r0.timePs) / double(rf.timePs);
+            reads[i] = double(rf.events.ecDaReads) /
+                       double(rf.instructions) * 1000.0;
+        }
+        for (int i = 0; i < 3; ++i) {
+            printCell(perf[i], 10);
+            avg.add(i, perf[i]);
+        }
+        for (int i = 0; i < 3; ++i) {
+            printCell(reads[i], 10, 1);
+            avg.add(3 + i, reads[i]);
+        }
+        endRow();
+    }
+    avg.printRow("average", 10);
+    std::printf("\n(daRdN = DA block reads per 1000 instructions; "
+                "smaller blocks need more accesses, the paper's "
+                "8-slot block balances access count vs storage "
+                "efficiency)\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: the Speculative Remapping Table (Section 3.5).  With the
+ * SRT a cleanly-ended trace switches to the next one in a single
+ * cycle; without it every trace change waits for the previous
+ * trace's last instruction to retire before the FRT can be copied
+ * into the RT.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flywheel;
+using namespace flywheel::bench;
+
+int
+main()
+{
+    std::printf("Ablation: SRT on/off, FE0%%/BE50%% (values "
+                "normalized to baseline)\n\n");
+    printHeader("bench", {"srt_on", "srt_off", "delta%", "ckptOn",
+                          "ckptOff"},
+                10);
+
+    RowAverage avg;
+    for (const auto &name : benchmarkNames()) {
+        RunResult r0 =
+            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+
+        CoreParams on = clockedParams(0.0, 0.5);
+        RunResult ra = run(name, CoreKind::Flywheel, on);
+
+        CoreParams off = on;
+        off.srtEnabled = false;
+        RunResult rb = run(name, CoreKind::Flywheel, off);
+
+        double rel_on = double(r0.timePs) / double(ra.timePs);
+        double rel_off = double(r0.timePs) / double(rb.timePs);
+        double delta = (rel_on / rel_off - 1.0) * 100.0;
+
+        printLabel(name);
+        printCell(rel_on, 10);
+        printCell(rel_off, 10);
+        printCell(delta, 10, 1);
+        printCell(double(ra.stats.checkpointStallCycles), 10, 0);
+        printCell(double(rb.stats.checkpointStallCycles), 10, 0);
+        endRow();
+        avg.add(0, rel_on);
+        avg.add(1, rel_off);
+        avg.add(2, delta);
+    }
+    avg.printRow("average", 10);
+    std::printf("\n(the SRT should never hurt; its benefit grows "
+                "with trace-change frequency)\n");
+    return 0;
+}

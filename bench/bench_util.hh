@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: uniform run
+ * setup and fixed-width table printing, so every binary emits the
+ * same kind of rows the paper's figures plot.
+ */
+
+#ifndef FLYWHEEL_BENCH_BENCH_UTIL_HH
+#define FLYWHEEL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sim_driver.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel::bench {
+
+/** Run one benchmark on one config with the default lengths. */
+inline RunResult
+run(const std::string &name, CoreKind kind, const CoreParams &params,
+    TechNode node = TechNode::N130)
+{
+    RunConfig cfg;
+    cfg.profile = benchmarkByName(name);
+    cfg.kind = kind;
+    cfg.params = params;
+    cfg.node = node;
+    cfg.warmupInstrs = defaultWarmupInstrs();
+    cfg.measureInstrs = defaultMeasureInstrs();
+    return runSim(cfg);
+}
+
+/** Print the row label column. */
+inline void
+printLabel(const std::string &label)
+{
+    std::printf("%-9s", label.c_str());
+}
+
+/** Print one numeric cell. */
+inline void
+printCell(double v, int width = 9, int prec = 3)
+{
+    std::printf("%*.*f", width, prec, v);
+}
+
+inline void
+printHeader(const std::string &first,
+            const std::vector<std::string> &cols, int width = 9)
+{
+    std::printf("%-9s", first.c_str());
+    for (const auto &c : cols)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline void
+endRow()
+{
+    std::printf("\n");
+}
+
+/** Geometric-mean-free arithmetic average helper (paper averages). */
+class RowAverage
+{
+  public:
+    void
+    add(std::size_t col, double v)
+    {
+        if (sums_.size() <= col) {
+            sums_.resize(col + 1, 0.0);
+            counts_.resize(col + 1, 0);
+        }
+        sums_[col] += v;
+        ++counts_[col];
+    }
+
+    void
+    printRow(const std::string &label, int width = 9, int prec = 3)
+    {
+        printLabel(label);
+        for (std::size_t c = 0; c < sums_.size(); ++c)
+            printCell(counts_[c] ? sums_[c] / counts_[c] : 0.0, width,
+                      prec);
+        endRow();
+    }
+
+  private:
+    std::vector<double> sums_;
+    std::vector<int> counts_;
+};
+
+} // namespace flywheel::bench
+
+#endif // FLYWHEEL_BENCH_BENCH_UTIL_HH

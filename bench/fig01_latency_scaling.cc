@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig 1: access latency scaling of Issue Windows, caches
+ * and register files across 0.25um .. 0.06um.
+ *
+ * Paper claims to verify: a reasonably sized cache is about two times
+ * slower than the Issue Window at 0.25/0.18um but achieves about the
+ * same access time as the 128-entry window at 0.06um.
+ */
+
+#include <cstdio>
+
+#include "timing/array_timing.hh"
+#include "timing/issue_timing.hh"
+#include "timing/technology.hh"
+
+using namespace flywheel;
+
+int
+main()
+{
+    std::printf("Fig 1: latency scaling [ps] (0.25um .. 0.06um)\n\n");
+    std::printf("%-28s", "structure");
+    for (TechNode n : allTechNodes())
+        std::printf("%9s", techName(n));
+    std::printf("\n");
+
+    struct Series
+    {
+        const char *name;
+        double (*f)(TechNode);
+    };
+    const Series series[] = {
+        {"IW - 128 entries, 6 ways",
+         [](TechNode n) { return issueWindowLatencyPs(n, 128, 6); }},
+        {"IW - 64 entries, 4 ways",
+         [](TechNode n) { return issueWindowLatencyPs(n, 64, 4); }},
+        {"Cache - 64K, 2w, 1 port",
+         [](TechNode n) { return cacheLatencyPs(n, 64 * 1024, 2, 1); }},
+        {"Cache - 32K, 4w, 2 ports",
+         [](TechNode n) { return cacheLatencyPs(n, 32 * 1024, 4, 2); }},
+        {"RF - 128 entries",
+         [](TechNode n) { return regfileLatencyPs(n, 128); }},
+        {"RF - 256 entries",
+         [](TechNode n) { return regfileLatencyPs(n, 256); }},
+    };
+
+    for (const Series &s : series) {
+        std::printf("%-28s", s.name);
+        for (TechNode n : allTechNodes())
+            std::printf("%9.0f", s.f(n));
+        std::printf("\n");
+    }
+
+    double ratio_250 = cacheLatencyPs(TechNode::N250, 64 * 1024, 2, 1) /
+                       issueWindowLatencyPs(TechNode::N250, 128, 6);
+    double ratio_60 = cacheLatencyPs(TechNode::N60, 64 * 1024, 2, 1) /
+                      issueWindowLatencyPs(TechNode::N60, 128, 6);
+    std::printf("\ncache/IW-128 latency ratio: %.2f at 0.25um "
+                "(paper: ~2x), %.2f at 0.06um (paper: ~1x)\n",
+                ratio_250, ratio_60);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig 12: relative performance of the Flywheel when the
+ * front-end clock is raised by 0..100% and the trace-execution
+ * back-end by 50%, normalized to the fully synchronous baseline.
+ *
+ * Paper claims to verify: performance rises with the front-end clock
+ * (average 1.35 at FE0%% up to ~1.6 at FE100%%); vortex gains the
+ * most from front-end speed (29% -> 59%) because it is mispredict-
+ * penalty bound with the lowest EC residency; performance scales
+ * super-linearly with clock speed in the FE50/BE50 case (paper: +54%
+ * for +50% clocks).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flywheel;
+using namespace flywheel::bench;
+
+int
+main()
+{
+    const double fe_boosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::printf("Fig 12: normalized performance, BE +50%% in trace "
+                "execution, FE +0..100%%\n\n");
+    printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100",
+                          "resid"});
+
+    RowAverage avg;
+    for (const auto &name : benchmarkNames()) {
+        RunResult r0 =
+            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+        printLabel(name);
+        double resid = 0.0;
+        for (std::size_t i = 0; i < 5; ++i) {
+            RunResult rf = run(name, CoreKind::Flywheel,
+                               clockedParams(fe_boosts[i], 0.5));
+            double rel = double(r0.timePs) / double(rf.timePs);
+            printCell(rel);
+            avg.add(i, rel);
+            resid = rf.ecResidency;
+        }
+        printCell(resid);
+        avg.add(5, resid);
+        endRow();
+    }
+    avg.printRow("average");
+    std::printf("\npaper: average 1.35 (FE0) .. ~1.6 (FE100); "
+                "FE50/BE50 average 1.54; vortex most FE-sensitive\n");
+    return 0;
+}

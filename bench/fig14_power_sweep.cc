@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Fig 14: average power of the Flywheel relative to the
+ * baseline at 0.13um for the Fig 12 clock sweep.
+ *
+ * Paper claims to verify: power grows with the front-end clock — the
+ * FE0/BE50 case costs only ~2% more power than the baseline, the
+ * FE100/BE50 case ~15%; the FE50/BE50 point buys ~54% performance
+ * for only ~8% more power.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flywheel;
+using namespace flywheel::bench;
+
+int
+main()
+{
+    const double fe_boosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::printf("Fig 14: normalized average power at 0.13um (1.0 = "
+                "baseline)\n\n");
+    printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100"});
+
+    RowAverage avg;
+    for (const auto &name : benchmarkNames()) {
+        RunResult r0 =
+            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+        printLabel(name);
+        for (std::size_t i = 0; i < 5; ++i) {
+            RunResult rf = run(name, CoreKind::Flywheel,
+                               clockedParams(fe_boosts[i], 0.5));
+            double rel = rf.averageWatts / r0.averageWatts;
+            printCell(rel);
+            avg.add(i, rel);
+        }
+        endRow();
+    }
+    avg.printRow("average");
+    std::printf("\npaper: average ~1.02 at FE0 rising to ~1.15 at "
+                "FE100\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot
+ * components: useful for keeping the simulator itself fast enough
+ * that the paper-scale sweeps stay cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/gshare.hh"
+#include "core/baseline_core.hh"
+#include "flywheel/exec_cache.hh"
+#include "flywheel/flywheel_core.hh"
+#include "mem/cache.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+void
+BM_WorkloadStream(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gcc"));
+    WorkloadStream s(prog);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.next().pc);
+}
+BENCHMARK(BM_WorkloadStream);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 64 * 1024;
+    p.assoc = 4;
+    Cache c(p);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ULL + 1;
+        benchmark::DoNotOptimize(c.access((x >> 40) & 0xFFFFF, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    Gshare g;
+    Addr pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.predict(pc));
+        std::uint16_t h = g.history();
+        g.pushHistory(taken);
+        g.update(pc, h, taken);
+        taken = !taken;
+        pc += 4;
+    }
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+void
+BM_ExecCacheLookup(benchmark::State &state)
+{
+    ExecCache ec(2048, 8, 1024);
+    for (Addr pc = 0x1000; pc < 0x1000 + 64 * 0x100; pc += 0x100) {
+        auto t = std::make_unique<Trace>();
+        t->startPc = pc;
+        t->slots.resize(8);
+        t->rankToSlot.assign(8, 0);
+        ec.insert(std::move(t));
+    }
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ec.lookup(pc));
+        pc += 0x100;
+        if (pc >= 0x1000 + 64 * 0x100)
+            pc = 0x1000;
+    }
+}
+BENCHMARK(BM_ExecCacheLookup);
+
+void
+BM_BaselineSimulation(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    BaselineCore core(p, stream);
+    for (auto _ : state)
+        core.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BaselineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FlywheelSimulation(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    for (auto _ : state)
+        core.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FlywheelSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace flywheel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Table 1: clock frequencies of the main pipeline modules
+ * at 0.18/0.13/0.09/0.06um, printed next to the paper's values with
+ * the model error.
+ */
+
+#include <cstdio>
+
+#include "timing/clock_plan.hh"
+
+using namespace flywheel;
+
+int
+main()
+{
+    const TechNode nodes[] = {TechNode::N180, TechNode::N130,
+                              TechNode::N90, TechNode::N60};
+
+    struct Row
+    {
+        const char *name;
+        double paper[4];
+        double ModuleFrequencies::*field;
+    };
+    const Row rows[] = {
+        {"Issue Window (1 cyc)", {950, 1150, 1500, 1950},
+         &ModuleFrequencies::issueWindowMHz},
+        {"I-Cache (2 cyc)", {1300, 1800, 2600, 3800},
+         &ModuleFrequencies::icacheMHz},
+        {"D-Cache (2 cyc)", {1000, 1400, 2000, 3000},
+         &ModuleFrequencies::dcacheMHz},
+        {"Register File (1 cyc)", {1150, 1650, 2250, 3250},
+         &ModuleFrequencies::regfileMHz},
+        {"Exec Cache (3 cyc)", {1000, 1400, 2050, 3000},
+         &ModuleFrequencies::execCacheMHz},
+        {"Register File (2 cyc)", {1050, 1500, 2000, 2950},
+         &ModuleFrequencies::bigRegfileMHz},
+    };
+
+    std::printf("Table 1: module clock frequencies [MHz], "
+                "model vs (paper)\n\n");
+    std::printf("%-22s", "module");
+    for (TechNode n : nodes)
+        std::printf("%16s", techName(n));
+    std::printf("\n");
+
+    double worst = 0.0;
+    for (const Row &r : rows) {
+        std::printf("%-22s", r.name);
+        for (int i = 0; i < 4; ++i) {
+            ModuleFrequencies f = moduleFrequencies(nodes[i]);
+            double got = f.*(r.field);
+            std::printf("   %5.0f (%4.0f)", got, r.paper[i]);
+            double err = got / r.paper[i] - 1.0;
+            if (err < 0)
+                err = -err;
+            if (err > worst)
+                worst = err;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nworst-case model error vs paper: %.1f%%\n",
+                worst * 100.0);
+
+    std::printf("\nderived clock plan (Section 4 assumptions):\n");
+    for (TechNode n : nodes) {
+        ClockPlan plan = deriveClockPlan(n);
+        std::printf("  %s: baseline %.0f ps, FE headroom +%.0f%%, "
+                    "BE headroom +%.0f%%\n",
+                    techName(n), plan.baselinePeriodPs,
+                    plan.maxFeBoost * 100.0, plan.maxBeBoost * 100.0);
+    }
+    return 0;
+}

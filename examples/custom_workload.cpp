@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Building a custom workload: define your own BenchProfile (code
+ * footprint, branch behaviour, memory locality, register pressure)
+ * and see how the Flywheel responds.  This example contrasts a small
+ * loopy kernel (high Execution Cache residency) with a sprawling
+ * code footprint (EC thrashing, vortex-style).
+ */
+
+#include <cstdio>
+
+#include "core/sim_driver.hh"
+#include "workload/program.hh"
+
+using namespace flywheel;
+
+namespace {
+
+RunResult
+runOn(const BenchProfile &profile, CoreKind kind)
+{
+    RunConfig cfg;
+    cfg.profile = profile;
+    cfg.kind = kind;
+    cfg.params = clockedParams(0.5, 0.5);
+    if (kind == CoreKind::Baseline)
+        cfg.params = clockedParams(0.0, 0.0);
+    cfg.warmupInstrs = 50000;
+    cfg.measureInstrs = 150000;
+    return runSim(cfg);
+}
+
+void
+report(const char *title, const BenchProfile &p)
+{
+    RunResult base = runOn(p, CoreKind::Baseline);
+    RunResult fly = runOn(p, CoreKind::Flywheel);
+    std::printf("%-22s footprint=%4u blocks  speedup=%5.2fx  "
+                "residency=%5.1f%%  traces built=%llu\n",
+                title, p.staticBlocks,
+                double(base.timePs) / fly.timePs,
+                fly.ecResidency * 100.0,
+                static_cast<unsigned long long>(fly.stats.tracesBuilt));
+}
+
+} // namespace
+
+int
+main()
+{
+    // A DSP-like kernel: tiny code, long predictable loops, high ILP.
+    BenchProfile kernel;
+    kernel.name = "kernel";
+    kernel.seed = 2024;
+    kernel.staticBlocks = 60;
+    kernel.avgBlockSize = 8.0;
+    kernel.regions = 2;
+    kernel.loadFrac = 0.25;
+    kernel.storeFrac = 0.10;
+    kernel.fpFrac = 0.30;
+    kernel.avgDepDist = 6.0;
+    kernel.diamondFrac = 0.10;
+    kernel.branchBias = 0.97;
+    kernel.loopTripMean = 100;
+    kernel.regWorkingSet = 24;
+    kernel.dataFootprintKB = 128;
+    kernel.memRandomFrac = 0.02;
+
+    // An interpreter-like program: huge code footprint, short loops,
+    // hard branches — the worst case for trace locality.
+    BenchProfile sprawl = kernel;
+    sprawl.name = "sprawl";
+    sprawl.seed = 2025;
+    sprawl.staticBlocks = 4000;
+    sprawl.regions = 32;
+    sprawl.avgBlockSize = 5.0;
+    sprawl.diamondFrac = 0.4;
+    sprawl.branchBias = 0.85;
+    sprawl.loopTripMean = 6;
+    sprawl.callProb = 0.05;
+
+    std::printf("custom workloads on the Flywheel (FE50/BE50):\n\n");
+    report("loopy DSP kernel", kernel);
+    report("sprawling interpreter", sprawl);
+
+    std::printf("\nThe kernel lives almost entirely on the "
+                "alternative execution path; the interpreter "
+                "thrashes the 128K Execution Cache and keeps "
+                "falling back to the slow front-end.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "branch/btb.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+Btb::Btb(const BtbParams &params)
+    : params_(params)
+{
+    FW_ASSERT(params_.entries % params_.assoc == 0,
+              "BTB entries must divide evenly into ways");
+    numSets_ = params_.entries / params_.assoc;
+    FW_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+              "BTB set count must be a power of 2");
+    entries_.resize(params_.entries);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    ++lookups_;
+    ++useClock_;
+    unsigned set = static_cast<unsigned>(pc >> 2) & (numSets_ - 1);
+    Entry *base = &entries_[static_cast<std::size_t>(set) *
+                            params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].pc == pc) {
+            ++hits_;
+            base[w].lastUse = useClock_;
+            return base[w].target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++useClock_;
+    unsigned set = static_cast<unsigned>(pc >> 2) & (numSets_ - 1);
+    Entry *base = &entries_[static_cast<std::size_t>(set) * params_.assoc];
+    Entry *victim = base;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lastUse = useClock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = useClock_;
+}
+
+void
+Btb::regStats(StatGroup &group) const
+{
+    group.add("btb.lookups", lookups_);
+    group.add("btb.hits", hits_);
+}
+
+} // namespace flywheel

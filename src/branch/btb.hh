@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Branch Target Buffer: a small set-associative cache of taken-branch
+ * targets.  A predicted-taken branch that misses in the BTB cannot
+ * redirect fetch until decode, costing a fetch bubble.
+ */
+
+#ifndef FLYWHEEL_BRANCH_BTB_HH
+#define FLYWHEEL_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace flywheel {
+
+/** BTB geometry. */
+struct BtbParams
+{
+    unsigned entries = 512;
+    unsigned assoc = 4;
+};
+
+/** Branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(const BtbParams &params = {});
+
+    /** Target of the branch at @p pc, if cached. */
+    std::optional<Addr> lookup(Addr pc) const;
+
+    /** Install/refresh the target for the branch at @p pc. */
+    void update(Addr pc, Addr target);
+
+    void regStats(StatGroup &group) const;
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    BtbParams params_;
+    unsigned numSets_;
+    mutable std::vector<Entry> entries_;  ///< lookup refreshes LRU
+    mutable std::uint64_t useClock_ = 0;
+
+    mutable Counter lookups_;
+    mutable Counter hits_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_BRANCH_BTB_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * G-share conditional branch direction predictor (Table 2: 12 bits of
+ * global history, 2048 two-bit counters).  The simulator is
+ * trace-driven with fetch stalling on a mispredict, so the global
+ * history register only ever sees correct-path outcomes; pattern
+ * table counters are updated at retire time, as in the paper
+ * (predictor updates travel from Retire to Fetch).
+ */
+
+#ifndef FLYWHEEL_BRANCH_GSHARE_HH
+#define FLYWHEEL_BRANCH_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace flywheel {
+
+/** Configuration of the direction predictor. */
+struct GshareParams
+{
+    unsigned historyBits = 12;
+    unsigned tableEntries = 2048;  ///< 2-bit saturating counters
+};
+
+/** G-share direction predictor. */
+class Gshare
+{
+  public:
+    explicit Gshare(const GshareParams &params = {});
+
+    /** Predict direction for the conditional branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Record the architectural outcome into the global history
+     * (called at prediction time on the correct path).
+     */
+    void pushHistory(bool taken);
+
+    /**
+     * Train the pattern table for the branch at @p pc with the
+     * history that was live when it was predicted.
+     */
+    void update(Addr pc, std::uint16_t history_at_predict, bool taken);
+
+    /** Current global history (captured at predict, used at update). */
+    std::uint16_t history() const { return history_; }
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+
+    void regStats(StatGroup &group) const;
+
+  private:
+    std::uint32_t index(Addr pc, std::uint16_t history) const;
+
+    GshareParams params_;
+    std::uint16_t historyMask_;
+    std::uint32_t tableMask_;
+    std::uint16_t history_ = 0;
+    std::vector<std::uint8_t> table_;  ///< 2-bit counters
+
+    mutable Counter lookups_;
+    Counter updates_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_BRANCH_GSHARE_HH

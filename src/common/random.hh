@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis.  A small PCG32 implementation is used instead of
+ * <random> engines so that streams are reproducible across standard
+ * library implementations (std::mt19937 distributions are not
+ * portable across vendors).
+ */
+
+#ifndef FLYWHEEL_COMMON_RANDOM_HH
+#define FLYWHEEL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace flywheel {
+
+/**
+ * PCG32 (O'Neill) generator: 64-bit state, 32-bit output, excellent
+ * statistical quality for its size and fully deterministic.
+ */
+class Pcg32
+{
+  public:
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint32_t
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish positive integer with mean approximately
+     * @p mean, capped at @p cap — used for run lengths (dependency
+     * distances, block sizes) where a long tail is wanted.
+     */
+    std::uint32_t
+    geometric(double mean, std::uint32_t cap)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        std::uint32_t n = 1;
+        while (n < cap && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_COMMON_RANDOM_HH

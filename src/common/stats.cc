@@ -1,0 +1,47 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace flywheel {
+
+void
+StatGroup::add(const std::string &stat_name, const Counter &c)
+{
+    entries_[stat_name] = Entry{Entry::Kind::Count, &c};
+}
+
+void
+StatGroup::add(const std::string &stat_name, const Average &a)
+{
+    entries_[stat_name] = Entry{Entry::Kind::Avg, &a};
+}
+
+void
+StatGroup::add(const std::string &stat_name, const double &d)
+{
+    entries_[stat_name] = Entry{Entry::Kind::Double, &d};
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, entry] : entries_) {
+        os << name_ << '.' << stat_name << " = ";
+        switch (entry.kind) {
+          case Entry::Kind::Count:
+            os << static_cast<const Counter *>(entry.ptr)->value();
+            break;
+          case Entry::Kind::Avg:
+            os << std::fixed << std::setprecision(4)
+               << static_cast<const Average *>(entry.ptr)->mean();
+            break;
+          case Entry::Kind::Double:
+            os << std::fixed << std::setprecision(4)
+               << *static_cast<const double *>(entry.ptr);
+            break;
+        }
+        os << '\n';
+    }
+}
+
+} // namespace flywheel

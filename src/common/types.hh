@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the Flywheel
+ * simulator.  The simulation timeline is expressed in picoseconds
+ * (Tick) so that multiple clock domains with incommensurate periods
+ * can be composed exactly; per-domain time is expressed in Cycles.
+ */
+
+#ifndef FLYWHEEL_COMMON_TYPES_HH
+#define FLYWHEEL_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace flywheel {
+
+/** Simulated wall-clock time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Per-clock-domain cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Architected register index (0 .. NumArchRegs-1). */
+using ArchReg = std::uint16_t;
+
+/** Physical register index into the physical register file. */
+using PhysReg = std::uint16_t;
+
+/** Logical identifier inside an architected register's rename pool. */
+using Lid = std::uint16_t;
+
+/** Monotonically increasing dynamic instruction sequence number. */
+using InstSeqNum = std::uint64_t;
+
+/** Sentinel for "no register". */
+constexpr ArchReg kNoArchReg = std::numeric_limits<ArchReg>::max();
+constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Number of architected integer + floating point registers modelled. */
+constexpr unsigned kNumIntRegs = 32;
+constexpr unsigned kNumFpRegs = 32;
+constexpr unsigned kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/** Instruction word size of the modelled RISC ISA (bytes). */
+constexpr unsigned kInstBytes = 4;
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_COMMON_TYPES_HH

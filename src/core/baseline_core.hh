@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The baseline processor of the paper's evaluation: a fully
+ * synchronous nine-stage, four-way superscalar, out-of-order core
+ * with a monolithic 128-entry Issue Window, MIPS R10000-style
+ * renaming over a 192-entry physical register file, and the Table 2
+ * memory hierarchy.  Fig 2's experiments use its
+ * extraFrontEndStages / wakeupExtraDelay knobs.
+ */
+
+#ifndef FLYWHEEL_CORE_BASELINE_CORE_HH
+#define FLYWHEEL_CORE_BASELINE_CORE_HH
+
+#include "core/core_base.hh"
+#include "core/rename_map.hh"
+
+namespace flywheel {
+
+/** Fully synchronous out-of-order core. */
+class BaselineCore : public CoreBase
+{
+  public:
+    BaselineCore(const CoreParams &params, WorkloadStream &stream);
+
+    void run(std::uint64_t n) override;
+
+  protected:
+    bool canRenameDest(const InFlightInst &inst) override;
+    void renameSrcs(InFlightInst &inst) override;
+    void renameDest(InFlightInst &inst) override;
+    void onRetire(InFlightInst &inst, Tick now) override;
+
+  private:
+    RenameMap renameMap_;
+    Tick period_;
+    std::uint64_t cycle_ = 0;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_BASELINE_CORE_HH

@@ -1,0 +1,365 @@
+#include "core/core_base.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+CoreBase::CoreBase(const CoreParams &params, WorkloadStream &stream,
+                   unsigned phys_regs)
+    : params_(params),
+      stream_(stream),
+      hier_(params.mem),
+      gshare_(params.bpred),
+      btb_(params.btb),
+      fus_(params.fus, params.lat),
+      lsq_(params.lsqEntries),
+      iw_(params.iwEntries),
+      regReady_(phys_regs, 0)
+{
+    feDepth_ = params_.feStages - 1 + params_.extraFrontEndStages;
+    feQueueCap_ = static_cast<std::size_t>(feDepth_ + 2) *
+                  params_.fetchWidth;
+    memTicks_ = static_cast<Tick>(std::llround(
+        params_.mem.memBaselineCycles * params_.basePeriodPs));
+}
+
+bool
+CoreBase::fetchGate(Addr, Tick)
+{
+    return true;
+}
+
+void
+CoreBase::onIssueGroup(const std::vector<InFlightInst *> &, Tick)
+{}
+
+void
+CoreBase::onMispredictResolved(InFlightInst &, Tick now)
+{
+    // Redirect reaches Fetch for the next cycle; the subclass run
+    // loop samples fetchStallUntil_ at front-end clock edges.
+    waitingOnMispredict_ = false;
+    resumeFetch(now + 1);
+}
+
+void
+CoreBase::onRetire(InFlightInst &, Tick)
+{}
+
+void
+CoreBase::stepFetch(Tick now, Tick fe_period)
+{
+    if (now < fetchStallUntil_ || waitingOnMispredict_)
+        return;
+    if (feQueue_.size() + params_.fetchWidth > feQueueCap_)
+        return;
+
+    for (unsigned w = 0; w < params_.fetchWidth; ++w) {
+        const DynInst &next = stream_.peek(0);
+        const Addr pc = next.pc;
+
+        if (w == 0) {
+            if (!fetchGate(pc, now))
+                return;
+            ++events_.icacheAccesses;
+            MemLevel lvl = hier_.fetch(pc);
+            if (lvl != MemLevel::L1) {
+                // Pipelined L1 miss: charge L2 (back-end clocked at
+                // the baseline rate) or full memory time.
+                Tick stall = static_cast<Tick>(std::llround(
+                    params_.mem.l2Cycles * params_.basePeriodPs));
+                if (lvl == MemLevel::Memory)
+                    stall += memTicks_;
+                fetchStallUntil_ = now + stall;
+                ++stats_.icacheMissStalls;
+                return;
+            }
+        }
+
+        InFlightInst ifi;
+        ifi.arch = stream_.next();
+        ifi.dispatchReady = now + static_cast<Tick>(feDepth_) * fe_period;
+
+        bool end_group = false;
+        bool stall_decode_redirect = false;
+        if (ifi.arch.isBranch()) {
+            ++events_.btbLookups;
+            bool pred_taken;
+            if (ifi.arch.isCondBranch) {
+                ++events_.bpredLookups;
+                ++stats_.condBranches;
+                pred_taken = gshare_.predict(ifi.arch.pc);
+                ifi.historyAtPredict = gshare_.history();
+                gshare_.pushHistory(ifi.arch.taken);
+                if (pred_taken != ifi.arch.taken) {
+                    ifi.mispredicted = true;
+                    ++stats_.mispredicts;
+                }
+            } else {
+                pred_taken = true;
+            }
+            ifi.predictedTaken = pred_taken;
+
+            if (ifi.mispredicted) {
+                // Fetch stalls until the branch resolves in Execute.
+                waitingOnMispredict_ = true;
+                fetchStallUntil_ = kTickMax;
+                end_group = true;
+            } else if (ifi.arch.taken) {
+                end_group = true;
+                if (!btb_.lookup(ifi.arch.pc)) {
+                    // Target produced at decode: two-cycle bubble.
+                    ifi.btbMissBubble = true;
+                    ++stats_.btbMissBubbles;
+                    stall_decode_redirect = true;
+                }
+            }
+        }
+
+        feQueue_.push_back(ifi);
+
+        if (stall_decode_redirect)
+            fetchStallUntil_ = now + 3 * fe_period;
+        if (end_group)
+            break;
+        // Fetch groups may not cross an aligned 16-byte block.
+        if ((pc & 0xF) == 0xC)
+            break;
+    }
+}
+
+void
+CoreBase::stepDispatch(Tick now, Tick visible_delay)
+{
+    for (unsigned w = 0; w < params_.dispatchWidth; ++w) {
+        if (feQueue_.empty())
+            return;
+        InFlightInst &head = feQueue_.front();
+        if (head.dispatchReady > now)
+            return;
+        if (rob_.size() >= params_.robEntries) {
+            ++stats_.robFullStalls;
+            return;
+        }
+        if (iw_.full()) {
+            ++stats_.iwFullStalls;
+            return;
+        }
+        if (head.isMem() && lsq_.full()) {
+            ++stats_.lsqFullStalls;
+            return;
+        }
+        if (!canRenameDest(head)) {
+            ++stats_.renameStalls;
+            return;
+        }
+
+        renameSrcs(head);
+        renameDest(head);
+
+        ++events_.decodedOps;
+        ++events_.renameOps;
+        ++events_.dispatchOps;
+        ++events_.robOps;
+        events_.ratAccesses += head.arch.numSrcs();
+
+        rob_.push_back(std::move(head));
+        feQueue_.pop_front();
+        InFlightInst *p = &rob_.back();
+        p->iwVisible = now + visible_delay;
+        iw_.insert(p);
+        if (p->isMem()) {
+            p->arch.isStore()
+                ? lsq_.insert(p->arch.seq, true, p->arch.effAddr)
+                : lsq_.insert(p->arch.seq, false, p->arch.effAddr);
+            ++events_.lsqOps;
+        }
+    }
+}
+
+bool
+CoreBase::operandsReady(const InFlightInst &inst, Tick now) const
+{
+    if (inst.src1Phys != kNoPhysReg && regReady_[inst.src1Phys] > now)
+        return false;
+    if (inst.src2Phys != kNoPhysReg && regReady_[inst.src2Phys] > now)
+        return false;
+    return true;
+}
+
+void
+CoreBase::issueOne(InFlightInst *p, Tick now, Tick be_period)
+{
+    p->issued = true;
+    p->issueTick = now;
+
+    const unsigned rr = params_.regReadStages;
+    unsigned exec_cycles = params_.execLatency(p->arch.op);
+    Tick mem_extra = 0;
+
+    if (p->isLoad()) {
+        if (lsq_.loadForwards(p->arch.seq, p->arch.effAddr)) {
+            exec_cycles += 1;  // LSQ forwarding
+        } else {
+            ++events_.dcacheAccesses;
+            MemLevel lvl = hier_.data(p->arch.effAddr, false);
+            exec_cycles += params_.mem.dcache.hitCycles;
+            if (lvl != MemLevel::L1) {
+                ++events_.l2Accesses;
+                exec_cycles += params_.mem.l2Cycles;
+                if (lvl == MemLevel::Memory) {
+                    ++events_.memAccesses;
+                    mem_extra = memTicks_;
+                }
+            }
+        }
+        ++events_.lsqOps;
+    } else if (p->isStore()) {
+        lsq_.storeIssued(p->arch.seq);
+        ++events_.lsqOps;
+    }
+
+    p->completeTick = now +
+        static_cast<Tick>(rr + exec_cycles) * be_period + mem_extra;
+
+    if (p->arch.hasDest()) {
+        // Bypass: dependents may issue exec_cycles (+ any extra
+        // wake-up delay) after the producer's select.
+        regReady_[p->destPhys] = now +
+            static_cast<Tick>(exec_cycles + params_.wakeupExtraDelay) *
+                be_period +
+            mem_extra;
+        ++events_.resultBusOps;
+        ++events_.rfWrites;
+        if (!p->fromEc)
+            ++events_.iwBroadcasts;  // EC replay bypasses the CAM
+    }
+
+    events_.rfReads += p->arch.numSrcs();
+    if (!p->fromEc)
+        ++events_.iwIssues;
+
+    switch (p->arch.op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        ++events_.aluOps;
+        break;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        ++events_.mulOps;
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        ++events_.fpOps;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        ++events_.aluOps;  // address generation
+        break;
+    }
+}
+
+void
+CoreBase::stepIssue(Tick now, Tick be_period)
+{
+    fus_.beginCycle(now);
+    iw_.visibleOldestFirst(now, eligible_);
+    issuedGroup_.clear();
+
+    for (InFlightInst *p : eligible_) {
+        if (issuedGroup_.size() >= params_.issueWidth)
+            break;
+        if (!operandsReady(*p, now))
+            continue;
+        if (p->isLoad() && !lsq_.loadMayIssue(p->arch.seq))
+            continue;
+        if (!fus_.tryIssue(p->arch.op, now, double(be_period)))
+            continue;
+        iw_.remove(p);
+        issueOne(p, now, be_period);
+        issuedGroup_.push_back(p);
+    }
+
+    if (!issuedGroup_.empty())
+        onIssueGroup(issuedGroup_, now);
+}
+
+void
+CoreBase::stepComplete(Tick now, Tick)
+{
+    for (InFlightInst &p : rob_) {
+        if (p.issued && !p.completed && p.completeTick <= now) {
+            p.completed = true;
+            if (p.mispredicted && !p.squashed)
+                onMispredictResolved(p, now);
+        }
+    }
+}
+
+void
+CoreBase::stepRetire(Tick now, Tick be_period)
+{
+    for (unsigned n = 0; n < params_.commitWidth && !rob_.empty(); ++n) {
+        InFlightInst &h = rob_.front();
+        FW_ASSERT(!h.squashed, "squashed instruction at ROB head");
+        // WriteBack precedes Retire by one stage.
+        if (!h.completed || h.completeTick + be_period > now)
+            return;
+
+        if (h.isStore()) {
+            ++events_.dcacheAccesses;
+            MemLevel lvl = hier_.data(h.arch.effAddr, true);
+            if (lvl != MemLevel::L1) {
+                ++events_.l2Accesses;
+                if (lvl == MemLevel::Memory)
+                    ++events_.memAccesses;
+            }
+        }
+        // Branches replayed from the Execution Cache never consulted
+        // the predictor (the front-end is shut down), so they do not
+        // train it either.
+        if (h.arch.isBranch() && !h.fromEc) {
+            if (h.arch.isCondBranch)
+                gshare_.update(h.arch.pc, h.historyAtPredict,
+                               h.arch.taken);
+            if (h.arch.taken)
+                btb_.update(h.arch.pc, h.arch.target);
+        }
+
+        onRetire(h, now);
+
+        if (h.isMem())
+            lsq_.retire(h.arch.seq);
+        ++events_.robOps;
+        ++stats_.retired;
+        if (h.fromEc)
+            ++stats_.ecRetired;
+        rob_.pop_front();
+    }
+}
+
+void
+CoreBase::checkProgress(Tick now)
+{
+    if (stats_.retired != lastProgressRetired_) {
+        lastProgressRetired_ = stats_.retired;
+        lastProgressTick_ = now;
+        return;
+    }
+    Tick horizon = static_cast<Tick>(500000.0 * params_.basePeriodPs);
+    if (now - lastProgressTick_ > horizon) {
+        FW_PANIC("pipeline wedged: no retirement since tick %llu "
+                 "(now %llu, rob %zu, iw %u, feq %zu, stall %llu) %s",
+                 static_cast<unsigned long long>(lastProgressTick_),
+                 static_cast<unsigned long long>(now), rob_.size(),
+                 iw_.occupancy(), feQueue_.size(),
+                 static_cast<unsigned long long>(fetchStallUntil_),
+                 progressDebug().c_str());
+    }
+}
+
+} // namespace flywheel

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shared cycle-level pipeline engine for the baseline and Flywheel
+ * cores.
+ *
+ * The engine is trace-driven from a WorkloadStream (the architectural
+ * correct path).  Wrong-path fetch is not simulated: on a direction
+ * mispredict, fetch stalls until the branch resolves and the full
+ * redirect penalty is charged in time — the standard SimpleScalar-
+ * class simplification.  All inter-stage timestamps are kept in
+ * picosecond Ticks so that front-end and back-end clock domains of
+ * different periods compose exactly; per-domain cycle counts are
+ * accumulated separately for the clock-grid energy model.
+ *
+ * Stage model (paper Section 3.1, nine-stage baseline):
+ *   Fetch1 Fetch2 Decode Rename Dispatch | Issue RegRead Execute WB/Retire
+ * Dispatch performs renaming atomically with window insertion (the
+ * rename stall point is thereby one stage later than in hardware,
+ * which does not change any charged penalty).  A dispatched
+ * instruction becomes visible to Wake-Up/Select one consumer-domain
+ * cycle later — the synchronous pipeline latch in the baseline, the
+ * Dual-Clock Issue Window synchronization latency in the Flywheel.
+ */
+
+#ifndef FLYWHEEL_CORE_CORE_BASE_HH
+#define FLYWHEEL_CORE_CORE_BASE_HH
+
+#include <deque>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/functional_units.hh"
+#include "core/inflight.hh"
+#include "core/issue_window.hh"
+#include "core/lsq.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+#include "power/events.hh"
+#include "workload/generator.hh"
+
+namespace flywheel {
+
+/** Aggregate behavioural statistics exposed by every core. */
+struct CoreStats
+{
+    std::uint64_t retired = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t btbMissBubbles = 0;
+    std::uint64_t icacheMissStalls = 0;
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t iwFullStalls = 0;
+    std::uint64_t lsqFullStalls = 0;
+    std::uint64_t renameStalls = 0;   ///< free-list / pool exhaustion
+
+    // Flywheel-only.
+    std::uint64_t ecRetired = 0;      ///< retired via the EC path
+    std::uint64_t ecLookups = 0;
+    std::uint64_t ecHits = 0;
+    std::uint64_t tracesBuilt = 0;
+    std::uint64_t traceChanges = 0;
+    std::uint64_t traceDivergences = 0;
+    std::uint64_t redistributions = 0;
+    std::uint64_t checkpointStallCycles = 0;
+};
+
+/**
+ * Common machinery of both cores; subclasses provide renaming and
+ * the top-level clocking loop.
+ */
+class CoreBase
+{
+  public:
+    CoreBase(const CoreParams &params, WorkloadStream &stream,
+             unsigned phys_regs);
+    virtual ~CoreBase() = default;
+
+    /** Simulate until @p n more instructions have retired. */
+    virtual void run(std::uint64_t n) = 0;
+
+    const CoreParams &params() const { return params_; }
+    const CoreStats &stats() const { return stats_; }
+    const EnergyEvents &events() const { return events_; }
+    const MemoryHierarchy &memory() const { return hier_; }
+
+    /** Simulated wall-clock time elapsed so far (ps). */
+    Tick elapsedPs() const { return events_.totalTicks; }
+
+  protected:
+    // ---- renaming hooks -------------------------------------------------
+    /** True if the destination of @p inst can be renamed now.
+     *  Non-const so implementations can record stall causes. */
+    virtual bool canRenameDest(const InFlightInst &inst) = 0;
+    /** Map source architected registers to physical indices. */
+    virtual void renameSrcs(InFlightInst &inst) = 0;
+    /** Allocate the destination register (after canRenameDest). */
+    virtual void renameDest(InFlightInst &inst) = 0;
+
+    // ---- mode hooks ------------------------------------------------------
+    /** Called with each cycle's issued group (trace building). */
+    virtual void onIssueGroup(const std::vector<InFlightInst *> &group,
+                              Tick now);
+    /** Mispredicted branch resolved; schedule the fetch redirect. */
+    virtual void onMispredictResolved(InFlightInst &inst, Tick now);
+    /** Instruction retiring (release pool entries, FRT update...). */
+    virtual void onRetire(InFlightInst &inst, Tick now);
+    /**
+     * Fetch is about to consume the instruction at @p pc.  Return
+     * false to hold fetch this cycle (Flywheel trace self-closure and
+     * replay-switch detection).
+     */
+    virtual bool fetchGate(Addr pc, Tick now);
+
+    // ---- pipeline steps (called by subclass run loops) -------------------
+    void stepFetch(Tick now, Tick fe_period);
+    void stepDispatch(Tick now, Tick visible_delay);
+    void stepIssue(Tick now, Tick be_period);
+    void stepComplete(Tick now, Tick be_period);
+    void stepRetire(Tick now, Tick be_period);
+
+    // ---- helpers ---------------------------------------------------------
+    /** Operand readiness against the physical scoreboard. */
+    bool operandsReady(const InFlightInst &inst, Tick now) const;
+    /** Issue bookkeeping shared by window issue and EC replay. */
+    void issueOne(InFlightInst *inst, Tick now, Tick be_period);
+    /** Resume fetch at tick @p at (mispredict redirect). */
+    void resumeFetch(Tick at) { fetchStallUntil_ = at; }
+    /** Watchdog: abort if the pipeline wedges. */
+    void checkProgress(Tick now);
+
+    /** Extra state dumped by the watchdog (mode machines etc.). */
+    virtual std::string progressDebug() const { return {}; }
+
+    Tick memTicks() const { return memTicks_; }
+
+    CoreParams params_;
+    WorkloadStream &stream_;
+    MemoryHierarchy hier_;
+    Gshare gshare_;
+    Btb btb_;
+    FunctionalUnits fus_;
+    Lsq lsq_;
+    IssueWindow iw_;
+
+    /** Reorder buffer, program order, element-stable. */
+    std::deque<InFlightInst> rob_;
+    /** Front-end latches between Fetch and Dispatch. */
+    std::deque<InFlightInst> feQueue_;
+    std::size_t feQueueCap_;
+
+    /** Physical register readiness scoreboard (ticks). */
+    std::vector<Tick> regReady_;
+
+    EnergyEvents events_;
+    CoreStats stats_;
+
+    Tick fetchStallUntil_ = 0;
+    bool waitingOnMispredict_ = false;
+    unsigned feDepth_;     ///< cycles from fetch to earliest dispatch
+
+    std::uint64_t lastProgressRetired_ = 0;
+    Tick lastProgressTick_ = 0;
+
+  private:
+    std::vector<InFlightInst *> eligible_;   // scratch for stepIssue
+    std::vector<InFlightInst *> issuedGroup_;
+    Tick memTicks_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_CORE_BASE_HH

@@ -1,0 +1,125 @@
+#include "core/functional_units.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+FunctionalUnits::FunctionalUnits(const FuParams &fus,
+                                 const FuLatencies &lat)
+    : lat_(lat)
+{
+    auto init = [](Pool &p, unsigned count) {
+        p.count = count;
+        p.busyUntil.assign(count, 0);
+    };
+    init(intAlu_, fus.intAlu);
+    init(intMulDiv_, fus.intMulDiv);
+    init(memPort_, fus.memPorts);
+    init(fpAdd_, fus.fpAdd);
+    init(fpMulDiv_, fus.fpMulDiv);
+}
+
+void
+FunctionalUnits::beginCycle(Tick)
+{
+    intAlu_.usedThisCycle = 0;
+    intMulDiv_.usedThisCycle = 0;
+    memPort_.usedThisCycle = 0;
+    fpAdd_.usedThisCycle = 0;
+    fpMulDiv_.usedThisCycle = 0;
+}
+
+FunctionalUnits::Pool &
+FunctionalUnits::poolFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        return intAlu_;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return intMulDiv_;
+      case OpClass::Load:
+      case OpClass::Store:
+        return memPort_;
+      case OpClass::FpAdd:
+        return fpAdd_;
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        return fpMulDiv_;
+    }
+    FW_PANIC("bad op class");
+}
+
+bool
+FunctionalUnits::claim(Pool &pool, Tick now, Tick busy_until)
+{
+    if (pool.usedThisCycle >= pool.count)
+        return false;
+    // Find a unit that is not occupied by an unpipelined op.
+    for (unsigned u = 0; u < pool.count; ++u) {
+        if (pool.busyUntil[u] <= now) {
+            ++pool.usedThisCycle;
+            if (busy_until > now)
+                pool.busyUntil[u] = busy_until;
+            return true;
+        }
+    }
+    return false;
+}
+
+FunctionalUnits::State
+FunctionalUnits::save() const
+{
+    State s;
+    for (const Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
+                          &fpMulDiv_}) {
+        s.used.push_back(p->usedThisCycle);
+        s.busy.push_back(p->busyUntil);
+    }
+    return s;
+}
+
+void
+FunctionalUnits::restore(const State &s)
+{
+    unsigned i = 0;
+    for (Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
+                    &fpMulDiv_}) {
+        p->usedThisCycle = s.used[i];
+        p->busyUntil = s.busy[i];
+        ++i;
+    }
+}
+
+bool
+FunctionalUnits::canIssue(OpClass op, Tick now,
+                          unsigned already_claimed) const
+{
+    const Pool &pool = const_cast<FunctionalUnits *>(this)->poolFor(op);
+    if (pool.usedThisCycle + already_claimed >= pool.count)
+        return false;
+    unsigned free_units = 0;
+    for (unsigned u = 0; u < pool.count; ++u) {
+        if (pool.busyUntil[u] <= now)
+            ++free_units;
+    }
+    return free_units > pool.usedThisCycle + already_claimed;
+}
+
+bool
+FunctionalUnits::tryIssue(OpClass op, Tick now, double period_ps)
+{
+    Pool &pool = poolFor(op);
+    Tick busy_until = now;
+    // Divides are unpipelined: the unit is held for the full latency.
+    if (op == OpClass::IntDiv) {
+        busy_until = now + static_cast<Tick>(lat_.intDiv * period_ps);
+    } else if (op == OpClass::FpDiv) {
+        busy_until = now + static_cast<Tick>(lat_.fpDiv * period_ps);
+    }
+    return claim(pool, now, busy_until);
+}
+
+} // namespace flywheel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Functional unit pool (Table 2: 4 integer ALUs, 2 integer MUL/DIV,
+ * 2 memory ports, 2 FP adders, 1 FP MUL/DIV).  Pipelined units accept
+ * one operation per cycle; divides occupy their unit until done.
+ */
+
+#ifndef FLYWHEEL_CORE_FUNCTIONAL_UNITS_HH
+#define FLYWHEEL_CORE_FUNCTIONAL_UNITS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "core/params.hh"
+#include "isa/instruction.hh"
+
+namespace flywheel {
+
+/**
+ * Per-cycle functional unit arbiter.  beginCycle() must be called at
+ * each issue cycle before tryIssue().
+ */
+class FunctionalUnits
+{
+  public:
+    FunctionalUnits(const FuParams &fus, const FuLatencies &lat);
+
+    /** Reset per-cycle issue counts for the cycle starting at @p now. */
+    void beginCycle(Tick now);
+
+    /**
+     * Try to claim a unit for @p op issuing at @p now with cycle
+     * duration @p period_ps.  Unpipelined ops (divides) mark their
+     * unit busy for the full latency.
+     * @return true if a unit (and, for memory ops, a port) was free.
+     */
+    bool tryIssue(OpClass op, Tick now, double period_ps);
+
+    /**
+     * Side-effect-free availability probe: would tryIssue succeed,
+     * given @p already_claimed prior claims of the same class this
+     * cycle?  Used by the Flywheel's atomic issue-unit dispatch,
+     * which must check a whole unit before claiming anything.
+     */
+    bool canIssue(OpClass op, Tick now, unsigned already_claimed) const;
+
+    /** Opaque snapshot of all claim state (for atomic unit issue). */
+    struct State
+    {
+        std::vector<unsigned> used;
+        std::vector<std::vector<Tick>> busy;
+    };
+
+    /** Capture claim state; restore() undoes claims made since. */
+    State save() const;
+    void restore(const State &state);
+
+  private:
+    struct Pool
+    {
+        unsigned count = 0;
+        unsigned usedThisCycle = 0;
+        std::vector<Tick> busyUntil;  ///< per-unit, for unpipelined ops
+    };
+
+    Pool &poolFor(OpClass op);
+    bool claim(Pool &pool, Tick now, Tick busy_until);
+
+    FuLatencies lat_;
+    Pool intAlu_;
+    Pool intMulDiv_;
+    Pool memPort_;
+    Pool fpAdd_;
+    Pool fpMulDiv_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_FUNCTIONAL_UNITS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The microarchitectural record of one in-flight instruction: the
+ * architectural DynInst plus renamed registers, pipeline timestamps
+ * (in picosecond Ticks so multiple clock domains compose) and status
+ * flags.  Instances live in the core's reorder buffer; the issue
+ * window and LSQ reference them by pointer (std::deque guarantees
+ * element stability under push_back/pop_front/pop_back).
+ */
+
+#ifndef FLYWHEEL_CORE_INFLIGHT_HH
+#define FLYWHEEL_CORE_INFLIGHT_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace flywheel {
+
+/** In-flight instruction state. */
+struct InFlightInst
+{
+    DynInst arch;
+
+    // Renamed registers: indices into the physical readiness array.
+    PhysReg destPhys = kNoPhysReg;
+    PhysReg oldDestPhys = kNoPhysReg;  ///< freed at retire (baseline)
+    PhysReg src1Phys = kNoPhysReg;
+    PhysReg src2Phys = kNoPhysReg;
+
+    // Pool renaming rollback info (Flywheel).
+    std::uint16_t poolPrevSlot = 0;
+
+    // Timestamps (picoseconds).
+    Tick dispatchReady = 0;   ///< earliest dispatch (front-end depth)
+    Tick iwVisible = kTickMax; ///< visible to Wake-Up/Select (sync)
+    Tick issueTick = kTickMax;
+    Tick completeTick = kTickMax;  ///< result write / branch resolve
+
+    // Status.
+    bool inIw = false;
+    bool issued = false;
+    bool completed = false;
+    bool squashed = false;    ///< wrong-path trace replay slot
+
+    // Branch bookkeeping.
+    bool mispredicted = false;      ///< direction mispredict
+    bool predictedTaken = false;
+    bool btbMissBubble = false;
+    std::uint16_t historyAtPredict = 0;
+
+    // Flywheel bookkeeping.
+    bool fromEc = false;      ///< issued on the alternative path
+    std::uint32_t traceRank = 0;  ///< program-order rank inside a trace
+
+    bool isLoad() const { return arch.isLoad(); }
+    bool isStore() const { return arch.isStore(); }
+    bool isMem() const { return isMemOp(arch.op); }
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_INFLIGHT_HH

@@ -1,0 +1,69 @@
+#include "core/issue_window.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+IssueWindow::IssueWindow(unsigned entries)
+    : slots_(entries, nullptr)
+{}
+
+void
+IssueWindow::insert(InFlightInst *inst)
+{
+    FW_ASSERT(used_ < slots_.size(), "issue window overflow");
+    for (auto &slot : slots_) {
+        if (slot == nullptr) {
+            slot = inst;
+            inst->inIw = true;
+            ++used_;
+            return;
+        }
+    }
+    FW_PANIC("no free slot despite used_ < capacity");
+}
+
+void
+IssueWindow::remove(InFlightInst *inst)
+{
+    for (auto &slot : slots_) {
+        if (slot == inst) {
+            slot = nullptr;
+            inst->inIw = false;
+            --used_;
+            return;
+        }
+    }
+    FW_PANIC("removing instruction not in the window");
+}
+
+void
+IssueWindow::dropSquashed()
+{
+    for (auto &slot : slots_) {
+        if (slot != nullptr && slot->squashed) {
+            slot->inIw = false;
+            slot = nullptr;
+            --used_;
+        }
+    }
+}
+
+void
+IssueWindow::visibleOldestFirst(Tick now,
+                                std::vector<InFlightInst *> &out) const
+{
+    out.clear();
+    for (auto *slot : slots_) {
+        if (slot != nullptr && !slot->issued && slot->iwVisible <= now)
+            out.push_back(slot);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const InFlightInst *a, const InFlightInst *b) {
+                  return a->arch.seq < b->arch.seq;
+              });
+}
+
+} // namespace flywheel

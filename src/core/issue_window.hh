@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Issue Window: a monolithic scheduling window in the style of
+ * the MIPS R10000 issue queue [6].  Entries are written at Dispatch
+ * and become visible to the Wake-Up/Select logic at a per-entry tick
+ * — one cycle later in the synchronous baseline, or after the
+ * synchronization latency of the Dual Clock Issue Window when the
+ * front-end runs in its own domain (Section 3.2).
+ *
+ * Operand readiness is tracked through the physical register
+ * readiness scoreboard owned by the core, which models the combined
+ * effect of the RAT sampling at Dispatch plus the (duplicated) tag
+ * matching in Wake-Up: no wake-up is ever lost, exactly the behaviour
+ * the paper's two-cycle duplicated tag match guarantees (Fig 5).
+ */
+
+#ifndef FLYWHEEL_CORE_ISSUE_WINDOW_HH
+#define FLYWHEEL_CORE_ISSUE_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/inflight.hh"
+
+namespace flywheel {
+
+/** Monolithic issue window holding pointers to ROB-resident state. */
+class IssueWindow
+{
+  public:
+    explicit IssueWindow(unsigned entries);
+
+    bool full() const { return used_ >= slots_.size(); }
+    bool empty() const { return used_ == 0; }
+    unsigned occupancy() const { return used_; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /** Insert at Dispatch; visibility is recorded in the inst. */
+    void insert(InFlightInst *inst);
+
+    /** Remove @p inst after it has been selected. */
+    void remove(InFlightInst *inst);
+
+    /** Drop any entries that were squashed (trace divergence). */
+    void dropSquashed();
+
+    /**
+     * Collect entries visible at @p now, oldest (lowest sequence
+     * number) first, into @p out.  Readiness of operands is checked
+     * by the caller, which owns the register scoreboard.
+     */
+    void visibleOldestFirst(Tick now,
+                            std::vector<InFlightInst *> &out) const;
+
+  private:
+    std::vector<InFlightInst *> slots_;
+    unsigned used_ = 0;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_ISSUE_WINDOW_HH

@@ -1,0 +1,109 @@
+#include "core/lsq.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+void
+Lsq::insert(InstSeqNum seq, bool is_store, Addr addr)
+{
+    FW_ASSERT(queue_.size() < capacity_, "LSQ overflow");
+    FW_ASSERT(queue_.empty() || queue_.back().seq < seq,
+              "LSQ inserts must be in program order");
+    queue_.push_back(Entry{seq, addr >> 3, is_store, false});
+}
+
+bool
+Lsq::loadMayIssue(InstSeqNum load_seq) const
+{
+    for (const Entry &e : queue_) {
+        if (e.seq >= load_seq)
+            break;
+        if (e.isStore && !e.addrKnown)
+            return false;
+    }
+    return true;
+}
+
+bool
+Lsq::loadMayIssue(InstSeqNum load_seq,
+                  const std::vector<InstSeqNum> &co_issued) const
+{
+    for (const Entry &e : queue_) {
+        if (e.seq >= load_seq)
+            break;
+        if (e.isStore && !e.addrKnown) {
+            bool co = false;
+            for (InstSeqNum s : co_issued) {
+                if (s == e.seq) {
+                    co = true;
+                    break;
+                }
+            }
+            if (!co)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+Lsq::loadForwards(InstSeqNum load_seq, Addr addr) const
+{
+    const Addr word = addr >> 3;
+    bool forwards = false;
+    for (const Entry &e : queue_) {
+        if (e.seq >= load_seq)
+            break;
+        if (e.isStore && e.addrKnown && e.word == word)
+            forwards = true;  // youngest older match wins
+    }
+    return forwards;
+}
+
+void
+Lsq::storeIssued(InstSeqNum seq)
+{
+    for (Entry &e : queue_) {
+        if (e.seq == seq) {
+            e.addrKnown = true;
+            return;
+        }
+    }
+    FW_PANIC("storeIssued: seq %llu not in LSQ",
+             static_cast<unsigned long long>(seq));
+}
+
+void
+Lsq::retire(InstSeqNum seq)
+{
+    FW_ASSERT(!queue_.empty() && queue_.front().seq == seq,
+              "LSQ retire out of order");
+    queue_.pop_front();
+}
+
+void
+Lsq::squashFrom(InstSeqNum seq)
+{
+    while (!queue_.empty() && queue_.back().seq >= seq)
+        queue_.pop_back();
+}
+
+std::string
+Lsq::debugDump() const
+{
+    std::string out;
+    for (const Entry &e : queue_) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%llu:%c:%d ",
+                      static_cast<unsigned long long>(e.seq),
+                      e.isStore ? 'S' : 'L', int(e.addrKnown));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace flywheel

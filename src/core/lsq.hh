@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Load/Store Queue (Table 2: 64 entries).  Memory disambiguation is
+ * conservative, as in SimpleScalar-class models: a load may not issue
+ * until every older store has computed its address; a load whose
+ * address matches an older in-flight store forwards from the queue.
+ * Stores write the data cache at retire.
+ */
+
+#ifndef FLYWHEEL_CORE_LSQ_HH
+#define FLYWHEEL_CORE_LSQ_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flywheel {
+
+/** Load/store queue with conservative disambiguation. */
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned entries) : capacity_(entries) {}
+
+    bool full() const { return queue_.size() >= capacity_; }
+    std::size_t size() const { return queue_.size(); }
+
+    /** Allocate an entry at dispatch (program order). */
+    void insert(InstSeqNum seq, bool is_store, Addr addr);
+
+    /** True if no older store still has an unknown address. */
+    bool loadMayIssue(InstSeqNum load_seq) const;
+
+    /**
+     * Variant for atomic issue-unit dispatch: stores listed in
+     * @p co_issued are issuing in the same cycle (ahead of the load
+     * in the unit) and count as having generated their addresses.
+     */
+    bool loadMayIssue(InstSeqNum load_seq,
+                      const std::vector<InstSeqNum> &co_issued) const;
+
+    /**
+     * True if an older, already-issued store to the same 8-byte word
+     * can forward its data to the load at @p load_seq.
+     */
+    bool loadForwards(InstSeqNum load_seq, Addr addr) const;
+
+    /** Mark the store @p seq as having computed its address. */
+    void storeIssued(InstSeqNum seq);
+
+    /** Free the entry for @p seq at retire. */
+    void retire(InstSeqNum seq);
+
+    /** Drop all entries with sequence number >= @p seq (squash). */
+    void squashFrom(InstSeqNum seq);
+
+    /** Debug string: "seq:S/L:known ..." for every entry. */
+    std::string debugDump() const;
+
+  private:
+    struct Entry
+    {
+        InstSeqNum seq;
+        Addr word;       ///< address >> 3
+        bool isStore;
+        bool addrKnown;  ///< store has issued (address generated)
+    };
+
+    unsigned capacity_;
+    std::deque<Entry> queue_;  ///< program order (front = oldest)
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_LSQ_HH

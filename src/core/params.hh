@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Configuration of the simulated cores.  Defaults reproduce the
+ * paper's Table 2 baseline; the Flywheel-specific fields configure
+ * the mechanisms of Sections 3.2-3.5.
+ */
+
+#ifndef FLYWHEEL_CORE_PARAMS_HH
+#define FLYWHEEL_CORE_PARAMS_HH
+
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "mem/hierarchy.hh"
+
+namespace flywheel {
+
+/** Functional unit counts (Table 2). */
+struct FuParams
+{
+    unsigned intAlu = 4;
+    unsigned intMulDiv = 2;
+    unsigned memPorts = 2;
+    unsigned fpAdd = 2;
+    unsigned fpMulDiv = 1;
+};
+
+/** Execution latencies in cycles (SimpleScalar-class defaults). */
+struct FuLatencies
+{
+    unsigned intAlu = 1;
+    unsigned intMul = 3;
+    unsigned intDiv = 12;   ///< unpipelined
+    unsigned fpAdd = 2;
+    unsigned fpMul = 4;
+    unsigned fpDiv = 12;    ///< unpipelined
+    unsigned branch = 1;
+    unsigned agen = 1;      ///< address generation for loads/stores
+};
+
+/** Everything needed to build a core. */
+struct CoreParams
+{
+    // Pipeline widths (Table 2: 4-way front end, 6-wide issue).
+    unsigned fetchWidth = 4;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 6;
+    unsigned commitWidth = 4;
+
+    // Structure capacities.
+    unsigned iwEntries = 128;
+    unsigned robEntries = 160;  ///< in-flight bound (192-entry RF keeps
+                                ///< at most ~128 renamed dests live)
+    unsigned lsqEntries = 64;
+    unsigned physRegs = 192;       ///< baseline R10000-style pool
+
+    // Front-end depth: F1 F2 Decode Rename Dispatch = 5 stages; the
+    // 9-stage pipeline adds Issue, RegRead, Execute, WriteBack/Retire.
+    unsigned feStages = 5;
+    unsigned extraFrontEndStages = 0;   ///< Fig 2's Fetch/Mispredict knob
+    unsigned regReadStages = 1;
+
+    /**
+     * Extra cycles between a producer's select and the earliest
+     * dependent select.  0 = single-cycle Wake-Up/Select (back-to-back
+     * scheduling); 1 = pipelined Wake-Up/Select (Fig 2) or, in the
+     * dual-clock window, the Delay-Network synchronizer alternative
+     * of Section 3.2.
+     */
+    unsigned wakeupExtraDelay = 0;
+
+    FuParams fus;
+    FuLatencies lat;
+    HierarchyParams mem;
+    GshareParams bpred;
+    BtbParams btb;
+
+    // Clocking.  The baseline runs everything at basePeriodPs; the
+    // Flywheel clocks the front-end at fePeriodPs and the back-end at
+    // beFastPeriodPs while executing traces.  Main memory latency is
+    // wall-clock: memBaselineCycles x basePeriodPs.
+    double basePeriodPs = 1000.0;
+    double fePeriodPs = 1000.0;
+    double beFastPeriodPs = 1000.0;
+
+    // --- Flywheel mechanisms (ignored by the baseline core) ---
+    bool execCacheEnabled = true;
+    bool srtEnabled = true;          ///< Speculative Remapping Table
+    unsigned ecTotalBlocks = 2048;   ///< 128K / 64B blocks
+    unsigned ecBlockSlots = 8;       ///< instruction slots per DA block
+    unsigned ecTaEntries = 1024;
+    unsigned ecReadCycles = 3;       ///< pipelined DA access
+    unsigned maxTraceBlocks = 256;   ///< trace length cap
+    unsigned minTraceUnits = 2;      ///< shortest trace worth storing
+    /**
+     * Minimum instructions before a trace may close on its own start
+     * PC.  Small loops unroll inside one trace until this length is
+     * reached, amortizing the per-trace-change checkpoint penalty
+     * (the paper: "traces must be created as long as possible").
+     */
+    unsigned minTraceInstrs = 512;
+    /**
+     * Drop a trace after replaying it if it ended cleanly at less
+     * than half minTraceInstrs or diverged in its first quarter, so
+     * the next encounter rebuilds it under current (warmed-up)
+     * branch behaviour.  Without this, short traces recorded during
+     * predictor warm-up persist forever (they always hit and chain).
+     */
+    bool traceRebuildPolicy = true;
+    unsigned poolPhysRegs = 512;     ///< Flywheel register file
+    unsigned minPoolSize = 4;        ///< paper: most registers need <= 4
+    std::uint64_t redistributionInterval = 500000;  ///< cycles
+    unsigned redistributionCost = 100;              ///< stall cycles
+    double redistributionStallFrac = 0.02; ///< trigger threshold
+
+    /** Latency in cycles for @p op excluding memory access time. */
+    unsigned
+    execLatency(OpClass op) const
+    {
+        switch (op) {
+          case OpClass::IntAlu: return lat.intAlu;
+          case OpClass::IntMul: return lat.intMul;
+          case OpClass::IntDiv: return lat.intDiv;
+          case OpClass::FpAdd:  return lat.fpAdd;
+          case OpClass::FpMul:  return lat.fpMul;
+          case OpClass::FpDiv:  return lat.fpDiv;
+          case OpClass::Branch: return lat.branch;
+          case OpClass::Load:
+          case OpClass::Store:  return lat.agen;
+          case OpClass::Nop:    return 1;
+        }
+        return 1;
+    }
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_PARAMS_HH

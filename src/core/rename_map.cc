@@ -1,0 +1,35 @@
+#include "core/rename_map.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+RenameMap::RenameMap(unsigned phys_regs)
+{
+    FW_ASSERT(phys_regs > kNumArchRegs,
+              "need more physical than architected registers");
+    map_.resize(kNumArchRegs);
+    for (unsigned i = 0; i < kNumArchRegs; ++i)
+        map_[i] = static_cast<PhysReg>(i);
+    for (unsigned i = kNumArchRegs; i < phys_regs; ++i)
+        freeList_.push_back(static_cast<PhysReg>(i));
+}
+
+std::pair<PhysReg, PhysReg>
+RenameMap::allocate(ArchReg arch_reg)
+{
+    FW_ASSERT(!freeList_.empty(), "allocate() without hasFree() check");
+    PhysReg fresh = freeList_.back();
+    freeList_.pop_back();
+    PhysReg old = map_[arch_reg];
+    map_[arch_reg] = fresh;
+    return {fresh, old};
+}
+
+void
+RenameMap::release(PhysReg phys_reg)
+{
+    freeList_.push_back(phys_reg);
+}
+
+} // namespace flywheel

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MIPS R10000-style register renaming for the baseline core [6]: a
+ * map table from architected to physical registers plus a free list.
+ * Because the simulator never lets wrong-path instructions into the
+ * pipeline (fetch stalls on a mispredict until resolve), no shadow
+ * map checkpoints are needed.
+ */
+
+#ifndef FLYWHEEL_CORE_RENAME_MAP_HH
+#define FLYWHEEL_CORE_RENAME_MAP_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flywheel {
+
+/** R10000 rename: map table + free list. */
+class RenameMap
+{
+  public:
+    /** @param phys_regs total physical registers (>= kNumArchRegs). */
+    explicit RenameMap(unsigned phys_regs);
+
+    /** True if a destination can be renamed right now. */
+    bool hasFree() const { return !freeList_.empty(); }
+
+    /** Current mapping of @p arch_reg. */
+    PhysReg lookup(ArchReg arch_reg) const { return map_[arch_reg]; }
+
+    /**
+     * Allocate a new physical register for @p arch_reg.
+     * @return {new_phys, old_phys}; old_phys is freed at retire.
+     */
+    std::pair<PhysReg, PhysReg> allocate(ArchReg arch_reg);
+
+    /** Return @p phys_reg to the free list (retire of overwriter). */
+    void release(PhysReg phys_reg);
+
+    unsigned freeCount() const
+    {
+        return static_cast<unsigned>(freeList_.size());
+    }
+
+  private:
+    std::vector<PhysReg> map_;
+    std::vector<PhysReg> freeList_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_RENAME_MAP_HH

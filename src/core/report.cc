@@ -1,0 +1,79 @@
+#include "core/report.hh"
+
+#include <iomanip>
+
+namespace flywheel {
+
+namespace {
+
+void
+line(std::ostream &os, const char *name, double v, const char *unit,
+     int prec = 3)
+{
+    os << "  " << std::left << std::setw(28) << name << std::right
+       << std::fixed << std::setprecision(prec) << v << ' ' << unit
+       << '\n';
+}
+
+} // namespace
+
+void
+writeReport(std::ostream &os, const std::string &title,
+            const RunResult &r)
+{
+    os << title << '\n';
+    os << std::string(title.size(), '-') << '\n';
+
+    line(os, "instructions", double(r.instructions), "", 0);
+    line(os, "execution time", double(r.timePs) / 1e6, "us");
+    line(os, "IPC (baseline cycles)", r.ipc, "");
+    line(os, "conditional mispredict rate", r.mispredictRate, "");
+
+    if (r.stats.ecRetired > 0) {
+        line(os, "EC residency", r.ecResidency * 100.0, "%", 1);
+        line(os, "traces built", double(r.stats.tracesBuilt), "", 0);
+        line(os, "trace changes", double(r.stats.traceChanges), "", 0);
+        line(os, "trace divergences",
+             double(r.stats.traceDivergences), "", 0);
+        line(os, "pool redistributions",
+             double(r.stats.redistributions), "", 0);
+        line(os, "checkpoint stall cycles",
+             double(r.stats.checkpointStallCycles), "", 0);
+    }
+
+    const EnergyBreakdown &e = r.energy;
+    double total = e.totalPj();
+    os << "  energy breakdown:\n";
+    auto share = [&](const char *name, double pj) {
+        os << "    " << std::left << std::setw(12) << name
+           << std::right << std::fixed << std::setprecision(1)
+           << pj / total * 100.0 << " %\n";
+    };
+    share("front-end", e.frontEndPj);
+    share("issue", e.issuePj);
+    share("execute", e.execPj);
+    share("memory", e.memoryPj);
+    share("exec-cache", e.ecPj);
+    share("clock", e.clockPj);
+    share("leakage", e.leakagePj);
+    line(os, "total energy", total / 1e6, "uJ");
+    line(os, "average power", r.averageWatts, "W");
+}
+
+void
+writeComparison(std::ostream &os, const std::string &title_a,
+                const RunResult &a, const std::string &title_b,
+                const RunResult &b)
+{
+    writeReport(os, title_a, a);
+    os << '\n';
+    writeReport(os, title_b, b);
+    os << '\n';
+    os << title_b << " vs " << title_a << ":\n";
+    line(os, "speedup", double(a.timePs) / double(b.timePs), "x", 2);
+    line(os, "energy ratio",
+         b.energy.totalPj() / a.energy.totalPj(), "", 2);
+    line(os, "power ratio", b.averageWatts / a.averageWatts, "", 2);
+}
+
+} // namespace flywheel

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable run reports: format a RunResult as the kind of
+ * summary a simulator user expects — performance, behaviour, an
+ * energy breakdown and a cycle-accounting sketch.
+ */
+
+#ifndef FLYWHEEL_CORE_REPORT_HH
+#define FLYWHEEL_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/sim_driver.hh"
+
+namespace flywheel {
+
+/** Write a full report of @p result titled @p title to @p os. */
+void writeReport(std::ostream &os, const std::string &title,
+                 const RunResult &result);
+
+/**
+ * Write a side-by-side comparison of two runs (e.g. baseline vs
+ * Flywheel) with relative performance, energy and power.
+ */
+void writeComparison(std::ostream &os, const std::string &title_a,
+                     const RunResult &a, const std::string &title_b,
+                     const RunResult &b);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_REPORT_HH

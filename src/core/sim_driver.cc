@@ -1,0 +1,110 @@
+#include "core/sim_driver.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/baseline_core.hh"
+#include "flywheel/flywheel_core.hh"
+#include "workload/generator.hh"
+
+namespace flywheel {
+
+CoreParams
+clockedParams(double fe_boost, double be_boost)
+{
+    CoreParams p;
+    p.basePeriodPs = 1000.0;
+    p.fePeriodPs = 1000.0 / (1.0 + fe_boost);
+    p.beFastPeriodPs = 1000.0 / (1.0 + be_boost);
+    return p;
+}
+
+std::uint64_t
+defaultMeasureInstrs()
+{
+    if (const char *env = std::getenv("FLYWHEEL_SIM_INSTRS"))
+        return std::strtoull(env, nullptr, 10);
+    return 300000;
+}
+
+std::uint64_t
+defaultWarmupInstrs()
+{
+    if (const char *env = std::getenv("FLYWHEEL_WARMUP_INSTRS"))
+        return std::strtoull(env, nullptr, 10);
+    return 100000;
+}
+
+RunResult
+runSim(const RunConfig &config)
+{
+    StaticProgram program(config.profile);
+    WorkloadStream stream(program);
+
+    CoreParams params = config.params;
+    std::unique_ptr<CoreBase> core;
+    bool flywheel_kind = config.kind != CoreKind::Baseline;
+    if (config.kind == CoreKind::RegisterAllocation)
+        params.execCacheEnabled = false;
+    if (flywheel_kind)
+        core = std::make_unique<FlywheelCore>(params, stream);
+    else
+        core = std::make_unique<BaselineCore>(params, stream);
+
+    core->run(config.warmupInstrs);
+    const EnergyEvents warm_events = core->events();
+    const CoreStats warm_stats = core->stats();
+
+    core->run(config.measureInstrs);
+
+    RunResult r;
+    r.events = core->events() - warm_events;
+    r.instructions = core->stats().retired - warm_stats.retired;
+    r.timePs = r.events.totalTicks;
+    r.ipc = r.timePs
+        ? double(r.instructions) /
+              (double(r.timePs) / params.basePeriodPs)
+        : 0.0;
+
+    // Window deltas of the behavioural statistics.
+    const CoreStats &s = core->stats();
+    r.stats.retired = r.instructions;
+    r.stats.condBranches = s.condBranches - warm_stats.condBranches;
+    r.stats.mispredicts = s.mispredicts - warm_stats.mispredicts;
+    r.stats.btbMissBubbles =
+        s.btbMissBubbles - warm_stats.btbMissBubbles;
+    r.stats.icacheMissStalls =
+        s.icacheMissStalls - warm_stats.icacheMissStalls;
+    r.stats.robFullStalls = s.robFullStalls - warm_stats.robFullStalls;
+    r.stats.iwFullStalls = s.iwFullStalls - warm_stats.iwFullStalls;
+    r.stats.lsqFullStalls = s.lsqFullStalls - warm_stats.lsqFullStalls;
+    r.stats.renameStalls = s.renameStalls - warm_stats.renameStalls;
+    r.stats.ecRetired = s.ecRetired - warm_stats.ecRetired;
+    r.stats.ecLookups = s.ecLookups - warm_stats.ecLookups;
+    r.stats.ecHits = s.ecHits - warm_stats.ecHits;
+    r.stats.tracesBuilt = s.tracesBuilt - warm_stats.tracesBuilt;
+    r.stats.traceChanges = s.traceChanges - warm_stats.traceChanges;
+    r.stats.traceDivergences =
+        s.traceDivergences - warm_stats.traceDivergences;
+    r.stats.redistributions =
+        s.redistributions - warm_stats.redistributions;
+    r.stats.checkpointStallCycles =
+        s.checkpointStallCycles - warm_stats.checkpointStallCycles;
+
+    r.ecResidency = r.instructions
+        ? double(r.stats.ecRetired) / double(r.instructions)
+        : 0.0;
+    r.mispredictRate = r.stats.condBranches
+        ? double(r.stats.mispredicts) / double(r.stats.condBranches)
+        : 0.0;
+
+    LeakageConfig leak;
+    leak.hasExecCache = config.kind == CoreKind::Flywheel;
+    leak.bigRegfile = flywheel_kind;
+    leak.frontEndPowerGating = config.frontEndPowerGating;
+    r.energy = computeEnergy(r.events, config.node, leak);
+    r.averageWatts = r.energy.averageWatts(r.timePs);
+    return r;
+}
+
+} // namespace flywheel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * High-level simulation driver: the public API the examples and the
+ * paper-reproduction benches use.  A RunConfig names a benchmark, a
+ * core flavour and a clock plan; runSim() builds the workload and
+ * core, performs the warm-up, measures, and returns timing, energy
+ * and behavioural statistics for the measurement window only.
+ */
+
+#ifndef FLYWHEEL_CORE_SIM_DRIVER_HH
+#define FLYWHEEL_CORE_SIM_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/core_base.hh"
+#include "core/params.hh"
+#include "power/energy_model.hh"
+#include "timing/technology.hh"
+#include "workload/program.hh"
+
+namespace flywheel {
+
+/** Which core to simulate. */
+enum class CoreKind
+{
+    Baseline,           ///< fully synchronous out-of-order (Table 2)
+    RegisterAllocation, ///< Flywheel without the Execution Cache
+    Flywheel,           ///< full dual-clock + pre-scheduled execution
+};
+
+/** One simulation run description. */
+struct RunConfig
+{
+    BenchProfile profile;           ///< workload to execute
+    CoreKind kind = CoreKind::Baseline;
+    CoreParams params;              ///< structure sizes and clocks
+    TechNode node = TechNode::N130; ///< for the energy model
+    /** Paper extension: power-gate front-end logic in trace mode. */
+    bool frontEndPowerGating = false;
+    std::uint64_t warmupInstrs = 100000;
+    std::uint64_t measureInstrs = 300000;
+};
+
+/** Results over the measurement window. */
+struct RunResult
+{
+    std::uint64_t instructions = 0;
+    Tick timePs = 0;               ///< execution time (the paper's metric)
+    double ipc = 0.0;              ///< per baseline-period cycles
+    double ecResidency = 0.0;      ///< alternative-path fraction
+    double mispredictRate = 0.0;   ///< per conditional branch
+    CoreStats stats;               ///< window deltas
+    EnergyEvents events;           ///< window deltas
+    EnergyBreakdown energy;        ///< from the window events
+    double averageWatts = 0.0;
+};
+
+/**
+ * Clock configuration helper: baseline period 1000 ps with the
+ * front-end sped up by @p fe_boost (0.0 .. 1.0) and the
+ * trace-execution back-end by @p be_boost (the paper's FEx%, BEy%
+ * notation).  The baseline core ignores the boosts.
+ */
+CoreParams clockedParams(double fe_boost, double be_boost);
+
+/** Execute one run. */
+RunResult runSim(const RunConfig &config);
+
+/** Measurement length override from FLYWHEEL_SIM_INSTRS, if set. */
+std::uint64_t defaultMeasureInstrs();
+
+/** Warm-up length override from FLYWHEEL_WARMUP_INSTRS, if set. */
+std::uint64_t defaultWarmupInstrs();
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_SIM_DRIVER_HH

@@ -1,0 +1,118 @@
+#include "flywheel/exec_cache.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+ExecCache::ExecCache(unsigned total_blocks, unsigned block_slots,
+                     unsigned ta_entries)
+    : totalBlocks_(total_blocks), blockSlots_(block_slots),
+      taEntries_(ta_entries)
+{
+    FW_ASSERT(block_slots >= 1, "blocks must hold at least one slot");
+    FW_ASSERT(total_blocks >= 2, "DA too small");
+}
+
+Trace *
+ExecCache::lookup(Addr pc)
+{
+    auto it = traces_.find(pc);
+    if (it == traces_.end())
+        return nullptr;
+    it->second.lastUse = ++useClock_;
+    return it->second.trace.get();
+}
+
+bool
+ExecCache::contains(Addr pc) const
+{
+    return traces_.count(pc) != 0;
+}
+
+bool
+ExecCache::isPinned(Addr pc) const
+{
+    for (Addr p : pinned_) {
+        if (p == pc)
+            return true;
+    }
+    return false;
+}
+
+void
+ExecCache::unpin(Addr pc)
+{
+    for (auto it = pinned_.begin(); it != pinned_.end(); ++it) {
+        if (*it == pc) {
+            pinned_.erase(it);
+            return;
+        }
+    }
+}
+
+bool
+ExecCache::evictLru()
+{
+    auto victim = traces_.end();
+    for (auto it = traces_.begin(); it != traces_.end(); ++it) {
+        if (isPinned(it->first))
+            continue;
+        if (victim == traces_.end() ||
+            it->second.lastUse < victim->second.lastUse) {
+            victim = it;
+        }
+    }
+    if (victim == traces_.end())
+        return false;
+    usedBlocks_ -= victim->second.trace->numBlocks(blockSlots_);
+    traces_.erase(victim);
+    ++evictions_;
+    return true;
+}
+
+bool
+ExecCache::insert(std::unique_ptr<Trace> trace)
+{
+    const std::uint32_t blocks = trace->numBlocks(blockSlots_);
+    if (blocks > totalBlocks_)
+        return false;
+
+    auto existing = traces_.find(trace->startPc);
+    if (existing != traces_.end()) {
+        if (isPinned(trace->startPc))
+            return false;  // never replace a live trace mid-replay
+        usedBlocks_ -= existing->second.trace->numBlocks(blockSlots_);
+        traces_.erase(existing);
+    }
+
+    while (usedBlocks_ + blocks > totalBlocks_ ||
+           traces_.size() >= taEntries_) {
+        if (!evictLru())
+            return false;  // everything resident is pinned
+    }
+
+    usedBlocks_ += blocks;
+    Addr pc = trace->startPc;
+    traces_[pc] = Entry{std::move(trace), ++useClock_};
+    return true;
+}
+
+void
+ExecCache::erase(Addr pc)
+{
+    FW_ASSERT(!isPinned(pc), "erasing a pinned trace");
+    auto it = traces_.find(pc);
+    if (it == traces_.end())
+        return;
+    usedBlocks_ -= it->second.trace->numBlocks(blockSlots_);
+    traces_.erase(it);
+}
+
+void
+ExecCache::invalidateAll()
+{
+    traces_.clear();
+    usedBlocks_ = 0;
+}
+
+} // namespace flywheel

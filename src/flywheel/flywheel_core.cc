@@ -1,0 +1,808 @@
+#include "flywheel/flywheel_core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+FlywheelCore::FlywheelCore(const CoreParams &params,
+                           WorkloadStream &stream)
+    : CoreBase(params, stream, params.poolPhysRegs),
+      pools_(params.poolPhysRegs, params.minPoolSize),
+      ec_(params.ecTotalBlocks, params.ecBlockSlots, params.ecTaEntries),
+      feP_(static_cast<Tick>(std::llround(params.fePeriodPs))),
+      beBase_(static_cast<Tick>(std::llround(params.basePeriodPs))),
+      beFast_(static_cast<Tick>(std::llround(params.beFastPeriodPs))),
+      beCur_(beBase_)
+{
+    // The Register Update stage adds one stage to the back-end in
+    // both operating modes (Section 3.5: "it requires an additional
+    // pipeline stage ... will cost about 2-3% in performance").
+    params_.regReadStages = params.regReadStages + 1;
+}
+
+std::string
+FlywheelCore::progressDebug() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "[mode=%d drain=%d neednew=%d pend=%d pendAfter=%llu "
+                  "pendTick=%llu replay=%d alloc=%u/%u unit=%u/%zu "
+                  "valid=%u divR=%d]",
+                  int(mode_), int(draining_), int(needNewTrace_),
+                  int(pending_.valid),
+                  (unsigned long long)pending_.afterRetire,
+                  (unsigned long long)pending_.afterRetireTick,
+                  int(replayActive()), replay_.allocated,
+                  replay_.allocLimit, replay_.nextUnit,
+                  replay_.trace ? replay_.trace->units.size() : 0,
+                  replay_.valid, int(replay_.divergenceResolved));
+    char buf2[256];
+    std::snprintf(buf2, sizeof(buf2),
+                  "[bld act=%d bnd=%d app=%llu s=%llu e=%llu]"
+                  "[fin act=%d bnd=%d app=%llu s=%llu e=%llu]",
+                  int(builder_.active), int(builder_.bounded),
+                  (unsigned long long)builder_.appended,
+                  (unsigned long long)builder_.startSeq,
+                  (unsigned long long)builder_.endSeq,
+                  int(finalizing_.active), int(finalizing_.bounded),
+                  (unsigned long long)finalizing_.appended,
+                  (unsigned long long)finalizing_.startSeq,
+                  (unsigned long long)finalizing_.endSeq);
+    return std::string(buf) + buf2;
+}
+
+double
+FlywheelCore::ecResidency() const
+{
+    return stats_.retired
+        ? double(stats_.ecRetired) / double(stats_.retired)
+        : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Renaming hooks (two-phase pool renaming; Section 3.5).
+// ---------------------------------------------------------------------------
+
+bool
+FlywheelCore::canRenameDest(const InFlightInst &inst)
+{
+    if (!inst.arch.hasDest())
+        return true;
+    if (pools_.canAllocate(inst.arch.dest))
+        return true;
+    pools_.noteStall(inst.arch.dest);
+    return false;
+}
+
+void
+FlywheelCore::renameSrcs(InFlightInst &inst)
+{
+    if (inst.arch.src1 != kNoArchReg)
+        inst.src1Phys = pools_.current(inst.arch.src1);
+    if (inst.arch.src2 != kNoArchReg)
+        inst.src2Phys = pools_.current(inst.arch.src2);
+    // Register Update (RT/SRT read) runs in both operating modes.
+    ++events_.updateOps;
+}
+
+void
+FlywheelCore::renameDest(InFlightInst &inst)
+{
+    if (!inst.arch.hasDest())
+        return;
+    inst.destPhys = pools_.allocate(inst.arch.dest, inst.poolPrevSlot);
+    regReady_[inst.destPhys] = kTickMax;
+}
+
+void
+FlywheelCore::onRetire(InFlightInst &inst, Tick now)
+{
+    if (inst.arch.hasDest())
+        pools_.release(inst.arch.dest);
+    ++events_.updateOps;  // FRT written with the retiring PO
+    if (pending_.valid && pending_.afterRetire == inst.arch.seq)
+        pending_.afterRetireTick = now;
+}
+
+// ---------------------------------------------------------------------------
+// Trace building (Section 3.3, trace segment build phase).
+// ---------------------------------------------------------------------------
+
+bool
+FlywheelCore::fetchGate(Addr pc, Tick now)
+{
+    (void)now;
+    if (!params_.execCacheEnabled)
+        return true;
+    if (draining_)
+        return false;
+
+    if (needNewTrace_) {
+        FW_ASSERT(!builder_.active, "starting a trace over another");
+        builder_ = Builder{};
+        builder_.active = true;
+        builder_.startPc = pc;
+        builder_.startSeq = stream_.peek(0).seq;
+        needNewTrace_ = false;
+        return true;
+    }
+
+    if (builder_.active && !builder_.bounded) {
+        const InstSeqNum next_seq = stream_.peek(0).seq;
+        const std::uint64_t fetched = next_seq - builder_.startSeq;
+        const bool closure = pc == builder_.startPc &&
+                             fetched >= params_.minTraceInstrs &&
+                             builder_.units.size() >=
+                                 params_.minTraceUnits;
+        const bool capped = fetched >= std::uint64_t(
+            params_.maxTraceBlocks) * params_.ecBlockSlots;
+        if (closure || capped) {
+            builder_.bounded = true;
+            builder_.endSeq = next_seq - 1;
+            draining_ = true;
+            drainLookupPc_ = pc;
+            // If every instruction already issued, finalize at once.
+            if (builder_.appended == builder_.expected())
+                finalizeBuilder(builder_, now);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+FlywheelCore::onIssueGroup(const std::vector<InFlightInst *> &group,
+                           Tick now)
+{
+    if (!params_.execCacheEnabled)
+        return;
+    appendToBuilder(finalizing_, group, now);
+    appendToBuilder(builder_, group, now);
+#ifdef FW_TRACE_DEBUG
+    for (const InFlightInst *p : group) {
+        if (p->fromEc)
+            continue;
+        auto in = [&](const Builder &b) {
+            return b.active && p->arch.seq >= b.startSeq &&
+                   (!b.bounded || p->arch.seq <= b.endSeq);
+        };
+        if (!in(finalizing_) && !in(builder_)) {
+            std::fprintf(stderr,
+                         "ORPHAN seq=%llu pc=0x%llx %s\n",
+                         (unsigned long long)p->arch.seq,
+                         (unsigned long long)p->arch.pc,
+                         progressDebug().c_str());
+        }
+    }
+#endif
+}
+
+void
+FlywheelCore::appendToBuilder(Builder &b,
+                              const std::vector<InFlightInst *> &group,
+                              Tick)
+{
+    if (!b.active)
+        return;
+    IssueUnit unit;
+    unit.firstSlot = static_cast<std::uint32_t>(b.slots.size());
+    for (const InFlightInst *p : group) {
+        if (p->fromEc)
+            continue;
+        const InstSeqNum seq = p->arch.seq;
+        if (seq < b.startSeq || (b.bounded && seq > b.endSeq))
+            continue;
+        TraceSlot slot;
+        slot.pc = p->arch.pc;
+        slot.op = p->arch.op;
+        slot.dest = p->arch.dest;
+        slot.src1 = p->arch.src1;
+        slot.src2 = p->arch.src2;
+        slot.recordedEffAddr = p->arch.effAddr;
+        slot.isCondBranch = p->arch.isCondBranch;
+        slot.rank = static_cast<std::uint32_t>(seq - b.startSeq);
+        b.slots.push_back(slot);
+        ++b.appended;
+        ++unit.count;
+    }
+    if (unit.count > 0) {
+        b.units.push_back(unit);
+        ++events_.fillBufferOps;
+    }
+
+    // A bounded builder whose last instruction has issued is complete.
+    if (b.bounded && b.appended == b.expected())
+        finalizeBuilder(b, 0);
+}
+
+void
+FlywheelCore::finalizeBuilder(Builder &b, Tick)
+{
+    FW_ASSERT(b.active && b.bounded, "finalizing an unbounded builder");
+    b.active = false;
+
+    if (b.units.size() < params_.minTraceUnits)
+        return;  // too short to be worth storing
+
+    auto trace = std::make_unique<Trace>();
+    trace->startPc = b.startPc;
+    trace->slots = std::move(b.slots);
+    trace->units = std::move(b.units);
+    trace->rankToSlot.assign(trace->slots.size(), 0);
+    for (std::uint32_t i = 0; i < trace->slots.size(); ++i) {
+        FW_ASSERT(trace->slots[i].rank < trace->rankToSlot.size(),
+                  "trace rank out of range");
+        trace->rankToSlot[trace->slots[i].rank] = i;
+    }
+
+    events_.ecDaWrites += trace->numBlocks(ec_.blockSlots());
+    if (ec_.insert(std::move(trace)))
+        ++stats_.tracesBuilt;
+}
+
+void
+FlywheelCore::maybeCompleteDrain(Tick now)
+{
+    if (!draining_ || builder_.active)
+        return;  // builder finalizes from appendToBuilder
+    // All of the trace's instructions have issued and the trace has
+    // been stored; search the EC at the next PC (closure lookups hit
+    // the trace just built).
+    draining_ = false;
+    Tick extra = params_.srtEnabled ? 1 : 1 + params_.ecReadCycles;
+    InstSeqNum after = params_.srtEnabled ? 0 : builder_.endSeq;
+    if (ecLookupAndQueue(drainLookupPc_, now, after, extra)) {
+        // Hold fetch so the stream stays aligned with the replay.
+        fetchStallUntil_ = kTickMax;
+    } else {
+        needNewTrace_ = true;  // miss: keep fetching, build a new trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mispredict handling in both modes.
+// ---------------------------------------------------------------------------
+
+void
+FlywheelCore::onMispredictResolved(InFlightInst &inst, Tick now)
+{
+    if (inst.fromEc) {
+        resolveDivergence(inst, now);
+        return;
+    }
+
+    // Trace-creation mode: the trace ends at the mispredicted branch.
+    waitingOnMispredict_ = false;
+    if (params_.execCacheEnabled && builder_.active &&
+        !builder_.bounded) {
+        builder_.bounded = true;
+        builder_.endSeq = inst.arch.seq;
+        // In the rare case a previous trace is still waiting for
+        // straggler instructions to issue, drop it rather than track
+        // an unbounded finalize list.
+        if (finalizing_.active)
+            finalizing_ = Builder{};
+        finalizing_ = std::move(builder_);
+        builder_ = Builder{};
+        // If everything already issued, finalize immediately.
+        if (finalizing_.active &&
+            finalizing_.appended == finalizing_.expected()) {
+            finalizeBuilder(finalizing_, now);
+        }
+    }
+
+    if (params_.execCacheEnabled &&
+        ecLookupAndQueue(inst.arch.nextPc(), now, inst.arch.seq,
+                         1 + params_.ecReadCycles)) {
+        // Hit: switch to trace execution once the pipeline drains and
+        // the checkpoint constraint is met.  Fetch stays stalled.
+        fetchStallUntil_ = kTickMax;
+    } else {
+        // Miss (or no EC): restart the front-end.  The redirect
+        // crosses the domain boundary (WriteBack -> Fetch FIFO).
+        needNewTrace_ = true;
+        resumeFetch(now + beCur_ + feP_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay (Section 3.3, trace execution phase).
+// ---------------------------------------------------------------------------
+
+bool
+FlywheelCore::ecLookupAndQueue(Addr pc, Tick now,
+                               InstSeqNum after_retire,
+                               Tick extra_delay_cycles)
+{
+    ++stats_.ecLookups;
+    ++events_.ecTaLookups;
+    Trace *t = ec_.lookup(pc);
+    if (t == nullptr)
+        return false;
+    ++stats_.ecHits;
+    ec_.pin(pc);
+    pending_.valid = true;
+    pending_.trace = t;
+    pending_.earliest = now + extra_delay_cycles * beFast_;
+    pending_.afterRetire = after_retire;
+    pending_.afterRetireTick = kTickMax;
+    return true;
+}
+
+void
+FlywheelCore::maybeStartPendingReplay(Tick now)
+{
+    if (!pending_.valid || replayActive())
+        return;
+    if (!iw_.empty() || !feQueue_.empty())
+        return;
+    if (pending_.afterRetire != 0) {
+        if (pending_.afterRetireTick == kTickMax) {
+            if (now >= pending_.earliest)
+                ++stats_.checkpointStallCycles;
+            return;
+        }
+        if (now < pending_.afterRetireTick + beCur_)
+            return;
+    }
+    if (now < pending_.earliest)
+        return;
+    enterExec(now);
+}
+
+void
+FlywheelCore::enterExec(Tick now)
+{
+    Trace *t = pending_.trace;
+    FW_ASSERT(t != nullptr, "entering exec without a trace");
+    if (stream_.peek(0).pc != t->startPc) {
+        FW_PANIC("replay misaligned: trace=0x%llx peek=0x%llx "
+                 "after=%llu mode=%d drain=%d neednew=%d lookups=%llu "
+                 "changes=%llu retired=%llu",
+                 (unsigned long long)t->startPc,
+                 (unsigned long long)stream_.peek(0).pc,
+                 (unsigned long long)pending_.afterRetire, (int)mode_,
+                 (int)draining_, (int)needNewTrace_,
+                 (unsigned long long)stats_.ecLookups,
+                 (unsigned long long)stats_.traceChanges,
+                 (unsigned long long)stats_.retired);
+    }
+
+    const std::uint32_t len = t->length();
+    std::uint32_t v = 0;
+    while (v < len &&
+           stream_.peek(v).pc == t->slots[t->rankToSlot[v]].pc) {
+        ++v;
+    }
+    FW_ASSERT(v >= 1, "trace start matched but first slot differs");
+
+    replay_ = Replay{};
+    replay_.trace = t;
+    replay_.valid = v;
+    replay_.divergent = v < len;
+    replay_.allocLimit = len;
+    replay_.lastUnit = static_cast<std::uint32_t>(t->units.size()) - 1;
+    replay_.actual.reserve(v);
+    for (std::uint32_t k = 0; k < v; ++k)
+        replay_.actual.push_back(stream_.next());
+    replay_.baseSeq = replay_.actual.front().seq;
+    replay_.byRank.assign(len, nullptr);
+    replay_.start = now;
+
+    if (replay_.divergent) {
+        const TraceSlot &s = t->slots[t->rankToSlot[v - 1]];
+        FW_ASSERT(s.isCondBranch,
+                  "trace divergence not caused by a conditional branch");
+    }
+
+    pending_ = PendingReplay{};
+    mode_ = Mode::Exec;
+    beCur_ = beFast_;
+    fetchStallUntil_ = kTickMax;  // front-end is clock gated
+    ++stats_.traceChanges;
+    ++events_.checkpointOps;
+}
+
+DynInst
+FlywheelCore::synthesizeWrongPath(const TraceSlot &slot,
+                                  InstSeqNum seq) const
+{
+    DynInst d;
+    d.seq = seq;
+    d.pc = slot.pc;
+    d.op = slot.op;
+    d.dest = slot.dest;
+    d.src1 = slot.src1;
+    d.src2 = slot.src2;
+    d.isCondBranch = slot.isCondBranch;
+    d.effAddr = slot.recordedEffAddr;
+    return d;
+}
+
+void
+FlywheelCore::replayAllocate(Tick)
+{
+    if (!replayActive())
+        return;
+    Trace *t = replay_.trace;
+    for (unsigned i = 0;
+         i < params_.issueWidth && replay_.allocated < replay_.allocLimit;
+         ++i) {
+        const std::uint32_t rank = replay_.allocated;
+        const TraceSlot &s = t->slots[t->rankToSlot[rank]];
+        const bool wrong = rank >= replay_.valid;
+
+        if (rob_.size() >= params_.robEntries)
+            return;
+        if (isMemOp(s.op) && lsq_.full())
+            return;
+
+        InFlightInst ifi;
+        ifi.arch = wrong
+            ? synthesizeWrongPath(s, replay_.baseSeq + rank)
+            : replay_.actual[rank];
+        ifi.fromEc = true;
+        ifi.traceRank = rank;
+        ifi.squashed = wrong;
+
+        if (!canRenameDest(ifi)) {
+            if (wrong) {
+                // A wrong-path slot blocked on a full pool would
+                // deadlock the in-order unit stream against its own
+                // squash; it never retires, so drop its destination.
+                ifi.arch.dest = kNoArchReg;
+            } else {
+                ++stats_.renameStalls;
+                return;
+            }
+        }
+        renameSrcs(ifi);
+        renameDest(ifi);
+
+        if (!wrong && replay_.divergent && rank == replay_.valid - 1)
+            ifi.mispredicted = true;  // the diverging branch
+
+        rob_.push_back(std::move(ifi));
+        InFlightInst *p = &rob_.back();
+        replay_.byRank[rank] = p;
+        if (p->isMem()) {
+            lsq_.insert(p->arch.seq, p->arch.isStore(),
+                        p->arch.effAddr);
+            ++events_.lsqOps;
+        }
+        ++events_.updateOps;
+        ++events_.robOps;
+        ++replay_.allocated;
+    }
+}
+
+void
+FlywheelCore::replayIssue(Tick now)
+{
+    if (!replayActive())
+        return;
+    Trace *t = replay_.trace;
+    if (replay_.nextUnit >= t->units.size() ||
+        replay_.nextUnit > replay_.lastUnit) {
+        return;
+    }
+
+    const IssueUnit &u = t->units[replay_.nextUnit];
+
+    // Gather the slots that must issue.  Wrong-path slots are
+    // squashed state in flight: they consume issue slots and energy
+    // but are never allowed to stall the in-order unit stream (their
+    // register bindings may be arbitrarily stale, and a stalled
+    // wrong-path slot could otherwise block the very branch whose
+    // resolution flushes it).  Once the divergence has been resolved
+    // they vanish entirely.
+    std::vector<InFlightInst *> gated;   // valid-path, fully interlocked
+    std::vector<InFlightInst *> free_slots;  // wrong-path, ungated
+    gated.reserve(u.count);
+    for (std::uint32_t j = u.firstSlot; j < u.firstSlot + u.count; ++j) {
+        const std::uint32_t rank = t->slots[j].rank;
+        const bool wrong = rank >= replay_.valid;
+        if (wrong && replay_.divergenceResolved)
+            continue;
+        if (rank >= replay_.allocated) {
+            if (wrong)
+                continue;  // squashed work: drop rather than wait
+            return;  // Register Update has not processed it yet
+        }
+        if (wrong)
+            free_slots.push_back(replay_.byRank[rank]);
+        else
+            gated.push_back(replay_.byRank[rank]);
+    }
+    if (gated.empty() && free_slots.empty()) {
+        ++replay_.nextUnit;
+        return;
+    }
+    const std::vector<InFlightInst *> &active = gated;
+
+    // Fill-buffer model: block k of the trace is available k fast
+    // cycles after the replay started (the initial TA + DA latency is
+    // folded into the trace-change penalty).
+    const std::uint32_t block =
+        (u.firstSlot + u.count - 1) / ec_.blockSlots();
+    if (now < replay_.start + Tick(block) * beFast_)
+        return;
+
+    // The Issue Unit is atomic: every instruction in it must be ready
+    // (in-order VLIW-style interlock at Register Update / RegRead).
+    // Stores co-issued earlier in the same unit satisfy a load's
+    // disambiguation check, exactly as the recorded same-cycle
+    // schedule did at build time.
+    std::vector<InstSeqNum> co_stores;
+    for (InFlightInst *p : active) {
+        if (!operandsReady(*p, now))
+            return;
+        if (p->isLoad() &&
+            !lsq_.loadMayIssue(p->arch.seq, co_stores)) {
+            return;
+        }
+        if (p->isStore())
+            co_stores.push_back(p->arch.seq);
+    }
+
+    // Claim functional units atomically.
+    FunctionalUnits::State fu_state = fus_.save();
+    for (InFlightInst *p : active) {
+        if (!fus_.tryIssue(p->arch.op, now, double(beFast_))) {
+            fus_.restore(fu_state);
+            return;
+        }
+    }
+
+    for (InFlightInst *p : active)
+        issueOne(p, now, beCur_);
+    for (InFlightInst *p : free_slots)
+        issueOne(p, now, beCur_);
+
+    ++events_.fillBufferOps;
+    while (replay_.blocksRead <= block) {
+        ++events_.ecDaReads;
+        ++replay_.blocksRead;
+    }
+    ++replay_.nextUnit;
+}
+
+void
+FlywheelCore::resolveDivergence(InFlightInst &branch, Tick now)
+{
+    FW_ASSERT(replayActive(), "divergence outside a replay");
+    ++stats_.traceDivergences;
+    replay_.divergenceResolved = true;
+    replay_.allocLimit = std::min(replay_.allocLimit, replay_.valid);
+
+    // Squash the wrong-path tail: allocation is rank-ordered, so all
+    // squashed entries sit at the back of the ROB.
+    lsq_.squashFrom(replay_.baseSeq + replay_.valid);
+    while (!rob_.empty() && rob_.back().squashed) {
+        InFlightInst &b = rob_.back();
+        if (b.arch.hasDest()) {
+            pools_.rollback(b.arch.dest, b.poolPrevSlot);
+            // The slot reverts to holding its previous (committed)
+            // value; without this a never-written slot would poison
+            // any future reader with an eternal not-ready.
+            regReady_[b.destPhys] = 0;
+        }
+        rob_.pop_back();
+    }
+
+    // Recompute the last unit that still contains live work.
+    Trace *t = replay_.trace;
+    std::uint32_t last = 0;
+    for (std::uint32_t ui = 0; ui < t->units.size(); ++ui) {
+        const IssueUnit &u = t->units[ui];
+        for (std::uint32_t j = u.firstSlot; j < u.firstSlot + u.count;
+             ++j) {
+            if (t->slots[j].rank < replay_.valid)
+                last = ui;
+        }
+    }
+    replay_.lastUnit = last;
+
+    if (!ecLookupAndQueue(branch.arch.nextPc(), now, branch.arch.seq,
+                          1 + params_.ecReadCycles)) {
+        // Miss: restart the front-end; the residual valid slots keep
+        // draining through the shared back-end stages.
+        exitToCreate(now, true);
+    }
+}
+
+bool
+FlywheelCore::replayAllocDone() const
+{
+    return replay_.allocated >= replay_.allocLimit;
+}
+
+bool
+FlywheelCore::replayIssueDone() const
+{
+    return replay_.nextUnit > replay_.lastUnit ||
+           replay_.nextUnit >= replay_.trace->units.size();
+}
+
+void
+FlywheelCore::maybeHandleReplayEnd(Tick now)
+{
+    if (!replayActive() || replay_.endHandled)
+        return;
+    if (!replayAllocDone() || !replayIssueDone())
+        return;
+    if (replay_.divergent && !replay_.divergenceResolved)
+        return;  // the diverging branch has not reached Execute yet
+
+    replay_.endHandled = true;
+    if (!replay_.divergent) {
+        // Clean trace completion: with the SRT the next trace starts
+        // one cycle after the swap; without it, the FRT forces a wait
+        // until the last instruction retires.
+        Addr next_pc = stream_.peek(0).pc;
+        Tick extra = params_.srtEnabled ? 1 : 1 + params_.ecReadCycles;
+        InstSeqNum after = params_.srtEnabled
+            ? 0
+            : replay_.baseSeq + replay_.valid - 1;
+        if (!ecLookupAndQueue(next_pc, now, after, extra))
+            exitToCreate(now, true);
+    }
+    finishReplay(now);
+}
+
+void
+FlywheelCore::finishReplay(Tick)
+{
+    Trace *t = replay_.trace;
+    ec_.unpin(t->startPc);
+
+    // Trace quality policy: rebuild stale traces (recorded while the
+    // predictor was cold or under different loop bounds) rather than
+    // replaying them forever.
+    if (params_.traceRebuildPolicy) {
+        const bool too_short = !replay_.divergent &&
+            t->length() < params_.minTraceInstrs / 2;
+        const bool early_diverge = replay_.divergent &&
+            replay_.valid * 4 < t->length();
+        if ((too_short || early_diverge) &&
+            (!pending_.valid || pending_.trace != t)) {
+            ec_.erase(t->startPc);
+        }
+    }
+    replay_ = Replay{};
+}
+
+void
+FlywheelCore::exitToCreate(Tick now, bool resume_fetch)
+{
+    mode_ = Mode::Create;
+    beCur_ = beBase_;
+    nextFe_ = ((now / feP_) + 1) * feP_;
+    needNewTrace_ = true;
+    if (resume_fetch) {
+        // Restart crosses the domain boundary (one BE cycle sync).
+        resumeFetch(now + beFast_ + feP_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic register redistribution (Section 3.5 / [12]).
+// ---------------------------------------------------------------------------
+
+void
+FlywheelCore::maybeRedistribute(Tick now)
+{
+    // The first counter check runs early (the paper notes steady
+    // state is reached rapidly); subsequent checks use the full
+    // 500k-cycle interval.
+    const std::uint64_t interval = stats_.redistributions == 0
+        ? std::min<std::uint64_t>(50000, params_.redistributionInterval)
+        : params_.redistributionInterval;
+    if (++beCyclesSinceCheck_ >= interval) {
+        beCyclesSinceCheck_ = 0;
+        double threshold = params_.redistributionStallFrac *
+                           double(interval);
+        if (double(pools_.stallsSinceCheck()) > threshold)
+            redistributionArmed_ = true;
+        else
+            pools_.resetWindow();
+    }
+
+    if (!redistributionArmed_)
+        return;
+    if (!rob_.empty() || replayActive() || pending_.valid ||
+        !feQueue_.empty()) {
+        return;
+    }
+
+    redistributionArmed_ = false;
+    if (pools_.redistribute()) {
+        // Pool bases moved: every physical entry now holds a
+        // committed (ready) value — nothing is in flight.
+        for (auto &r : regReady_)
+            r = 0;
+        // All recorded renaming information is stale (Section 3.5).
+        ec_.invalidateAll();
+        builder_ = Builder{};
+        finalizing_ = Builder{};
+        draining_ = false;
+        needNewTrace_ = true;
+        ++stats_.redistributions;
+        events_.checkpointOps += 2;
+        Tick stall = Tick(params_.redistributionCost) * beBase_;
+        if (fetchStallUntil_ != kTickMax)
+            fetchStallUntil_ = std::max(fetchStallUntil_, now + stall);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clocking.
+// ---------------------------------------------------------------------------
+
+void
+FlywheelCore::feEdge(Tick now)
+{
+    ++events_.feCycles;
+    events_.feActiveTicks += feP_;
+    // New fetches may not enter the ROB before all replay residuals
+    // have been allocated (rank order = program order in the ROB).
+    if (!replayActive())
+        stepDispatch(now, beCur_);
+    stepFetch(now, feP_);
+}
+
+void
+FlywheelCore::beEdge(Tick now)
+{
+    ++events_.beCycles;
+    if (mode_ == Mode::Create) {
+        ++events_.iwActiveCycles;
+        stepRetire(now, beCur_);
+        stepComplete(now, beCur_);
+        stepIssue(now, beCur_);
+        if (replayActive()) {  // residual drain after an EC miss
+            replayAllocate(now);
+            replayIssue(now);
+            maybeHandleReplayEnd(now);
+        }
+        maybeCompleteDrain(now);
+        maybeRedistribute(now);
+        maybeStartPendingReplay(now);
+    } else {
+        stepRetire(now, beCur_);
+        stepComplete(now, beCur_);
+        fus_.beginCycle(now);
+        replayAllocate(now);
+        replayIssue(now);
+        maybeHandleReplayEnd(now);
+        maybeRedistribute(now);
+        maybeStartPendingReplay(now);
+    }
+}
+
+void
+FlywheelCore::run(std::uint64_t n)
+{
+    const std::uint64_t goal = stats_.retired + n;
+    while (stats_.retired < goal) {
+        if (mode_ == Mode::Exec || nextBe_ <= nextFe_) {
+            const Tick now = nextBe_;
+            beEdge(now);
+            nextBe_ = now + beCur_;
+            if (now > events_.totalTicks)
+                events_.totalTicks = now;
+            checkProgress(now);
+        } else {
+            const Tick now = nextFe_;
+            feEdge(now);
+            nextFe_ = now + feP_;
+            if (now > events_.totalTicks)
+                events_.totalTicks = now;
+        }
+    }
+}
+
+} // namespace flywheel

@@ -1,0 +1,168 @@
+#include "flywheel/pool_rename.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+PoolRenameUnit::PoolRenameUnit(unsigned phys_regs, unsigned min_pool)
+    : physRegs_(phys_regs), minPool_(std::max(2u, min_pool)),
+      pools_(kNumArchRegs)
+{
+    FW_ASSERT(phys_regs >= kNumArchRegs * minPool_,
+              "not enough physical registers for the minimum pools");
+    // Initial layout: equal shares.
+    std::vector<std::uint32_t> sizes(kNumArchRegs,
+                                     phys_regs / kNumArchRegs);
+    std::uint32_t spare = phys_regs % kNumArchRegs;
+    for (std::uint32_t i = 0; i < spare; ++i)
+        ++sizes[i];
+    layoutPools(sizes);
+}
+
+void
+PoolRenameUnit::layoutPools(const std::vector<std::uint32_t> &sizes)
+{
+    std::uint32_t base = 0;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        pools_[r].base = base;
+        pools_[r].size = sizes[r];
+        pools_[r].lastSlot = 0;
+        pools_[r].inflight = 0;
+        base += sizes[r];
+    }
+    FW_ASSERT(base <= physRegs_, "pool layout exceeds register file");
+}
+
+bool
+PoolRenameUnit::canAllocate(ArchReg r) const
+{
+    const Pool &p = pools_[r];
+    return p.inflight + 1 < p.size;
+}
+
+PhysReg
+PoolRenameUnit::allocate(ArchReg r, std::uint16_t &prev_slot_out)
+{
+    Pool &p = pools_[r];
+    FW_ASSERT(p.inflight + 1 < p.size, "pool overflow on r%u", r);
+    prev_slot_out = p.lastSlot;
+    p.lastSlot = static_cast<std::uint16_t>((p.lastSlot + 1) % p.size);
+    ++p.inflight;
+    ++p.writes;
+    return static_cast<PhysReg>(p.base + p.lastSlot);
+}
+
+void
+PoolRenameUnit::release(ArchReg r)
+{
+    Pool &p = pools_[r];
+    FW_ASSERT(p.inflight > 0, "release without in-flight write on r%u",
+              r);
+    --p.inflight;
+}
+
+void
+PoolRenameUnit::rollback(ArchReg r, std::uint16_t prev_slot)
+{
+    Pool &p = pools_[r];
+    FW_ASSERT(p.inflight > 0, "rollback without in-flight write");
+    --p.inflight;
+    p.lastSlot = prev_slot;
+}
+
+PhysReg
+PoolRenameUnit::current(ArchReg r) const
+{
+    const Pool &p = pools_[r];
+    return static_cast<PhysReg>(p.base + p.lastSlot);
+}
+
+void
+PoolRenameUnit::noteStall(ArchReg r)
+{
+    ++pools_[r].stalls;
+    ++stallsSinceCheck_;
+}
+
+bool
+PoolRenameUnit::redistribute()
+{
+    // Demand metric: write frequency with a mild stall bonus.  The
+    // steady-state pool size a register needs is proportional to its
+    // in-flight write count, i.e. its write rate; weighting stalls
+    // too aggressively lets a few registers starve the rest and the
+    // allocation oscillates between redistributions.
+    std::vector<double> demand(kNumArchRegs);
+    double total = 0.0;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        demand[r] = double(pools_[r].writes) +
+                    4.0 * double(pools_[r].stalls);
+        total += demand[r];
+    }
+    if (total <= 0.0)
+        return false;
+
+    const unsigned distributable = physRegs_ - kNumArchRegs * minPool_;
+    std::vector<std::uint32_t> sizes(kNumArchRegs, minPool_);
+    std::vector<double> fractional(kNumArchRegs);
+    unsigned assigned = 0;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        double share = demand[r] / total * distributable;
+        std::uint32_t whole = static_cast<std::uint32_t>(share);
+        sizes[r] += whole;
+        assigned += whole;
+        fractional[r] = share - whole;
+    }
+    // Largest-remainder assignment of the leftovers.
+    std::vector<unsigned> order(kNumArchRegs);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return fractional[a] > fractional[b];
+    });
+    for (unsigned i = 0; assigned < distributable && i < kNumArchRegs;
+         ++i, ++assigned) {
+        ++sizes[order[i]];
+    }
+
+    bool changed = false;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        FW_ASSERT(pools_[r].inflight == 0,
+                  "redistribution with in-flight writes");
+        if (sizes[r] != pools_[r].size)
+            changed = true;
+    }
+    if (changed)
+        layoutPools(sizes);
+    for (auto &p : pools_) {
+        p.writes = 0;
+        p.stalls = 0;
+    }
+    stallsSinceCheck_ = 0;
+    return changed;
+}
+
+void
+PoolRenameUnit::resetWindow()
+{
+    for (auto &p : pools_) {
+        p.writes = 0;
+        p.stalls = 0;
+    }
+    stallsSinceCheck_ = 0;
+}
+
+unsigned
+PoolRenameUnit::poolsLargerThan(unsigned n) const
+{
+    unsigned count = 0;
+    for (const auto &p : pools_) {
+        if (p.size > n)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace flywheel

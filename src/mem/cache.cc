@@ -1,0 +1,102 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+namespace {
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v && !(v & (v - 1));
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    FW_ASSERT(isPow2(params_.lineBytes), "line size must be a power of 2");
+    FW_ASSERT(params_.assoc >= 1, "associativity must be >= 1");
+    std::uint32_t lines = params_.sizeBytes / params_.lineBytes;
+    FW_ASSERT(lines >= params_.assoc, "cache smaller than one set");
+    numSets_ = lines / params_.assoc;
+    FW_ASSERT(isPow2(numSets_), "number of sets must be a power of 2");
+    lines_.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr / params_.lineBytes) &
+           (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / params_.lineBytes / numSets_;
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    if (is_write)
+        ++writes_;
+    ++useClock_;
+
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+void
+Cache::regStats(StatGroup &group) const
+{
+    group.add(params_.name + ".accesses", accesses_);
+    group.add(params_.name + ".misses", misses_);
+}
+
+} // namespace flywheel

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Latency-oriented set-associative cache model with LRU replacement,
+ * as used by SimpleScalar-class simulators: the cache tracks tags
+ * only (the simulator is trace-driven, data values are not modelled)
+ * and reports hit/miss so the core can charge the right latency and
+ * the power model can count array accesses.
+ */
+
+#ifndef FLYWHEEL_MEM_CACHE_HH
+#define FLYWHEEL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace flywheel {
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t hitCycles = 2;   ///< pipelined access time
+    std::uint32_t ports = 1;       ///< simultaneous accesses per cycle
+};
+
+/**
+ * Set-associative LRU cache.  access() performs a lookup and, on a
+ * miss, allocates the line (write-allocate for stores).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Look up @p addr; allocate on miss. @return true on hit. */
+    bool access(Addr addr, bool is_write);
+
+    /** Look up without allocating or updating LRU (probe). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all lines (e.g. after register redistribution
+     *  invalidates the Execution Cache). */
+    void invalidateAll();
+
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    double
+    missRate() const
+    {
+        return accesses() ? double(misses()) / double(accesses()) : 0.0;
+    }
+
+    /** Register accesses/misses with @p group. */
+    void regStats(StatGroup &group) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
+    std::uint64_t useClock_ = 0;
+
+    Counter accesses_;
+    Counter misses_;
+    Counter writes_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_MEM_CACHE_HH

@@ -1,0 +1,43 @@
+#include "mem/hierarchy.hh"
+
+namespace flywheel {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : params_(params),
+      icache_(params.icache),
+      dcache_(params.dcache),
+      l2_(params.l2)
+{}
+
+MemLevel
+MemoryHierarchy::fetch(Addr pc)
+{
+    if (icache_.access(pc, false))
+        return MemLevel::L1;
+    if (l2_.access(pc, false))
+        return MemLevel::L2;
+    ++memAccesses_;
+    return MemLevel::Memory;
+}
+
+MemLevel
+MemoryHierarchy::data(Addr addr, bool is_write)
+{
+    if (dcache_.access(addr, is_write))
+        return MemLevel::L1;
+    if (l2_.access(addr, is_write))
+        return MemLevel::L2;
+    ++memAccesses_;
+    return MemLevel::Memory;
+}
+
+void
+MemoryHierarchy::regStats(StatGroup &group) const
+{
+    icache_.regStats(group);
+    dcache_.regStats(group);
+    l2_.regStats(group);
+    group.add("mem.accesses", memAccesses_);
+}
+
+} // namespace flywheel

@@ -1,0 +1,35 @@
+#include "power/clock_grid.hh"
+
+namespace flywheel {
+
+namespace {
+
+// Reference per-cycle energies at 0.13um / 1.4V (pJ).  The split
+// follows the area proportions of the modelled domains: the global
+// grid spans the die; the front-end local grid covers fetch, decode
+// and rename; the back-end grid covers the execution core; the Issue
+// Window's dense CAM gets its own gateable sub-grid.
+constexpr double kGlobalRef = 320.0;
+constexpr double kFeLocalRef = 220.0;
+constexpr double kBeLocalRef = 160.0;
+constexpr double kIwLocalRef = 100.0;
+
+double
+dynScale(TechNode node)
+{
+    double c = featureUm(node) / 0.13;
+    double v = vdd(node) / 1.4;
+    return c * v * v;
+}
+
+} // namespace
+
+ClockGridEnergies
+clockGridEnergies(TechNode node)
+{
+    double s = dynScale(node);
+    return ClockGridEnergies{kGlobalRef * s, kFeLocalRef * s,
+                             kBeLocalRef * s, kIwLocalRef * s};
+}
+
+} // namespace flywheel

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Clock distribution energy model.  Following the paper (Section 4),
+ * the clock hierarchy resembles the Alpha 21264's: one global grid
+ * plus a local grid per synchronous domain.  Switched capacitance is
+ * apportioned by domain area; a clock-gated domain spends no dynamic
+ * clock energy (the paper gates the whole front-end and the Issue
+ * Window in trace-execution mode).
+ */
+
+#ifndef FLYWHEEL_POWER_CLOCK_GRID_HH
+#define FLYWHEEL_POWER_CLOCK_GRID_HH
+
+#include <cstdint>
+
+#include "timing/technology.hh"
+
+namespace flywheel {
+
+/** Per-cycle clock grid energies (pJ at the given node). */
+struct ClockGridEnergies
+{
+    double globalPerCyclePj;   ///< global grid, always clocked
+    double feLocalPerCyclePj;  ///< front-end local grid
+    double beLocalPerCyclePj;  ///< back-end local grid excluding IW
+    double iwLocalPerCyclePj;  ///< Issue Window local grid (gateable)
+};
+
+/**
+ * Clock energies at @p node.  The reference values are calibrated at
+ * 0.13um so that clock distribution is ~30% of baseline total power
+ * (Alpha 21264-class share); they scale as C*Vdd^2 with C
+ * proportional to feature size.
+ */
+ClockGridEnergies clockGridEnergies(TechNode node);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_POWER_CLOCK_GRID_HH

@@ -1,0 +1,147 @@
+#include "power/energy_model.hh"
+
+namespace flywheel {
+
+namespace {
+
+// Per-access energies in pJ at the 0.13um / 1.4V reference point.
+// Relative magnitudes follow Wattch-style array models (energy grows
+// with capacity, associativity and port count); the overall scale is
+// set so the baseline breakdown matches published Wattch breakdowns
+// for a 4-wide out-of-order core (clock ~30%, caches ~20%, issue
+// logic ~15-20%, register file ~10%, functional units ~12%).
+constexpr double kIcacheAccess = 400.0;   // 64K, 2-way, 1 port
+constexpr double kDcacheAccess = 450.0;   // 64K, 4-way, 2 ports
+constexpr double kL2Access = 1200.0;      // 512K, 4-way
+constexpr double kMemAccess = 4000.0;     // off-chip driver energy
+constexpr double kBpredLookup = 50.0;     // gshare PHT
+constexpr double kBtbLookup = 40.0;
+constexpr double kDecodeOp = 30.0;
+constexpr double kRenameOp = 40.0;        // map read + write + free list
+constexpr double kDispatchOp = 80.0;      // IW + ROB entry write
+constexpr double kIwBroadcast = 250.0;    // CAM tag drive across 128 entries
+constexpr double kIwIssue = 100.0;        // select + entry read + dequeue
+constexpr double kRatAccess = 25.0;
+constexpr double kRfRead = 60.0;
+constexpr double kRfWrite = 70.0;
+constexpr double kAluOp = 100.0;
+constexpr double kMulOp = 320.0;
+constexpr double kFpOp = 330.0;
+constexpr double kResultBus = 60.0;
+constexpr double kLsqOp = 60.0;
+constexpr double kRobOp = 40.0;
+constexpr double kEcTaLookup = 80.0;      // small associative tag array
+// DA accesses enable a single bank and skip the tag compare on
+// chained next-set reads (Section 3.3: "While one of the banks is
+// used, the others can be turned off"), so a block access costs a
+// fraction of a full cache read.
+constexpr double kEcDaRead = 180.0;
+constexpr double kEcDaWrite = 210.0;
+constexpr double kFillBufferOp = 35.0;
+constexpr double kUpdateOp = 35.0;        // RT/SRT read (+ compare)
+constexpr double kCheckpointOp = 300.0;   // whole-table FRT->RT copy
+
+// Leaking device counts in bit-equivalents.  The unified L2 is built
+// from high-Vt cells (standard practice), modelled with a 0.3
+// effectiveness factor.  Random logic is folded in as an equivalent
+// bit count.
+constexpr double kBitsIcache = 0.55e6;
+constexpr double kBitsDcache = 0.55e6;
+constexpr double kBitsL2 = 4.2e6 * 0.3;
+constexpr double kBitsIw = 0.051e6;       // CAM cells leak ~2x SRAM
+constexpr double kBitsRf192 = 0.012e6;
+constexpr double kBitsRf512 = 0.033e6;
+constexpr double kBitsBpred = 0.037e6;
+constexpr double kBitsLogic = 0.30e6;
+constexpr double kBitsEc = 1.09e6;        // 128K DA + TA
+constexpr double kBitsRenameTables = 0.010e6;
+
+// Butts-Sohi design constant: converts bit-count x I_leak(nA) x Vdd
+// into leakage power (pJ/ps).  Calibrated so leakage is ~10% of
+// baseline total power at 0.13um (Section 4 / Fig 15 discussion).
+constexpr double kLeakDesignK = 9.7e-10;
+
+double
+dynScale(TechNode node)
+{
+    double c = featureUm(node) / 0.13;
+    double v = vdd(node) / 1.4;
+    return c * v * v;
+}
+
+} // namespace
+
+double
+leakageDeviceBits(const LeakageConfig &leak_cfg)
+{
+    double bits = kBitsIcache + kBitsDcache + kBitsL2 + kBitsIw +
+                  kBitsBpred + kBitsLogic;
+    bits += leak_cfg.bigRegfile ? kBitsRf512 : kBitsRf192;
+    if (leak_cfg.hasExecCache)
+        bits += kBitsEc + kBitsRenameTables;
+    return bits;
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &ev, TechNode node,
+              const LeakageConfig &leak_cfg)
+{
+    const double s = dynScale(node);
+    EnergyBreakdown b;
+
+    b.frontEndPj = s * (ev.icacheAccesses * kIcacheAccess +
+                        ev.bpredLookups * kBpredLookup +
+                        ev.btbLookups * kBtbLookup +
+                        ev.decodedOps * kDecodeOp +
+                        ev.renameOps * kRenameOp +
+                        ev.dispatchOps * kDispatchOp);
+
+    b.issuePj = s * (ev.iwBroadcasts * kIwBroadcast +
+                     ev.iwIssues * kIwIssue +
+                     ev.ratAccesses * kRatAccess);
+
+    b.execPj = s * (ev.rfReads * kRfRead + ev.rfWrites * kRfWrite +
+                    ev.aluOps * kAluOp + ev.mulOps * kMulOp +
+                    ev.fpOps * kFpOp + ev.resultBusOps * kResultBus +
+                    ev.lsqOps * kLsqOp + ev.robOps * kRobOp);
+
+    b.memoryPj = s * (ev.dcacheAccesses * kDcacheAccess +
+                      ev.l2Accesses * kL2Access +
+                      ev.memAccesses * kMemAccess);
+
+    b.ecPj = s * (ev.ecTaLookups * kEcTaLookup +
+                  ev.ecDaReads * kEcDaRead +
+                  ev.ecDaWrites * kEcDaWrite +
+                  ev.fillBufferOps * kFillBufferOp +
+                  ev.updateOps * kUpdateOp +
+                  ev.checkpointOps * kCheckpointOp);
+
+    ClockGridEnergies grids = clockGridEnergies(node);
+    // The global grid toggles at the fastest live clock: its cycle
+    // count is approximated by the BE cycle count (both derive from
+    // the same fast source clock, Section 3).
+    b.clockPj = grids.globalPerCyclePj * ev.beCycles +
+                grids.feLocalPerCyclePj * ev.feCycles +
+                grids.beLocalPerCyclePj * ev.beCycles +
+                grids.iwLocalPerCyclePj * ev.iwActiveCycles;
+
+    const double per_bit =
+        kLeakDesignK * leakNaPerDevice(node) * vdd(node);
+    b.leakagePj = per_bit * leakageDeviceBits(leak_cfg) *
+                  double(ev.totalTicks);
+
+    if (leak_cfg.frontEndPowerGating &&
+        ev.feActiveTicks < ev.totalTicks) {
+        // Gate the gateable front-end logic and the Issue Window CAM
+        // for the fraction of time the alternative path runs.  Only
+        // stateless logic may be power gated; caches, predictor and
+        // rename tables hold state and keep leaking.
+        const double gateable_bits = kBitsIw + kBitsLogic * 0.4;
+        b.leakagePj -= per_bit * gateable_bits *
+                       double(ev.totalTicks - ev.feActiveTicks);
+    }
+
+    return b;
+}
+
+} // namespace flywheel

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Architectural energy model in the style of Wattch [14] with the
+ * static-power extension of Butts & Sohi [15], as used by the paper's
+ * Section 4 experimental setup:
+ *
+ *  - dynamic energy: per-access energies for every modelled array,
+ *    CAM, bus and functional unit, scaled across technology as
+ *    C * Vdd^2 with C proportional to feature size;
+ *  - clock energy: per-cycle grid energies for the global grid and
+ *    the (gateable) per-domain local grids;
+ *  - leakage energy: per-structure device counts times the
+ *    normalized per-device leakage current of Table 2, times Vdd,
+ *    integrated over simulated wall-clock time.  Clock gating does
+ *    NOT remove leakage (the paper uses clock gating only, so its
+ *    results — and ours — are conservative).
+ *
+ * Absolute joules are calibration-dependent; every paper figure uses
+ * energy/power *normalized to the baseline*, which is what the
+ * benches report.
+ */
+
+#ifndef FLYWHEEL_POWER_ENERGY_MODEL_HH
+#define FLYWHEEL_POWER_ENERGY_MODEL_HH
+
+#include "power/clock_grid.hh"
+#include "power/events.hh"
+#include "timing/technology.hh"
+
+namespace flywheel {
+
+/** Which leaky structures exist in the modelled core. */
+struct LeakageConfig
+{
+    bool hasExecCache = false;   ///< adds the 128K EC + tables
+    bool bigRegfile = false;     ///< 512-entry RF instead of 192
+
+    /**
+     * Power-gate the front-end logic and the Issue Window CAM while
+     * the alternative execution path runs (the paper's suggested
+     * extension over its clock-gating-only results: "we can
+     * additionally use power gating for additional power savings").
+     * State-holding arrays (caches, predictor) are never gated.
+     */
+    bool frontEndPowerGating = false;
+};
+
+/** Energy totals in pJ, grouped the way the paper discusses them. */
+struct EnergyBreakdown
+{
+    double frontEndPj = 0;   ///< fetch, bpred, decode, rename, dispatch
+    double issuePj = 0;      ///< IW CAM broadcasts, selects, RAT
+    double execPj = 0;       ///< RF, FUs, result bus, ROB, LSQ
+    double memoryPj = 0;     ///< D-cache, L2, main memory
+    double ecPj = 0;         ///< EC tag/data arrays, fill buffer, update
+    double clockPj = 0;      ///< global + active local grids
+    double leakagePj = 0;    ///< static energy over the whole run
+
+    double
+    totalPj() const
+    {
+        return frontEndPj + issuePj + execPj + memoryPj + ecPj +
+               clockPj + leakagePj;
+    }
+
+    /** Average power in watts given the run duration. */
+    double
+    averageWatts(Tick duration_ps) const
+    {
+        return duration_ps ? totalPj() / double(duration_ps) : 0.0;
+    }
+};
+
+/**
+ * Compute the energy consumed by a run described by @p events on a
+ * core at @p node with the structures in @p leak_cfg.
+ */
+EnergyBreakdown computeEnergy(const EnergyEvents &events, TechNode node,
+                              const LeakageConfig &leak_cfg);
+
+/** Total leaking device count (bit-equivalents) for a core. */
+double leakageDeviceBits(const LeakageConfig &leak_cfg);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_POWER_ENERGY_MODEL_HH

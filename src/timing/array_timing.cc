@@ -1,0 +1,64 @@
+#include "timing/array_timing.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+namespace {
+
+/**
+ * Relative cost model for cache arrays: constant decode/sense
+ * component, sqrt(capacity) bit/word line component, linear
+ * associativity (tag compare + way mux) and port (area blow-up)
+ * components, normalized to the 64KB/2-way/1-port anchor.
+ */
+double
+cacheRelative(std::uint32_t size_bytes, std::uint32_t assoc,
+              std::uint32_t ports)
+{
+    const double base = 0.42 + 0.33 + 0.07 * 2 + 0.13 * 1;
+    double raw = 0.42 + 0.33 * std::sqrt(double(size_bytes) / 65536.0) +
+                 0.07 * assoc + 0.13 * ports;
+    return raw / base;
+}
+
+constexpr double kCacheAnchor180Ps = 1538.0;  // 64K/2w/1p
+constexpr double kRegfileAnchor180Ps = 870.0; // 192 entries
+constexpr double kExecCacheAnchor180Ps = 3000.0;
+
+} // namespace
+
+double
+cacheLatencyPs(TechNode node, std::uint32_t size_bytes,
+               std::uint32_t assoc, std::uint32_t ports)
+{
+    FW_ASSERT(size_bytes >= 1024, "cache too small for the model");
+    double lat180 = kCacheAnchor180Ps * cacheRelative(size_bytes, assoc,
+                                                      ports);
+    // Multi-ported data caches are layout-dominated: treat them as
+    // pure-logic scaling; lightly ported arrays keep a small global
+    // wire component.
+    double wire_frac = ports >= 2 ? kDcacheWireFrac : kCacheWireFrac;
+    return scaledLatencyPs(lat180, wire_frac, node);
+}
+
+double
+regfileLatencyPs(TechNode node, std::uint32_t entries)
+{
+    FW_ASSERT(entries >= 32, "register file too small for the model");
+    // Decode + wordline component grows slightly super-linearly with
+    // entry count (longer bit lines and heavier port loading).
+    double rel = 0.35 + 0.65 * std::pow(double(entries) / 192.0, 1.05);
+    return scaledLatencyPs(kRegfileAnchor180Ps * rel, kRegfileWireFrac,
+                           node);
+}
+
+double
+execCacheLatencyPs(TechNode node)
+{
+    return scaledLatencyPs(kExecCacheAnchor180Ps, kExecCacheWireFrac, node);
+}
+
+} // namespace flywheel

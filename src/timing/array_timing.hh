@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CACTI-flavoured access time models for the storage structures in
+ * Fig 1 and Table 1: caches, register files and the Execution Cache.
+ *
+ * Each family is anchored to the paper's own Cacti-derived numbers at
+ * 0.18um (Table 1) and extended parametrically: the relative cost of
+ * changing capacity, associativity or port count follows simplified
+ * CACTI sensitivities (decode ~ log(rows), bit/word lines ~
+ * sqrt(capacity), comparators ~ associativity, area/wire ~ ports).
+ * Technology scaling applies the per-structure wire fraction from
+ * timing/technology.hh.
+ */
+
+#ifndef FLYWHEEL_TIMING_ARRAY_TIMING_HH
+#define FLYWHEEL_TIMING_ARRAY_TIMING_HH
+
+#include <cstdint>
+
+#include "timing/technology.hh"
+
+namespace flywheel {
+
+/**
+ * Full (unpipelined) access latency of a cache array.
+ * Anchor: 64KB, 2-way, 1 rd/wr port = 1538 ps at 0.18um (the paper's
+ * two-cycle I-cache at 1300 MHz).
+ */
+double cacheLatencyPs(TechNode node, std::uint32_t size_bytes,
+                      std::uint32_t assoc, std::uint32_t ports);
+
+/**
+ * Full access latency of a multiported register file with @p entries
+ * entries.  Anchor: 192 entries = 870 ps at 0.18um (Table 1's
+ * single-cycle 1150 MHz register file).
+ */
+double regfileLatencyPs(TechNode node, std::uint32_t entries);
+
+/**
+ * Full access latency of the 128K Execution Cache (TA lookup chained
+ * with a banked DA block read).  Anchor: 3000 ps at 0.18um (Table 1's
+ * three-cycle 1000 MHz EC).
+ */
+double execCacheLatencyPs(TechNode node);
+
+/** Wire-delay fractions at 0.18um used by the families above. */
+constexpr double kCacheWireFrac = 0.021;
+constexpr double kDcacheWireFrac = 0.0;
+constexpr double kRegfileWireFrac = 0.05;
+constexpr double kExecCacheWireFrac = 0.0;
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_TIMING_ARRAY_TIMING_HH

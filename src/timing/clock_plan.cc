@@ -1,0 +1,57 @@
+#include "timing/clock_plan.hh"
+
+#include <algorithm>
+
+#include "timing/array_timing.hh"
+#include "timing/issue_timing.hh"
+
+namespace flywheel {
+
+namespace {
+
+double
+mhzFromLatency(double latency_ps, unsigned cycles)
+{
+    return 1e6 * cycles / latency_ps;
+}
+
+} // namespace
+
+ModuleFrequencies
+moduleFrequencies(TechNode node)
+{
+    ModuleFrequencies f;
+    f.issueWindowMHz =
+        mhzFromLatency(issueWindowLatencyPs(node, 128, 6), 1);
+    f.icacheMHz = mhzFromLatency(cacheLatencyPs(node, 64 * 1024, 2, 1), 2);
+    f.dcacheMHz = mhzFromLatency(cacheLatencyPs(node, 64 * 1024, 4, 2), 2);
+    f.regfileMHz = mhzFromLatency(regfileLatencyPs(node, 192), 1);
+    f.execCacheMHz = mhzFromLatency(execCacheLatencyPs(node), 3);
+    f.bigRegfileMHz = mhzFromLatency(regfileLatencyPs(node, 512), 2);
+    return f;
+}
+
+ClockPlan
+deriveClockPlan(TechNode node)
+{
+    ModuleFrequencies f = moduleFrequencies(node);
+
+    ClockPlan plan;
+    // The Issue Window is the slowest single-cycle structure at every
+    // node, so it sets the fully synchronous baseline clock.
+    double base_mhz = std::min({f.issueWindowMHz, f.icacheMHz,
+                                f.dcacheMHz, f.regfileMHz});
+    plan.baselinePeriodPs = 1e6 / base_mhz;
+
+    // Front-end headroom: bounded by the pipelined I-cache.
+    plan.maxFeBoost = f.icacheMHz / base_mhz - 1.0;
+
+    // Trace-execution back-end headroom: bounded by the D-cache, the
+    // Execution Cache and the enlarged register file.
+    double be_mhz = std::min({f.dcacheMHz, f.execCacheMHz,
+                              f.bigRegfileMHz});
+    plan.maxBeBoost = be_mhz / base_mhz - 1.0;
+    return plan;
+}
+
+} // namespace flywheel

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Derivation of the pipeline clock plan (the paper's Table 1 and the
+ * Section 4 frequency assumptions) from the structure timing models.
+ *
+ * The baseline single-clock frequency is limited by the slowest
+ * single-cycle structure — always the Issue Window.  The front-end
+ * can be clocked up to the two-cycle I-cache rate (about twice the
+ * Issue Window at 0.06um), the trace-execution back-end up to the
+ * slowest of {two-cycle D-cache, three-cycle Execution Cache,
+ * two-cycle 512-entry register file} (about 1.5x at 0.06um).
+ */
+
+#ifndef FLYWHEEL_TIMING_CLOCK_PLAN_HH
+#define FLYWHEEL_TIMING_CLOCK_PLAN_HH
+
+#include <cstdint>
+
+#include "timing/technology.hh"
+
+namespace flywheel {
+
+/** Frequencies of the main pipeline modules at one node (Table 1). */
+struct ModuleFrequencies
+{
+    double issueWindowMHz;     ///< 128 entries, 6-wide, single cycle
+    double icacheMHz;          ///< 64K 2-way 1-port, two cycles
+    double dcacheMHz;          ///< 64K 4-way 2-port, two cycles
+    double regfileMHz;         ///< 192 entries, single cycle
+    double execCacheMHz;       ///< 128K, three cycles
+    double bigRegfileMHz;      ///< 512 entries, two cycles
+};
+
+/** Compute Table 1's row for @p node. */
+ModuleFrequencies moduleFrequencies(TechNode node);
+
+/** The clock plan the paper's evaluation assumes. */
+struct ClockPlan
+{
+    double baselinePeriodPs;   ///< Issue-Window-limited single clock
+    double maxFeBoost;         ///< front-end headroom (1.0 = +100%)
+    double maxBeBoost;         ///< trace-execution back-end headroom
+};
+
+/** Derive the clock plan at @p node. */
+ClockPlan deriveClockPlan(TechNode node);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_TIMING_CLOCK_PLAN_HH

@@ -1,0 +1,59 @@
+#include "timing/issue_timing.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+namespace {
+
+constexpr double kAnchor180Ps = 1053.0;  // 128 entries, 6-wide
+
+/** Normalized wake-up cost: constant match logic + linear and
+ *  quadratic tag-drive wire terms + width-dependent broadcast load. */
+double
+wakeupRelative(std::uint32_t entries, std::uint32_t width)
+{
+    double e = double(entries) / 128.0;
+    double w = double(width) / 6.0;
+    return 0.10 + 0.25 * e + 0.25 * e * e + 0.15 * w * e;
+}
+
+/** Normalized select cost: log4 arbitration tree depth. */
+double
+selectRelative(std::uint32_t entries)
+{
+    double depth = std::log(double(entries)) / std::log(4.0);
+    double depth128 = std::log(128.0) / std::log(4.0);
+    return 0.25 * depth / depth128;
+}
+
+} // namespace
+
+double
+wakeupLatencyPs(TechNode node, std::uint32_t entries,
+                std::uint32_t issue_width)
+{
+    FW_ASSERT(entries >= 8, "window too small for the model");
+    return scaledLatencyPs(kAnchor180Ps * wakeupRelative(entries,
+                                                         issue_width),
+                           kIssueWireFrac, node);
+}
+
+double
+selectLatencyPs(TechNode node, std::uint32_t entries)
+{
+    return scaledLatencyPs(kAnchor180Ps * selectRelative(entries),
+                           kIssueWireFrac, node);
+}
+
+double
+issueWindowLatencyPs(TechNode node, std::uint32_t entries,
+                     std::uint32_t issue_width)
+{
+    return wakeupLatencyPs(node, entries, issue_width) +
+           selectLatencyPs(node, entries);
+}
+
+} // namespace flywheel

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Palacharla-style delay model for the Issue Window's critical
+ * Wake-Up/Select loop.
+ *
+ * Wake-up: the destination tags of selected instructions are driven
+ * across the window (wire delay quadratic in window size, linear in
+ * issue width) and compared in every entry.  Select: a log4
+ * arbitration tree picks winners.  Because wake-up and select must
+ * complete in a single cycle to keep back-to-back scheduling, their
+ * sum bounds the clock of any domain containing the Issue Window —
+ * the central premise of the paper.
+ *
+ * Anchor: a 128-entry, 6-wide window = 1053 ps at 0.18um (Table 1's
+ * 950 MHz single-cycle Issue Window) with a 0.36 wire-delay fraction,
+ * which reproduces the poor frequency scaling of Table 1's IW row.
+ */
+
+#ifndef FLYWHEEL_TIMING_ISSUE_TIMING_HH
+#define FLYWHEEL_TIMING_ISSUE_TIMING_HH
+
+#include <cstdint>
+
+#include "timing/technology.hh"
+
+namespace flywheel {
+
+/** Wake-up phase latency (tag drive + match + ready OR). */
+double wakeupLatencyPs(TechNode node, std::uint32_t entries,
+                       std::uint32_t issue_width);
+
+/** Select phase latency (log4 arbitration tree). */
+double selectLatencyPs(TechNode node, std::uint32_t entries);
+
+/** Complete Wake-Up/Select loop latency. */
+double issueWindowLatencyPs(TechNode node, std::uint32_t entries,
+                            std::uint32_t issue_width);
+
+/** Wire-delay fraction of the wake-up broadcast at 0.18um. */
+constexpr double kIssueWireFrac = 0.36;
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_TIMING_ISSUE_TIMING_HH

@@ -1,0 +1,101 @@
+#include "timing/technology.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+const std::vector<TechNode> &
+allTechNodes()
+{
+    static const std::vector<TechNode> nodes = {
+        TechNode::N250, TechNode::N180, TechNode::N130,
+        TechNode::N90, TechNode::N60,
+    };
+    return nodes;
+}
+
+const std::vector<TechNode> &
+powerTechNodes()
+{
+    static const std::vector<TechNode> nodes = {
+        TechNode::N130, TechNode::N90, TechNode::N60,
+    };
+    return nodes;
+}
+
+double
+featureUm(TechNode node)
+{
+    switch (node) {
+      case TechNode::N250: return 0.25;
+      case TechNode::N180: return 0.18;
+      case TechNode::N130: return 0.13;
+      case TechNode::N90:  return 0.09;
+      case TechNode::N60:  return 0.06;
+    }
+    FW_PANIC("bad tech node");
+}
+
+const char *
+techName(TechNode node)
+{
+    switch (node) {
+      case TechNode::N250: return "0.25um";
+      case TechNode::N180: return "0.18um";
+      case TechNode::N130: return "0.13um";
+      case TechNode::N90:  return "0.09um";
+      case TechNode::N60:  return "0.06um";
+    }
+    FW_PANIC("bad tech node");
+}
+
+double
+vdd(TechNode node)
+{
+    switch (node) {
+      case TechNode::N250: return 2.0;
+      case TechNode::N180: return 1.8;
+      case TechNode::N130: return 1.4;  // Table 2
+      case TechNode::N90:  return 1.2;  // Table 2
+      case TechNode::N60:  return 1.1;  // Table 2
+    }
+    FW_PANIC("bad tech node");
+}
+
+double
+leakNaPerDevice(TechNode node)
+{
+    switch (node) {
+      case TechNode::N250: return 2.0;
+      case TechNode::N180: return 10.0;
+      case TechNode::N130: return 80.0;   // Table 2
+      case TechNode::N90:  return 280.0;  // Table 2
+      case TechNode::N60:  return 280.0;  // Table 2
+    }
+    FW_PANIC("bad tech node");
+}
+
+double
+logicScale(TechNode node)
+{
+    return featureUm(node) / 0.18;
+}
+
+double
+wireScale(TechNode node)
+{
+    return std::pow(logicScale(node), 0.25);
+}
+
+double
+scaledLatencyPs(double latency_180_ps, double wire_frac, TechNode node)
+{
+    FW_ASSERT(wire_frac >= 0.0 && wire_frac <= 1.0,
+              "wire fraction out of range");
+    return latency_180_ps * ((1.0 - wire_frac) * logicScale(node) +
+                             wire_frac * wireScale(node));
+}
+
+} // namespace flywheel

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Process technology nodes and scaling rules.
+ *
+ * The paper's motivation (Section 2, Fig 1) rests on the observation
+ * that logic-dominated paths scale roughly linearly with feature
+ * size, while wire-dominated paths (the Issue Window's wake-up
+ * broadcast above all) improve much more slowly.  We model every
+ * structure's latency as a mix
+ *
+ *     t(node) = t(0.18um) * [(1-w) * s_logic(node) + w * s_wire(node)]
+ *
+ * where w is the structure's wire-delay fraction at 0.18um,
+ * s_logic = feature/0.18 (FO4-proportional), and
+ * s_wire = (feature/0.18)^0.25 (RC-limited global wiring improves
+ * only weakly with scaling).  The wire fractions are calibrated so
+ * the derived clock frequencies match the paper's Table 1 within a
+ * few percent (see tests/test_timing.cc).
+ *
+ * Supply voltages and normalized per-device leakage currents follow
+ * the paper's Table 2.
+ */
+
+#ifndef FLYWHEEL_TIMING_TECHNOLOGY_HH
+#define FLYWHEEL_TIMING_TECHNOLOGY_HH
+
+#include <vector>
+
+namespace flywheel {
+
+/** Process nodes used in the paper's figures. */
+enum class TechNode { N250, N180, N130, N90, N60 };
+
+/** All nodes in scaling order (0.25um .. 0.06um). */
+const std::vector<TechNode> &allTechNodes();
+
+/** Nodes used in the power figures (0.13, 0.09, 0.06). */
+const std::vector<TechNode> &powerTechNodes();
+
+/** Drawn feature size in micrometers. */
+double featureUm(TechNode node);
+
+/** Human-readable name ("0.13um"). */
+const char *techName(TechNode node);
+
+/** Supply voltage (Table 2; 0.25/0.18um use typical values). */
+double vdd(TechNode node);
+
+/** Normalized leakage current per device in nA (Table 2). */
+double leakNaPerDevice(TechNode node);
+
+/** Logic-delay scale factor relative to 0.18um (FO4-proportional). */
+double logicScale(TechNode node);
+
+/** Wire-delay scale factor relative to 0.18um (weak scaling). */
+double wireScale(TechNode node);
+
+/**
+ * Latency of a structure at @p node given its 0.18um latency and its
+ * wire-delay fraction at 0.18um.
+ */
+double scaledLatencyPs(double latency_180_ps, double wire_frac,
+                       TechNode node);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_TIMING_TECHNOLOGY_HH

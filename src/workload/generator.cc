@@ -1,0 +1,128 @@
+#include "workload/generator.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+WorkloadStream::WorkloadStream(const StaticProgram &program,
+                               std::uint64_t seed)
+    : prog_(program),
+      rng_(seed ^ program.profile().seed, 0x2545f491),
+      curBlock_(program.entryBlock()),
+      tripsLeft_(program.blocks().size(), 0),
+      baseTrips_(program.blocks().size(), 0),
+      cursors_(program.objects().size(), 0)
+{}
+
+const DynInst &
+WorkloadStream::next()
+{
+    if (lookahead_.empty())
+        produce();
+    current_ = lookahead_.front();
+    lookahead_.pop_front();
+    ++consumed_;
+    return current_;
+}
+
+const DynInst &
+WorkloadStream::peek(std::size_t k)
+{
+    while (lookahead_.size() <= k)
+        produce();
+    return lookahead_[k];
+}
+
+void
+WorkloadStream::produce()
+{
+    const auto &blocks = prog_.blocks();
+    const BasicBlock &blk = blocks[curBlock_];
+    const BenchProfile &prof = prog_.profile();
+
+    // Silent fall-through: no instruction is emitted for this block
+    // boundary, so no sequence number may be consumed.
+    if (opIdx_ >= blk.ops.size() && blk.term.kind == TermKind::None) {
+        opIdx_ = 0;
+        curBlock_ = blk.fallthrough;
+        produce();
+        return;
+    }
+
+    DynInst inst;
+    inst.seq = nextSeq_++;
+
+    if (opIdx_ < blk.ops.size()) {
+        // Straight-line op.
+        const StaticOp &sop = blk.ops[opIdx_];
+        inst.pc = blk.pc + static_cast<Addr>(opIdx_) * kInstBytes;
+        inst.op = sop.op;
+        inst.dest = sop.dest;
+        inst.src1 = sop.src1;
+        inst.src2 = sop.src2;
+        if (isMemOp(sop.op)) {
+            const DataObject &obj = prog_.objects()[sop.memObj];
+            std::uint32_t &cur = cursors_[sop.memObj];
+            std::uint32_t offset;
+            if (rng_.chance(prof.memRandomFrac)) {
+                offset = rng_.below(obj.size / sop.stride) * sop.stride;
+            } else {
+                cur = (cur + sop.stride) % obj.size;
+                offset = cur;
+            }
+            inst.effAddr = obj.base + offset;
+        }
+        ++opIdx_;
+        lookahead_.push_back(inst);
+        return;
+    }
+
+    // Terminator branch.
+    inst.pc = blk.branchPc();
+    inst.op = OpClass::Branch;
+    inst.src1 = blk.term.condSrc;
+    inst.target = blocks[blk.term.target].pc;
+
+    bool taken = false;
+    switch (blk.term.kind) {
+      case TermKind::Jump:
+        taken = true;
+        inst.isCondBranch = false;
+        break;
+      case TermKind::Loop: {
+        inst.isCondBranch = true;
+        std::uint32_t &left = tripsLeft_[curBlock_];
+        if (left == 0) {
+            // Fresh loop activation.  The base trip count is stable
+            // across activations (drawn once); 8% of activations run
+            // one iteration long/short and 3% re-draw entirely,
+            // modelling data-dependent loop bounds.
+            std::uint32_t &base = baseTrips_[curBlock_];
+            if (base == 0 || rng_.chance(0.02)) {
+                base = std::max<std::uint32_t>(
+                    1, rng_.geometric(blk.term.tripMean, 4096));
+            }
+            left = base;
+            if (rng_.chance(0.05))
+                left = std::max<std::uint32_t>(1, left + rng_.below(3) - 1);
+        }
+        --left;
+        taken = (left > 0);  // re-enter the body until trips exhausted
+        break;
+      }
+      case TermKind::Biased:
+      case TermKind::Call:
+        inst.isCondBranch = true;
+        taken = rng_.chance(blk.term.pTaken);
+        break;
+      case TermKind::None:
+        FW_PANIC("unreachable terminator kind");
+    }
+
+    inst.taken = taken;
+    opIdx_ = 0;
+    curBlock_ = taken ? blk.term.target : blk.fallthrough;
+    lookahead_.push_back(inst);
+}
+
+} // namespace flywheel

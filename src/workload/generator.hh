@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic interpreter that turns a StaticProgram into a dynamic
+ * instruction stream (the simulator's "oracle" correct path).  All
+ * cores are trace-driven from this stream: fetch consumes it, and the
+ * Flywheel's Execution Cache replay is validated against it.
+ */
+
+#ifndef FLYWHEEL_WORKLOAD_GENERATOR_HH
+#define FLYWHEEL_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "workload/program.hh"
+
+namespace flywheel {
+
+/**
+ * Pull-based dynamic instruction stream.  next() returns the next
+ * architecturally executed instruction; the stream is infinite (the
+ * program cycles through its regions forever) and fully deterministic
+ * for a given program and seed.
+ *
+ * peek(k) provides bounded lookahead without consuming, which the
+ * Flywheel core uses to validate Execution Cache traces against the
+ * correct path (see flywheel/flywheel_core.cc).
+ */
+class WorkloadStream
+{
+  public:
+    /** @param program static program to interpret.
+     *  @param seed    seed for dynamic behaviour (branch outcomes,
+     *                 trip counts, random addresses). */
+    explicit WorkloadStream(const StaticProgram &program,
+                            std::uint64_t seed = 0xfeedULL);
+
+    /** Consume and return the next correct-path instruction. */
+    const DynInst &next();
+
+    /** Look ahead k instructions (k=0 is what next() would return). */
+    const DynInst &peek(std::size_t k = 0);
+
+    /** Instructions consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    const StaticProgram &program() const { return prog_; }
+
+  private:
+    /** Generate one more instruction into the lookahead buffer. */
+    void produce();
+
+    const StaticProgram &prog_;
+    Pcg32 rng_;
+
+    std::uint32_t curBlock_;
+    std::uint32_t opIdx_ = 0;
+
+    /** Remaining trips for each Loop terminator (by block id);
+     *  0 means "not currently armed". */
+    std::vector<std::uint32_t> tripsLeft_;
+
+    /** Stable per-loop base trip count (drawn on first activation).
+     *  Real loops have largely stable trip counts, which is what
+     *  makes their exit branches learnable by a g-share predictor;
+     *  occasional re-draws model data-dependent variation. */
+    std::vector<std::uint32_t> baseTrips_;
+
+    /** Strided cursor per data object. */
+    std::vector<std::uint32_t> cursors_;
+
+    std::deque<DynInst> lookahead_;
+    DynInst current_;
+    std::uint64_t consumed_ = 0;
+    InstSeqNum nextSeq_ = 1;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_WORKLOAD_GENERATOR_HH

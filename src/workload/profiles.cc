@@ -1,0 +1,207 @@
+#include "workload/profiles.hh"
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+namespace {
+
+std::vector<BenchProfile>
+makeProfiles()
+{
+    std::vector<BenchProfile> v;
+
+    {   // ijpeg: image compression; loopy integer code, predictable.
+        BenchProfile p;
+        p.name = "ijpeg";
+        p.seed = 101;
+        p.staticBlocks = 220;
+        p.avgBlockSize = 7.0;
+        p.regions = 4;
+        p.loadFrac = 0.22; p.storeFrac = 0.10; p.fpFrac = 0.05;
+        p.avgDepDist = 6.5;
+        p.diamondFrac = 0.15; p.branchBias = 0.94;
+        p.loopTripMean = 40;
+        p.callProb = 0.01;
+        p.regWorkingSet = 22;
+        p.dataFootprintKB = 256; p.memRandomFrac = 0.04;
+        v.push_back(p);
+    }
+    {   // gcc: large code footprint, branchy integer code.
+        BenchProfile p;
+        p.name = "gcc";
+        p.seed = 102;
+        p.staticBlocks = 1200;
+        p.avgBlockSize = 5.0;
+        p.regions = 12;
+        p.loadFrac = 0.25; p.storeFrac = 0.12; p.fpFrac = 0.0;
+        p.avgDepDist = 4.5;
+        p.diamondFrac = 0.28; p.branchBias = 0.9;
+        p.loopTripMean = 16;
+        p.callProb = 0.03;
+        p.regWorkingSet = 26;
+        p.dataFootprintKB = 640; p.memRandomFrac = 0.1;
+        v.push_back(p);
+    }
+    {   // gzip: tight compression loops; few hot destination regs.
+        BenchProfile p;
+        p.name = "gzip";
+        p.seed = 103;
+        p.staticBlocks = 160;
+        p.avgBlockSize = 6.0;
+        p.regions = 3;
+        p.loadFrac = 0.22; p.storeFrac = 0.10; p.fpFrac = 0.0;
+        p.avgDepDist = 3.5;
+        p.diamondFrac = 0.3; p.branchBias = 0.91;
+        p.loopTripMean = 32;
+        p.callProb = 0.01;
+        p.regWorkingSet = 10;
+        p.dataFootprintKB = 448; p.memRandomFrac = 0.12;
+        v.push_back(p);
+    }
+    {   // vpr: place & route; data-dependent branches, pointer walks.
+        BenchProfile p;
+        p.name = "vpr";
+        p.seed = 104;
+        p.staticBlocks = 380;
+        p.avgBlockSize = 5.5;
+        p.regions = 6;
+        p.loadFrac = 0.28; p.storeFrac = 0.09; p.fpFrac = 0.08;
+        p.avgDepDist = 3.2;
+        p.diamondFrac = 0.32; p.branchBias = 0.88;
+        p.loopTripMean = 16;
+        p.callProb = 0.02;
+        p.regWorkingSet = 11;
+        p.dataFootprintKB = 768; p.memRandomFrac = 0.2;
+        v.push_back(p);
+    }
+    {   // mesa: 3D rendering; FP pipelines, predictable loops.
+        BenchProfile p;
+        p.name = "mesa";
+        p.seed = 105;
+        p.staticBlocks = 420;
+        p.avgBlockSize = 7.5;
+        p.regions = 5;
+        p.loadFrac = 0.20; p.storeFrac = 0.12; p.fpFrac = 0.30;
+        p.avgDepDist = 6.0;
+        p.diamondFrac = 0.15; p.branchBias = 0.95;
+        p.loopTripMean = 64;
+        p.callProb = 0.01;
+        p.regWorkingSet = 24;
+        p.dataFootprintKB = 512; p.memRandomFrac = 0.08;
+        v.push_back(p);
+    }
+    {   // equake: FP earthquake simulation; long memory-bound loops.
+        BenchProfile p;
+        p.name = "equake";
+        p.seed = 106;
+        p.staticBlocks = 200;
+        p.avgBlockSize = 8.0;
+        p.regions = 3;
+        p.loadFrac = 0.30; p.storeFrac = 0.08; p.fpFrac = 0.35;
+        p.avgDepDist = 7.0;
+        p.diamondFrac = 0.12; p.branchBias = 0.94;
+        p.loopTripMean = 96;
+        p.callProb = 0.005;
+        p.regWorkingSet = 26;
+        p.dataFootprintKB = 896; p.memRandomFrac = 0.1;
+        v.push_back(p);
+    }
+    {   // parser: word parsing; short blocks, data-dependent control.
+        BenchProfile p;
+        p.name = "parser";
+        p.seed = 107;
+        p.staticBlocks = 520;
+        p.avgBlockSize = 4.8;
+        p.regions = 8;
+        p.loadFrac = 0.24; p.storeFrac = 0.10; p.fpFrac = 0.0;
+        p.avgDepDist = 3.0;
+        p.diamondFrac = 0.32; p.branchBias = 0.88;
+        p.loopTripMean = 12;
+        p.callProb = 0.02;
+        p.regWorkingSet = 11;
+        p.dataFootprintKB = 384; p.memRandomFrac = 0.15;
+        v.push_back(p);
+    }
+    {   // vortex: OO database; huge code footprint, predictable
+        // branches, EC-capacity bound.
+        BenchProfile p;
+        p.name = "vortex";
+        p.seed = 108;
+        p.staticBlocks = 3200;
+        p.avgBlockSize = 5.5;
+        p.regions = 24;
+        p.loadFrac = 0.28; p.storeFrac = 0.16; p.fpFrac = 0.0;
+        p.avgDepDist = 4.8;
+        p.diamondFrac = 0.12; p.branchBias = 0.985;
+        p.loopTripMean = 20;
+        p.callProb = 0.05;
+        p.regWorkingSet = 28;
+        p.dataFootprintKB = 640; p.memRandomFrac = 0.1;
+        v.push_back(p);
+    }
+    {   // bzip2: block-sorting compression; strided integer loops.
+        BenchProfile p;
+        p.name = "bzip2";
+        p.seed = 109;
+        p.staticBlocks = 180;
+        p.avgBlockSize = 6.5;
+        p.regions = 3;
+        p.loadFrac = 0.26; p.storeFrac = 0.09; p.fpFrac = 0.0;
+        p.avgDepDist = 5.0;
+        p.diamondFrac = 0.28; p.branchBias = 0.93;
+        p.loopTripMean = 40;
+        p.callProb = 0.01;
+        p.regWorkingSet = 18;
+        p.dataFootprintKB = 512; p.memRandomFrac = 0.15;
+        v.push_back(p);
+    }
+    {   // turb3d: turbulence simulation; FP, very long regular loops.
+        BenchProfile p;
+        p.name = "turb3d";
+        p.seed = 110;
+        p.staticBlocks = 240;
+        p.avgBlockSize = 9.0;
+        p.regions = 4;
+        p.loadFrac = 0.24; p.storeFrac = 0.10; p.fpFrac = 0.40;
+        p.avgDepDist = 7.5;
+        p.diamondFrac = 0.08; p.branchBias = 0.96;
+        p.loopTripMean = 128;
+        p.callProb = 0.005;
+        p.regWorkingSet = 28;
+        p.dataFootprintKB = 640; p.memRandomFrac = 0.05;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchProfile> &
+paperBenchmarks()
+{
+    static const std::vector<BenchProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const BenchProfile &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &p : paperBenchmarks()) {
+        if (name == p.name)
+            return p;
+    }
+    FW_FATAL("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : paperBenchmarks())
+        names.emplace_back(p.name);
+    return names;
+}
+
+} // namespace flywheel

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Calibrated benchmark profiles standing in for the paper's SPEC95 /
+ * SPEC2000 selection: ijpeg, gcc, gzip, vpr, mesa, equake, parser,
+ * vortex, bzip2, turb3d.
+ *
+ * Calibration intent (what each profile must reproduce, per the
+ * paper's text and figures):
+ *  - vortex: very large instruction footprint, many regions with
+ *    irregular cross-region transfers, highly predictable branches.
+ *    Drives Execution Cache residency below 60% and makes the
+ *    benchmark front-end bound (largest gain from FE speedup).
+ *  - gzip / vpr / parser: small destination-register working sets and
+ *    short dependency distances.  Stress the per-register rename
+ *    pools (>10% slowdown in the Register-Allocation-only config of
+ *    Fig 11) and show little sensitivity to front-end speed (Fig 12).
+ *  - gcc / equake: high Execution Cache residency, large share of
+ *    energy spent in the front-end — largest energy savings (Fig 13).
+ *  - mesa / equake / turb3d: FP-heavy, long loops, long traces.
+ */
+
+#ifndef FLYWHEEL_WORKLOAD_PROFILES_HH
+#define FLYWHEEL_WORKLOAD_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/program.hh"
+
+namespace flywheel {
+
+/** The ten paper benchmarks, in the paper's plotting order. */
+const std::vector<BenchProfile> &paperBenchmarks();
+
+/** Look up a profile by name; fatal error if unknown. */
+const BenchProfile &benchmarkByName(const std::string &name);
+
+/** Names in plotting order (ijpeg, gcc, ..., turb3d). */
+std::vector<std::string> benchmarkNames();
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_WORKLOAD_PROFILES_HH

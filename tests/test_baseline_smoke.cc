@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Smoke tests for the baseline out-of-order core: it must make
+ * forward progress, retire exactly what is asked, produce plausible
+ * IPC, and respond to the Fig 2 knobs in the right direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_core.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+CoreParams
+defaultParams()
+{
+    CoreParams p;
+    p.basePeriodPs = 1000.0;
+    p.fePeriodPs = 1000.0;
+    p.beFastPeriodPs = 1000.0;
+    return p;
+}
+
+TEST(BaselineSmoke, RetiresRequestedInstructions)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    BaselineCore core(defaultParams(), stream);
+    core.run(20000);
+    EXPECT_GE(core.stats().retired, 20000u);
+    EXPECT_LT(core.stats().retired, 20004u);  // commit-width slop
+}
+
+TEST(BaselineSmoke, IpcIsPlausible)
+{
+    StaticProgram prog(benchmarkByName("equake"));
+    WorkloadStream stream(prog);
+    BaselineCore core(defaultParams(), stream);
+    core.run(50000);
+    double cycles = double(core.elapsedPs()) / 1000.0;
+    double ipc = core.stats().retired / cycles;
+    // A 4-wide machine on a loopy FP workload: well above serial,
+    // below fetch width.
+    EXPECT_GT(ipc, 0.4);
+    EXPECT_LT(ipc, 4.0);
+}
+
+TEST(BaselineSmoke, ExtraFrontEndStageCostsLittle)
+{
+    StaticProgram prog(benchmarkByName("ijpeg"));
+
+    WorkloadStream s1(prog);
+    BaselineCore base(defaultParams(), s1);
+    base.run(50000);
+
+    CoreParams deeper = defaultParams();
+    deeper.extraFrontEndStages = 1;
+    WorkloadStream s2(prog);
+    BaselineCore fe(deeper, s2);
+    fe.run(50000);
+
+    // Deeper front end is slower, but only slightly (paper: < 3%
+    // average for the Fetch/Mispredict loop).
+    EXPECT_GE(fe.elapsedPs(), base.elapsedPs());
+    EXPECT_LT(double(fe.elapsedPs()) / base.elapsedPs(), 1.15);
+}
+
+TEST(BaselineSmoke, PipelinedWakeupSelectCostsMore)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+
+    WorkloadStream s1(prog);
+    BaselineCore base(defaultParams(), s1);
+    base.run(50000);
+
+    CoreParams piped = defaultParams();
+    piped.wakeupExtraDelay = 1;
+    WorkloadStream s2(prog);
+    BaselineCore ws(piped, s2);
+    ws.run(50000);
+
+    CoreParams deeper = defaultParams();
+    deeper.extraFrontEndStages = 1;
+    WorkloadStream s3(prog);
+    BaselineCore fe(deeper, s3);
+    fe.run(50000);
+
+    // Breaking back-to-back scheduling must hurt much more than one
+    // extra front-end stage (the paper's Fig 2 contrast).
+    EXPECT_GT(ws.elapsedPs(), fe.elapsedPs());
+}
+
+TEST(BaselineSmoke, BranchPredictorLearns)
+{
+    StaticProgram prog(benchmarkByName("turb3d"));
+    WorkloadStream stream(prog);
+    BaselineCore core(defaultParams(), stream);
+    core.run(50000);
+    const auto &st = core.stats();
+    ASSERT_GT(st.condBranches, 0u);
+    double misp_rate = double(st.mispredicts) / st.condBranches;
+    // turb3d is the most predictable profile (long regular loops).
+    EXPECT_LT(misp_rate, 0.12);
+}
+
+} // namespace
+} // namespace flywheel

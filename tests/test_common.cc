@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for common infrastructure: the PCG32 generator and the
+ * statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace flywheel {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowStaysInRange)
+{
+    Pcg32 rng(123);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Pcg32, BelowOneAlwaysZero)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(77);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, GeometricMeanApproximatelyCorrect)
+{
+    Pcg32 rng(31);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(8.0, 1000);
+    EXPECT_NEAR(sum / n, 8.0, 0.6);
+}
+
+TEST(Pcg32, GeometricRespectsCap)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_LE(rng.geometric(50.0, 16), 16u);
+}
+
+TEST(Pcg32, ChanceExtremes)
+{
+    Pcg32 rng(99);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.chance(0.0));
+        ASSERT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageBasics)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, DistributionBucketsAndOverflow)
+{
+    Distribution d(4, 10);  // buckets [0,10) [10,20) [20,30) [30,40)
+    d.sample(5);
+    d.sample(15);
+    d.sample(35);
+    d.sample(100);  // overflow
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.bins()[0], 1u);
+    EXPECT_EQ(d.bins()[1], 1u);
+    EXPECT_EQ(d.bins()[3], 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.max(), 100u);
+    EXPECT_NEAR(d.mean(), 155.0 / 4, 1e-9);
+}
+
+TEST(Stats, StatGroupDumpsRegisteredValues)
+{
+    StatGroup g("core");
+    Counter c;
+    c += 7;
+    Average a;
+    a.sample(1.5);
+    g.add("retired", c);
+    g.add("ipc", a);
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core.retired = 7"), std::string::npos);
+    EXPECT_NE(out.find("core.ipc = 1.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace flywheel

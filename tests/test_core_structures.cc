@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the core pipeline structures: rename map, LSQ,
+ * issue window and functional unit arbiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/functional_units.hh"
+#include "core/issue_window.hh"
+#include "core/lsq.hh"
+#include "core/rename_map.hh"
+
+namespace flywheel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RenameMap (R10000 style).
+// ---------------------------------------------------------------------------
+
+TEST(RenameMap, IdentityAtReset)
+{
+    RenameMap rm(192);
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(rm.lookup(static_cast<ArchReg>(r)), r);
+    EXPECT_EQ(rm.freeCount(), 192u - kNumArchRegs);
+}
+
+TEST(RenameMap, AllocateUpdatesMappingAndReturnsOld)
+{
+    RenameMap rm(192);
+    auto [fresh, old] = rm.allocate(5);
+    EXPECT_EQ(old, 5u);
+    EXPECT_EQ(rm.lookup(5), fresh);
+    EXPECT_GE(fresh, kNumArchRegs);
+}
+
+TEST(RenameMap, ExhaustionAndRelease)
+{
+    RenameMap rm(kNumArchRegs + 2);
+    EXPECT_TRUE(rm.hasFree());
+    auto [f1, o1] = rm.allocate(0);
+    auto [f2, o2] = rm.allocate(0);
+    (void)f1; (void)f2; (void)o2;
+    EXPECT_FALSE(rm.hasFree());
+    rm.release(o1);
+    EXPECT_TRUE(rm.hasFree());
+}
+
+TEST(RenameMap, ChainedAllocationsFreeCorrectRegisters)
+{
+    RenameMap rm(kNumArchRegs + 4);
+    // Three writes to r7: releasing each old mapping in retire order
+    // must return exactly the previous physical registers.
+    auto [p1, o1] = rm.allocate(7);
+    auto [p2, o2] = rm.allocate(7);
+    auto [p3, o3] = rm.allocate(7);
+    EXPECT_EQ(o1, 7u);
+    EXPECT_EQ(o2, p1);
+    EXPECT_EQ(o3, p2);
+    EXPECT_EQ(rm.lookup(7), p3);
+}
+
+// ---------------------------------------------------------------------------
+// LSQ.
+// ---------------------------------------------------------------------------
+
+TEST(Lsq, LoadBlockedByUnknownStoreAddress)
+{
+    Lsq lsq(8);
+    lsq.insert(1, true, 0x100);   // store, address unknown until issue
+    lsq.insert(2, false, 0x200);  // load
+    EXPECT_FALSE(lsq.loadMayIssue(2));
+    lsq.storeIssued(1);
+    EXPECT_TRUE(lsq.loadMayIssue(2));
+}
+
+TEST(Lsq, LoadUnaffectedByYoungerStore)
+{
+    Lsq lsq(8);
+    lsq.insert(1, false, 0x200);  // load
+    lsq.insert(2, true, 0x100);   // younger store
+    EXPECT_TRUE(lsq.loadMayIssue(1));
+}
+
+TEST(Lsq, ForwardingMatchesWordAddress)
+{
+    Lsq lsq(8);
+    lsq.insert(1, true, 0x100);
+    lsq.storeIssued(1);
+    lsq.insert(2, false, 0x104);  // same 8-byte word
+    lsq.insert(3, false, 0x108);  // different word
+    EXPECT_TRUE(lsq.loadForwards(2, 0x104));
+    EXPECT_FALSE(lsq.loadForwards(3, 0x108));
+}
+
+TEST(Lsq, CoIssuedStoreSatisfiesDisambiguation)
+{
+    Lsq lsq(8);
+    lsq.insert(1, true, 0x100);
+    lsq.insert(2, false, 0x200);
+    EXPECT_FALSE(lsq.loadMayIssue(2));
+    EXPECT_TRUE(lsq.loadMayIssue(2, {1}));
+}
+
+TEST(Lsq, RetireInOrder)
+{
+    Lsq lsq(4);
+    lsq.insert(1, false, 0x0);
+    lsq.insert(2, true, 0x8);
+    EXPECT_EQ(lsq.size(), 2u);
+    lsq.retire(1);
+    lsq.storeIssued(2);
+    lsq.retire(2);
+    EXPECT_EQ(lsq.size(), 0u);
+}
+
+TEST(Lsq, SquashDropsYoungEntries)
+{
+    Lsq lsq(8);
+    lsq.insert(1, false, 0x0);
+    lsq.insert(2, true, 0x8);
+    lsq.insert(3, false, 0x10);
+    lsq.squashFrom(2);
+    EXPECT_EQ(lsq.size(), 1u);
+    EXPECT_TRUE(lsq.loadMayIssue(99));  // no unknown stores remain
+}
+
+TEST(Lsq, CapacityEnforced)
+{
+    Lsq lsq(2);
+    lsq.insert(1, false, 0x0);
+    EXPECT_FALSE(lsq.full());
+    lsq.insert(2, false, 0x8);
+    EXPECT_TRUE(lsq.full());
+}
+
+// ---------------------------------------------------------------------------
+// IssueWindow.
+// ---------------------------------------------------------------------------
+
+TEST(IssueWindow, InsertRemoveOccupancy)
+{
+    IssueWindow iw(4);
+    InFlightInst a, b;
+    a.arch.seq = 1;
+    b.arch.seq = 2;
+    iw.insert(&a);
+    iw.insert(&b);
+    EXPECT_EQ(iw.occupancy(), 2u);
+    EXPECT_TRUE(a.inIw);
+    iw.remove(&a);
+    EXPECT_EQ(iw.occupancy(), 1u);
+    EXPECT_FALSE(a.inIw);
+}
+
+TEST(IssueWindow, VisibilityRespectsTicks)
+{
+    IssueWindow iw(4);
+    InFlightInst a, b;
+    a.arch.seq = 1;
+    a.iwVisible = 100;
+    b.arch.seq = 2;
+    b.iwVisible = 50;
+    iw.insert(&a);
+    iw.insert(&b);
+    std::vector<InFlightInst *> out;
+    iw.visibleOldestFirst(60, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], &b);
+    iw.visibleOldestFirst(100, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], &a);  // oldest first despite later visibility
+}
+
+TEST(IssueWindow, FullDetection)
+{
+    IssueWindow iw(2);
+    InFlightInst a, b;
+    a.arch.seq = 1;
+    b.arch.seq = 2;
+    iw.insert(&a);
+    EXPECT_FALSE(iw.full());
+    iw.insert(&b);
+    EXPECT_TRUE(iw.full());
+}
+
+TEST(IssueWindow, DropSquashedEntries)
+{
+    IssueWindow iw(4);
+    InFlightInst a, b;
+    a.arch.seq = 1;
+    b.arch.seq = 2;
+    b.squashed = true;
+    iw.insert(&a);
+    iw.insert(&b);
+    iw.dropSquashed();
+    EXPECT_EQ(iw.occupancy(), 1u);
+    EXPECT_FALSE(b.inIw);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalUnits.
+// ---------------------------------------------------------------------------
+
+TEST(FunctionalUnits, PerCycleWidthLimits)
+{
+    FuParams fus;  // 4 int ALUs
+    FunctionalUnits fu(fus, {});
+    fu.beginCycle(0);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 0, 1000.0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntAlu, 0, 1000.0));
+    fu.beginCycle(1000);
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 1000, 1000.0));
+}
+
+TEST(FunctionalUnits, MemoryPortsShared)
+{
+    FunctionalUnits fu({}, {});
+    fu.beginCycle(0);
+    EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0, 1000.0));
+    EXPECT_TRUE(fu.tryIssue(OpClass::Store, 0, 1000.0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::Load, 0, 1000.0));
+}
+
+TEST(FunctionalUnits, UnpipelinedDivideHoldsUnit)
+{
+    FuParams fus;
+    fus.fpMulDiv = 1;
+    FuLatencies lat;
+    lat.fpDiv = 12;
+    FunctionalUnits fu(fus, lat);
+    fu.beginCycle(0);
+    EXPECT_TRUE(fu.tryIssue(OpClass::FpDiv, 0, 1000.0));
+    // Unit busy for 12 cycles; pipelined muls cannot slip in.
+    fu.beginCycle(1000);
+    EXPECT_FALSE(fu.tryIssue(OpClass::FpMul, 1000, 1000.0));
+    fu.beginCycle(12000);
+    EXPECT_TRUE(fu.tryIssue(OpClass::FpMul, 12000, 1000.0));
+}
+
+TEST(FunctionalUnits, PipelinedMultiplyAcceptsBackToBack)
+{
+    FunctionalUnits fu({}, {});
+    fu.beginCycle(0);
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntMul, 0, 1000.0));
+    fu.beginCycle(1000);
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntMul, 1000, 1000.0));
+}
+
+TEST(FunctionalUnits, SaveRestoreUndoesClaims)
+{
+    FunctionalUnits fu({}, {});
+    fu.beginCycle(0);
+    auto snap = fu.save();
+    EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0, 1000.0));
+    EXPECT_TRUE(fu.tryIssue(OpClass::Store, 0, 1000.0));
+    EXPECT_FALSE(fu.canIssue(OpClass::Load, 0, 0));
+    fu.restore(snap);
+    EXPECT_TRUE(fu.canIssue(OpClass::Load, 0, 0));
+    EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0, 1000.0));
+}
+
+TEST(FunctionalUnits, CanIssueCountsPriorClaims)
+{
+    FunctionalUnits fu({}, {});
+    fu.beginCycle(0);
+    EXPECT_TRUE(fu.canIssue(OpClass::Load, 0, 0));
+    EXPECT_TRUE(fu.canIssue(OpClass::Load, 0, 1));
+    EXPECT_FALSE(fu.canIssue(OpClass::Load, 0, 2));  // 2 mem ports
+}
+
+} // namespace
+} // namespace flywheel

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the simulation driver and the report formatter, including
+ * the front-end power-gating extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "core/sim_driver.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+RunConfig
+shortConfig(CoreKind kind)
+{
+    RunConfig cfg;
+    cfg.profile = benchmarkByName("gzip");
+    cfg.kind = kind;
+    cfg.params = clockedParams(0.0, 0.5);
+    cfg.warmupInstrs = 30000;
+    cfg.measureInstrs = 50000;
+    return cfg;
+}
+
+TEST(Driver, ClockedParamsMatchPaperNotation)
+{
+    CoreParams p = clockedParams(0.5, 0.5);
+    EXPECT_DOUBLE_EQ(p.basePeriodPs, 1000.0);
+    EXPECT_NEAR(p.fePeriodPs, 666.67, 0.1);
+    EXPECT_NEAR(p.beFastPeriodPs, 666.67, 0.1);
+    CoreParams q = clockedParams(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(q.fePeriodPs, 500.0);
+    EXPECT_DOUBLE_EQ(q.beFastPeriodPs, 1000.0);
+}
+
+TEST(Driver, WarmupWindowIsExcluded)
+{
+    RunConfig cfg = shortConfig(CoreKind::Baseline);
+    RunResult r = runSim(cfg);
+    // The measured window must cover only measureInstrs.
+    EXPECT_GE(r.instructions, cfg.measureInstrs);
+    EXPECT_LE(r.instructions, cfg.measureInstrs + 8);
+    // Events are window deltas: cycle counts consistent with time.
+    EXPECT_NEAR(double(r.events.beCycles) * 1000.0, double(r.timePs),
+                double(r.timePs) * 0.01);
+}
+
+TEST(Driver, PowerGatingSavesLeakageOnlyOnTheFlywheel)
+{
+    RunConfig cfg = shortConfig(CoreKind::Flywheel);
+    RunResult clock_gated = runSim(cfg);
+    cfg.frontEndPowerGating = true;
+    RunResult power_gated = runSim(cfg);
+
+    // Same timing, strictly less leakage energy.
+    EXPECT_EQ(clock_gated.timePs, power_gated.timePs);
+    EXPECT_LT(power_gated.energy.leakagePj,
+              clock_gated.energy.leakagePj);
+    EXPECT_EQ(power_gated.energy.frontEndPj,
+              clock_gated.energy.frontEndPj);
+}
+
+TEST(Driver, PowerGatingIsNoOpOnTheBaseline)
+{
+    RunConfig cfg = shortConfig(CoreKind::Baseline);
+    RunResult a = runSim(cfg);
+    cfg.frontEndPowerGating = true;
+    RunResult b = runSim(cfg);
+    // The baseline front-end is always live: nothing to gate.
+    EXPECT_NEAR(b.energy.leakagePj, a.energy.leakagePj,
+                a.energy.leakagePj * 1e-9);
+}
+
+TEST(Driver, FeActiveTimeTracksResidency)
+{
+    RunConfig cfg = shortConfig(CoreKind::Flywheel);
+    RunResult r = runSim(cfg);
+    ASSERT_GT(r.ecResidency, 0.3);
+    double fe_frac =
+        double(r.events.feActiveTicks) / double(r.events.totalTicks);
+    EXPECT_LT(fe_frac, 1.0 - r.ecResidency * 0.5);
+}
+
+TEST(Report, SingleRunContainsKeyLines)
+{
+    RunResult r = runSim(shortConfig(CoreKind::Flywheel));
+    std::ostringstream os;
+    writeReport(os, "flywheel/gzip", r);
+    std::string out = os.str();
+    EXPECT_NE(out.find("execution time"), std::string::npos);
+    EXPECT_NE(out.find("EC residency"), std::string::npos);
+    EXPECT_NE(out.find("energy breakdown"), std::string::npos);
+    EXPECT_NE(out.find("leakage"), std::string::npos);
+}
+
+TEST(Report, BaselineOmitsTraceSection)
+{
+    RunResult r = runSim(shortConfig(CoreKind::Baseline));
+    std::ostringstream os;
+    writeReport(os, "baseline/gzip", r);
+    EXPECT_EQ(os.str().find("traces built"), std::string::npos);
+}
+
+TEST(Report, ComparisonComputesRatios)
+{
+    RunResult a = runSim(shortConfig(CoreKind::Baseline));
+    RunResult b = runSim(shortConfig(CoreKind::Flywheel));
+    std::ostringstream os;
+    writeComparison(os, "baseline", a, "flywheel", b);
+    std::string out = os.str();
+    EXPECT_NE(out.find("speedup"), std::string::npos);
+    EXPECT_NE(out.find("energy ratio"), std::string::npos);
+    EXPECT_NE(out.find("flywheel vs baseline"), std::string::npos);
+}
+
+} // namespace
+} // namespace flywheel

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Execution Cache tests: trace storage, capacity/LRU behaviour,
+ * pinning and the block accounting that drives EC energy and the
+ * vortex-style thrashing results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flywheel/exec_cache.hh"
+
+namespace flywheel {
+namespace {
+
+std::unique_ptr<Trace>
+makeTrace(Addr start, unsigned instrs, unsigned unit_size = 2)
+{
+    auto t = std::make_unique<Trace>();
+    t->startPc = start;
+    t->slots.resize(instrs);
+    t->rankToSlot.resize(instrs);
+    for (unsigned i = 0; i < instrs; ++i) {
+        t->slots[i].pc = start + i * kInstBytes;
+        t->slots[i].rank = i;
+        t->rankToSlot[i] = i;
+    }
+    for (unsigned i = 0; i < instrs; i += unit_size) {
+        IssueUnit u;
+        u.firstSlot = i;
+        u.count = std::min(unit_size, instrs - i);
+        t->units.push_back(u);
+    }
+    return t;
+}
+
+TEST(ExecCache, InsertThenLookup)
+{
+    ExecCache ec(64, 8, 32);
+    ASSERT_TRUE(ec.insert(makeTrace(0x1000, 16)));
+    Trace *t = ec.lookup(0x1000);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->length(), 16u);
+    EXPECT_EQ(ec.usedBlocks(), 2u);
+}
+
+TEST(ExecCache, LookupMissReturnsNull)
+{
+    ExecCache ec(64, 8, 32);
+    EXPECT_EQ(ec.lookup(0x2000), nullptr);
+}
+
+TEST(ExecCache, BlockAccountingRoundsUp)
+{
+    ExecCache ec(64, 8, 32);
+    ec.insert(makeTrace(0x1000, 9));  // 9 slots -> 2 blocks
+    EXPECT_EQ(ec.usedBlocks(), 2u);
+    ec.insert(makeTrace(0x2000, 8));  // exactly 1 block
+    EXPECT_EQ(ec.usedBlocks(), 3u);
+}
+
+TEST(ExecCache, ReplacesTraceWithSameStart)
+{
+    ExecCache ec(64, 8, 32);
+    ec.insert(makeTrace(0x1000, 8));
+    ec.insert(makeTrace(0x1000, 24));
+    EXPECT_EQ(ec.traceCount(), 1u);
+    EXPECT_EQ(ec.lookup(0x1000)->length(), 24u);
+    EXPECT_EQ(ec.usedBlocks(), 3u);
+}
+
+TEST(ExecCache, CapacityEvictsLeastRecentlyUsed)
+{
+    ExecCache ec(4, 8, 32);  // room for 4 blocks
+    ec.insert(makeTrace(0x1000, 16));  // 2 blocks
+    ec.insert(makeTrace(0x2000, 16));  // 2 blocks (full)
+    ec.lookup(0x1000);                 // 0x1000 becomes MRU
+    ec.insert(makeTrace(0x3000, 16));  // evicts 0x2000
+    EXPECT_TRUE(ec.contains(0x1000));
+    EXPECT_FALSE(ec.contains(0x2000));
+    EXPECT_TRUE(ec.contains(0x3000));
+    EXPECT_EQ(ec.evictions(), 1u);
+}
+
+TEST(ExecCache, TagArrayEntryLimit)
+{
+    ExecCache ec(1024, 8, 2);  // only 2 TA entries
+    ec.insert(makeTrace(0x1000, 8));
+    ec.insert(makeTrace(0x2000, 8));
+    ec.insert(makeTrace(0x3000, 8));
+    EXPECT_EQ(ec.traceCount(), 2u);
+}
+
+TEST(ExecCache, OversizedTraceRejected)
+{
+    ExecCache ec(4, 8, 32);
+    EXPECT_FALSE(ec.insert(makeTrace(0x1000, 64)));  // 8 blocks > 4
+    EXPECT_EQ(ec.usedBlocks(), 0u);
+}
+
+TEST(ExecCache, PinnedTraceSurvivesPressure)
+{
+    ExecCache ec(4, 8, 32);
+    ec.insert(makeTrace(0x1000, 16));
+    ec.pin(0x1000);
+    ec.insert(makeTrace(0x2000, 16));
+    ec.insert(makeTrace(0x3000, 16));  // must evict 0x2000, not pinned
+    EXPECT_TRUE(ec.contains(0x1000));
+    EXPECT_FALSE(ec.contains(0x2000));
+    ec.unpin(0x1000);
+    ec.insert(makeTrace(0x4000, 16));
+    ec.insert(makeTrace(0x5000, 16));
+    EXPECT_FALSE(ec.contains(0x1000));  // evictable again
+}
+
+TEST(ExecCache, InsertFailsWhenEverythingPinned)
+{
+    ExecCache ec(2, 8, 32);
+    ec.insert(makeTrace(0x1000, 16));
+    ec.pin(0x1000);
+    EXPECT_FALSE(ec.insert(makeTrace(0x2000, 16)));
+    ec.unpin(0x1000);
+    EXPECT_TRUE(ec.insert(makeTrace(0x2000, 16)));
+}
+
+TEST(ExecCache, EraseFreesBlocks)
+{
+    ExecCache ec(64, 8, 32);
+    ec.insert(makeTrace(0x1000, 16));
+    ec.erase(0x1000);
+    EXPECT_FALSE(ec.contains(0x1000));
+    EXPECT_EQ(ec.usedBlocks(), 0u);
+    ec.erase(0x9999);  // erasing a missing trace is a no-op
+}
+
+TEST(ExecCache, InvalidateAllClearsEverything)
+{
+    ExecCache ec(64, 8, 32);
+    ec.insert(makeTrace(0x1000, 16));
+    ec.insert(makeTrace(0x2000, 16));
+    ec.invalidateAll();
+    EXPECT_EQ(ec.traceCount(), 0u);
+    EXPECT_EQ(ec.usedBlocks(), 0u);
+    EXPECT_EQ(ec.lookup(0x1000), nullptr);
+}
+
+TEST(Trace, RankToSlotIsAPermutation)
+{
+    auto t = makeTrace(0x1000, 32);
+    std::vector<bool> seen(32, false);
+    for (std::uint32_t r = 0; r < 32; ++r) {
+        std::uint32_t s = t->rankToSlot[r];
+        ASSERT_LT(s, 32u);
+        ASSERT_FALSE(seen[s]);
+        seen[s] = true;
+    }
+}
+
+TEST(Trace, PaperDefaultGeometry)
+{
+    // 128K EC with 64-byte blocks of eight 8-byte slots = 2048 blocks.
+    ExecCache ec(2048, 8, 1024);
+    EXPECT_EQ(ec.totalBlocks(), 2048u);
+    EXPECT_EQ(ec.blockSlots(), 8u);
+}
+
+} // namespace
+} // namespace flywheel

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Property tests of the Flywheel mechanisms: clock sweeps, SRT,
+ * Execution Cache geometry, pool redistribution and trace behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_driver.hh"
+#include "flywheel/flywheel_core.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+RunResult
+runFly(const std::string &bench, CoreParams params,
+       std::uint64_t n = 60000)
+{
+    RunConfig cfg;
+    cfg.profile = benchmarkByName(bench);
+    cfg.kind = CoreKind::Flywheel;
+    cfg.params = params;
+    cfg.warmupInstrs = 60000;
+    cfg.measureInstrs = n;
+    return runSim(cfg);
+}
+
+/** Property: speeding up the trace-execution back-end clock never
+ *  slows the machine down. */
+class BeBoostMonotone : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BeBoostMonotone, FasterBackEndNeverHurts)
+{
+    RunResult slow = runFly(GetParam(), clockedParams(0.0, 0.0));
+    RunResult fast = runFly(GetParam(), clockedParams(0.0, 0.5));
+    EXPECT_LE(fast.timePs, slow.timePs * 1.02)
+        << "BE+50% slowed " << GetParam() << " down";
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, BeBoostMonotone,
+                         ::testing::Values("ijpeg", "gzip", "mesa",
+                                           "vortex", "turb3d"),
+                         [](const auto &info) { return info.param; });
+
+/** Property: front-end boosts never hurt either. */
+class FeBoostMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FeBoostMonotone, FasterFrontEndNeverHurts)
+{
+    RunResult base = runFly("vortex", clockedParams(0.0, 0.5));
+    RunResult boosted = runFly("vortex",
+                               clockedParams(GetParam(), 0.5));
+    EXPECT_LE(boosted.timePs, base.timePs * 1.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boosts, FeBoostMonotone,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0),
+                         [](const auto &info) {
+                             return "fe" + std::to_string(int(
+                                 info.param * 100));
+                         });
+
+TEST(FlywheelProps, SrtReducesTraceChangePenalty)
+{
+    CoreParams with_srt = clockedParams(0.0, 0.0);
+    CoreParams without = with_srt;
+    without.srtEnabled = false;
+    RunResult a = runFly("turb3d", with_srt);
+    RunResult b = runFly("turb3d", without);
+    // Disabling the SRT forces an FRT wait at every clean trace
+    // change; it can only slow things down.
+    EXPECT_LE(a.timePs, b.timePs);
+}
+
+TEST(FlywheelProps, TinyEcThrashessResidency)
+{
+    CoreParams big = clockedParams(0.0, 0.0);
+    CoreParams tiny = big;
+    tiny.ecTotalBlocks = 32;    // 2KB of EC instead of 128KB
+    tiny.ecTaEntries = 16;
+    RunResult a = runFly("vortex", big);
+    RunResult b = runFly("vortex", tiny);
+    EXPECT_GT(a.ecResidency, b.ecResidency);
+}
+
+TEST(FlywheelProps, VortexHasLowestResidencyOfCodeHeavySet)
+{
+    // Paper: vortex uses the alternative path < 60% of the time while
+    // most benchmarks exceed 90% — its instruction footprint thrashes
+    // the EC.
+    double vortex = runFly("vortex", clockedParams(0.0, 0.0))
+                        .ecResidency;
+    for (const char *other : {"gzip", "bzip2", "turb3d", "equake"}) {
+        double res = runFly(other, clockedParams(0.0, 0.0)).ecResidency;
+        EXPECT_GT(res, vortex)
+            << other << " should be more EC-resident than vortex";
+    }
+}
+
+TEST(FlywheelProps, TraceLengthRespectsCap)
+{
+    StaticProgram prog(benchmarkByName("turb3d"));
+    WorkloadStream stream(prog);
+    CoreParams p = clockedParams(0.0, 0.0);
+    p.maxTraceBlocks = 16;  // 128-instruction cap
+    FlywheelCore core(p, stream);
+    core.run(80000);
+    EXPECT_GT(core.stats().tracesBuilt, 0u);
+    // No trace may exceed the cap (+ one block of slack for the
+    // instructions in flight when the cap triggers).
+    EXPECT_LE(core.execCache().usedBlocks(),
+              core.execCache().totalBlocks());
+}
+
+TEST(FlywheelProps, RedistributionTriggersUnderPoolPressure)
+{
+    StaticProgram prog(benchmarkByName("gzip"));  // small working set
+    WorkloadStream stream(prog);
+    CoreParams p = clockedParams(0.0, 0.0);
+    FlywheelCore core(p, stream);
+    core.run(250000);
+    EXPECT_GE(core.stats().redistributions, 1u);
+    // Paper: only a small fraction of registers need more than four
+    // physical entries.
+    unsigned big = core.pools().poolsLargerThan(4);
+    EXPECT_LT(big, kNumArchRegs / 2);
+    EXPECT_GT(big, 0u);
+}
+
+TEST(FlywheelProps, DivergencesAreDetectedAndSurvived)
+{
+    StaticProgram prog(benchmarkByName("vpr"));  // branchy
+    WorkloadStream stream(prog);
+    FlywheelCore core(clockedParams(0.0, 0.0), stream);
+    core.run(150000);
+    EXPECT_GT(core.stats().traceDivergences, 0u);
+    EXPECT_GE(core.stats().retired, 150000u);
+}
+
+TEST(FlywheelProps, EcHitRateIsHighInSteadyState)
+{
+    RunResult r = runFly("gzip", clockedParams(0.0, 0.0), 100000);
+    ASSERT_GT(r.stats.ecLookups, 0u);
+    double hit = double(r.stats.ecHits) / double(r.stats.ecLookups);
+    EXPECT_GT(hit, 0.7);
+}
+
+TEST(FlywheelProps, EcEnergyEventsTrackActivity)
+{
+    RunResult r = runFly("turb3d", clockedParams(0.0, 0.0), 100000);
+    EXPECT_GT(r.events.ecDaReads, 0u);
+    EXPECT_GT(r.events.ecTaLookups, 0u);
+    EXPECT_GT(r.events.fillBufferOps, 0u);
+    EXPECT_GT(r.events.updateOps, r.instructions / 2);
+    // IW CAM broadcasts only happen on the front-end path.
+    EXPECT_LT(r.events.iwBroadcasts, r.instructions);
+}
+
+TEST(FlywheelProps, UpdateStageAddsPipelineStage)
+{
+    // The two-phase renaming costs ~2-3% through the extra stage
+    // (paper Section 3.5); check the RA config is slower than the
+    // baseline but not catastrophically.
+    RunConfig base;
+    base.profile = benchmarkByName("mesa");
+    base.kind = CoreKind::Baseline;
+    base.params = clockedParams(0.0, 0.0);
+    base.warmupInstrs = 30000;
+    base.measureInstrs = 60000;
+    RunResult rb = runSim(base);
+
+    RunConfig ra = base;
+    ra.kind = CoreKind::RegisterAllocation;
+    RunResult rr = runSim(ra);
+
+    EXPECT_GT(rr.timePs, rb.timePs);
+    EXPECT_LT(double(rr.timePs) / rb.timePs, 1.35);
+}
+
+} // namespace
+} // namespace flywheel

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Smoke tests for the Flywheel core: forward progress, high Execution
+ * Cache residency on loopy workloads, and the headline performance
+ * directions of Figs 11/12.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_core.hh"
+#include "flywheel/flywheel_core.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+CoreParams
+equalClockParams()
+{
+    CoreParams p;
+    p.basePeriodPs = 1000.0;
+    p.fePeriodPs = 1000.0;
+    p.beFastPeriodPs = 1000.0;
+    return p;
+}
+
+CoreParams
+boostedParams(double fe_boost, double be_boost)
+{
+    CoreParams p;
+    p.basePeriodPs = 1000.0;
+    p.fePeriodPs = 1000.0 / (1.0 + fe_boost);
+    p.beFastPeriodPs = 1000.0 / (1.0 + be_boost);
+    return p;
+}
+
+TEST(FlywheelSmoke, MakesProgress)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    FlywheelCore core(equalClockParams(), stream);
+    core.run(20000);
+    EXPECT_GE(core.stats().retired, 20000u);
+}
+
+TEST(FlywheelSmoke, HighEcResidencyOnLoopyCode)
+{
+    StaticProgram prog(benchmarkByName("turb3d"));
+    WorkloadStream stream(prog);
+    FlywheelCore core(equalClockParams(), stream);
+    core.run(100000);
+    // The paper reports > 90% alternative-path residency for most
+    // benchmarks; turb3d-like code should be solidly EC-resident.
+    EXPECT_GT(core.ecResidency(), 0.7)
+        << "hits=" << core.stats().ecHits
+        << " lookups=" << core.stats().ecLookups
+        << " built=" << core.stats().tracesBuilt
+        << " changes=" << core.stats().traceChanges;
+}
+
+TEST(FlywheelSmoke, FasterClocksImprovePerformance)
+{
+    StaticProgram prog(benchmarkByName("ijpeg"));
+
+    WorkloadStream s1(prog);
+    FlywheelCore slow(equalClockParams(), s1);
+    slow.run(80000);
+
+    WorkloadStream s2(prog);
+    FlywheelCore fast(boostedParams(0.5, 0.5), s2);
+    fast.run(80000);
+
+    EXPECT_LT(fast.elapsedPs(), slow.elapsedPs());
+}
+
+TEST(FlywheelSmoke, RegisterAllocationConfigRuns)
+{
+    CoreParams p = equalClockParams();
+    p.execCacheEnabled = false;
+    StaticProgram prog(benchmarkByName("vpr"));
+    WorkloadStream stream(prog);
+    FlywheelCore core(p, stream);
+    core.run(30000);
+    EXPECT_GE(core.stats().retired, 30000u);
+    EXPECT_EQ(core.stats().ecRetired, 0u);
+}
+
+TEST(FlywheelSmoke, ComparableToBaselineAtEqualClocks)
+{
+    StaticProgram prog(benchmarkByName("mesa"));
+
+    WorkloadStream s1(prog);
+    BaselineCore base(equalClockParams(), s1);
+    base.run(80000);
+
+    WorkloadStream s2(prog);
+    FlywheelCore fly(equalClockParams(), s2);
+    fly.run(80000);
+
+    // Fig 11: at equal clocks the Flywheel keeps pace with the
+    // baseline (within a generous band here; the benches measure the
+    // exact ratios).
+    double ratio = double(fly.elapsedPs()) / double(base.elapsedPs());
+    EXPECT_LT(ratio, 1.35) << "flywheel much slower than baseline";
+    EXPECT_GT(ratio, 0.55) << "flywheel implausibly fast";
+}
+
+} // namespace
+} // namespace flywheel

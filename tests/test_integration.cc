@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-module integration tests: every paper benchmark is run on
+ * all three core configurations and global invariants are checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_driver.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+class AllCoresAllBenchmarks
+    : public ::testing::TestWithParam<std::tuple<std::string, CoreKind>>
+{
+  protected:
+    RunResult
+    runShort()
+    {
+        RunConfig cfg;
+        cfg.profile = benchmarkByName(std::get<0>(GetParam()));
+        cfg.kind = std::get<1>(GetParam());
+        cfg.params = clockedParams(0.0, 0.0);
+        cfg.warmupInstrs = 20000;
+        cfg.measureInstrs = 40000;
+        return runSim(cfg);
+    }
+};
+
+TEST_P(AllCoresAllBenchmarks, RetiresExactlyTheMeasureWindow)
+{
+    RunResult r = runShort();
+    EXPECT_GE(r.instructions, 40000u);
+    EXPECT_LE(r.instructions, 40000u + 8);
+}
+
+TEST_P(AllCoresAllBenchmarks, IpcWithinPhysicalLimits)
+{
+    RunResult r = runShort();
+    EXPECT_GT(r.ipc, 0.05);
+    EXPECT_LE(r.ipc, 4.0);  // dispatch width bounds sustained IPC
+}
+
+TEST_P(AllCoresAllBenchmarks, EnergyBreakdownConsistent)
+{
+    RunResult r = runShort();
+    EXPECT_GT(r.energy.totalPj(), 0.0);
+    EXPECT_GT(r.energy.clockPj, 0.0);
+    EXPECT_GT(r.energy.leakagePj, 0.0);
+    if (std::get<1>(GetParam()) == CoreKind::Flywheel) {
+        EXPECT_GE(r.energy.ecPj, 0.0);
+    } else if (std::get<1>(GetParam()) == CoreKind::Baseline) {
+        EXPECT_EQ(r.energy.ecPj, 0.0);
+    }
+    EXPECT_NEAR(r.averageWatts,
+                r.energy.totalPj() / double(r.timePs), 1e-9);
+}
+
+TEST_P(AllCoresAllBenchmarks, CycleAccountingConsistent)
+{
+    RunResult r = runShort();
+    // BE cycles cover the whole run; at equal clocks the tick count
+    // is cycles x 1000ps.
+    EXPECT_NEAR(double(r.events.beCycles) * 1000.0, double(r.timePs),
+                double(r.timePs) * 0.01);
+    EXPECT_LE(r.events.iwActiveCycles, r.events.beCycles);
+}
+
+TEST_P(AllCoresAllBenchmarks, DeterministicAcrossRuns)
+{
+    RunResult a = runShort();
+    RunResult b = runShort();
+    EXPECT_EQ(a.timePs, b.timePs);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_EQ(a.stats.traceChanges, b.stats.traceChanges);
+}
+
+std::vector<std::tuple<std::string, CoreKind>>
+allCombos()
+{
+    std::vector<std::tuple<std::string, CoreKind>> v;
+    for (const auto &name : benchmarkNames()) {
+        v.emplace_back(name, CoreKind::Baseline);
+        v.emplace_back(name, CoreKind::RegisterAllocation);
+        v.emplace_back(name, CoreKind::Flywheel);
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllCoresAllBenchmarks, ::testing::ValuesIn(allCombos()),
+    [](const auto &info) {
+        const char *kind =
+            std::get<1>(info.param) == CoreKind::Baseline ? "base"
+            : std::get<1>(info.param) == CoreKind::RegisterAllocation
+                ? "ra"
+                : "fly";
+        return std::get<0>(info.param) + "_" + kind;
+    });
+
+TEST(Integration, FlywheelOnlyCountsEcEventsWhenEnabled)
+{
+    RunConfig cfg;
+    cfg.profile = benchmarkByName("gzip");
+    cfg.kind = CoreKind::RegisterAllocation;
+    cfg.params = clockedParams(0.0, 0.0);
+    cfg.warmupInstrs = 10000;
+    cfg.measureInstrs = 20000;
+    RunResult r = runSim(cfg);
+    EXPECT_EQ(r.events.ecDaReads, 0u);
+    EXPECT_EQ(r.events.ecDaWrites, 0u);
+    EXPECT_EQ(r.stats.ecRetired, 0u);
+}
+
+TEST(Integration, FlywheelGatesFrontEndClockInTraceMode)
+{
+    RunConfig cfg;
+    cfg.profile = benchmarkByName("turb3d");
+    cfg.kind = CoreKind::Flywheel;
+    cfg.params = clockedParams(0.0, 0.0);
+    cfg.warmupInstrs = 60000;
+    cfg.measureInstrs = 60000;
+    RunResult r = runSim(cfg);
+    ASSERT_GT(r.ecResidency, 0.5);
+    // With the front-end shut down most of the time, FE cycles must
+    // be far fewer than BE cycles.
+    EXPECT_LT(double(r.events.feCycles),
+              0.6 * double(r.events.beCycles));
+    EXPECT_LT(double(r.events.iwActiveCycles),
+              0.6 * double(r.events.beCycles));
+}
+
+TEST(Integration, MemoryLatencyIsWallClock)
+{
+    // Doubling the nominal clock rate must not halve memory time:
+    // speedup is sublinear when misses matter.
+    RunConfig slow;
+    slow.profile = benchmarkByName("equake");
+    slow.kind = CoreKind::Baseline;
+    slow.params = clockedParams(0.0, 0.0);
+    slow.warmupInstrs = 20000;
+    slow.measureInstrs = 50000;
+
+    RunConfig fast = slow;
+    fast.params.basePeriodPs = 500.0;
+    fast.params.fePeriodPs = 500.0;
+    fast.params.beFastPeriodPs = 500.0;
+    // Memory stays at 100 x 1000 ps.
+    fast.params.mem.memBaselineCycles = 200;
+
+    RunResult rs = runSim(slow);
+    RunResult rf = runSim(fast);
+    double speedup = double(rs.timePs) / double(rf.timePs);
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 2.0);
+}
+
+} // namespace
+} // namespace flywheel

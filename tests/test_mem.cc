@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cache and memory hierarchy tests: hit/miss semantics, LRU
+ * replacement, and capacity/associativity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace flywheel {
+namespace {
+
+CacheParams
+smallCache(std::uint32_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = size;
+    p.assoc = assoc;
+    p.lineBytes = 32;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache(1024, 2));
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x11f, false));   // same 32B line
+    EXPECT_FALSE(c.access(0x120, false));  // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 1KB, 2-way, 32B lines -> 16 sets.  Lines mapping to set 0 are
+    // 512 bytes apart.
+    Cache c(smallCache(1024, 2));
+    c.access(0 * 512, false);
+    c.access(1 * 512, false);
+    c.access(0 * 512, false);      // touch way 0 (now MRU)
+    c.access(2 * 512, false);      // evicts line 1 (LRU)
+    EXPECT_TRUE(c.probe(0 * 512));
+    EXPECT_FALSE(c.probe(1 * 512));
+    EXPECT_TRUE(c.probe(2 * 512));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(smallCache(1024, 2));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c(smallCache(1024, 2));
+    c.access(0x0, false);
+    c.access(0x40, false);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    Cache c(smallCache(1024, 2));
+    c.access(0x0, false);   // miss
+    c.access(0x0, false);   // hit
+    c.access(0x0, true);    // hit (write)
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_NEAR(c.missRate(), 1.0 / 3.0, 1e-9);
+}
+
+/** Property: a larger cache never misses more on the same stream. */
+class CacheCapacityProperty
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheCapacityProperty, BiggerIsNeverWorse)
+{
+    const std::uint32_t size = GetParam();
+    Cache small(smallCache(size, 2));
+    Cache big(smallCache(size * 4, 2));
+    // Deterministic pseudo-random stream with locality.
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        Addr addr = (x >> 33) % (size * 8);
+        small.access(addr, false);
+        big.access(addr, false);
+    }
+    EXPECT_LE(big.misses(), small.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheCapacityProperty,
+                         ::testing::Values(1024u, 4096u, 16384u,
+                                           65536u));
+
+/** Property: higher associativity never misses more (same size,
+ *  LRU, no-bypass). */
+class CacheAssocProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheAssocProperty, MoreWaysNeverWorseOnStriding)
+{
+    unsigned assoc = GetParam();
+    Cache low(smallCache(4096, assoc));
+    Cache high(smallCache(4096, assoc * 2));
+    // Pathological strided pattern that thrashes low associativity.
+    for (int round = 0; round < 200; ++round) {
+        for (Addr a = 0; a < 4 * 4096; a += 4096) {
+            low.access(a, false);
+            high.access(a, false);
+        }
+    }
+    EXPECT_LE(high.misses(), low.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheAssocProperty,
+                         ::testing::Values(1u, 2u, 4u));
+
+TEST(Hierarchy, LevelsReportedCorrectly)
+{
+    HierarchyParams hp;
+    hp.icache.sizeBytes = 1024;
+    hp.dcache.sizeBytes = 1024;
+    hp.l2.sizeBytes = 8192;
+    MemoryHierarchy mem(hp);
+
+    // Cold access goes to memory; second time L1.
+    EXPECT_EQ(mem.data(0x1000, false), MemLevel::Memory);
+    EXPECT_EQ(mem.data(0x1000, false), MemLevel::L1);
+
+    // Evict from tiny L1 but keep in L2: sweep past L1 capacity.
+    for (Addr a = 0x10000; a < 0x10000 + 4096; a += 32)
+        mem.data(a, false);
+    EXPECT_EQ(mem.data(0x1000, false), MemLevel::L2);
+}
+
+TEST(Hierarchy, InstructionAndDataPathsAreSeparate)
+{
+    HierarchyParams hp;
+    hp.icache.sizeBytes = 1024;
+    hp.dcache.sizeBytes = 1024;
+    hp.l2.sizeBytes = 8192;
+    MemoryHierarchy mem(hp);
+    mem.fetch(0x2000);
+    // The same line is not in the D-cache.
+    EXPECT_NE(mem.data(0x2000, false), MemLevel::L1);
+}
+
+TEST(Hierarchy, DefaultsMatchPaperTable2)
+{
+    HierarchyParams hp;
+    EXPECT_EQ(hp.icache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(hp.icache.assoc, 2u);
+    EXPECT_EQ(hp.dcache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(hp.dcache.assoc, 4u);
+    EXPECT_EQ(hp.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(hp.l2Cycles, 10u);
+    EXPECT_EQ(hp.memBaselineCycles, 100u);
+}
+
+} // namespace
+} // namespace flywheel

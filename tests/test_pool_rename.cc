@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests of the Flywheel's pool-based two-phase renaming: circular
+ * allocation, in-flight limits, rollback, and dynamic redistribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flywheel/pool_rename.hh"
+
+namespace flywheel {
+namespace {
+
+TEST(PoolRename, EqualInitialShares)
+{
+    PoolRenameUnit pr(512, 4);
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(pr.poolSize(static_cast<ArchReg>(r)), 512u / 64);
+}
+
+TEST(PoolRename, AllocationRotatesThroughPool)
+{
+    PoolRenameUnit pr(512, 4);
+    std::set<PhysReg> seen;
+    std::uint16_t prev;
+    unsigned size = pr.poolSize(3);
+    for (unsigned i = 0; i + 1 < size; ++i) {
+        seen.insert(pr.allocate(3, prev));
+        pr.release(3);  // retire immediately so the pool never fills
+    }
+    EXPECT_EQ(seen.size(), size - 1);  // distinct entries
+}
+
+TEST(PoolRename, InFlightLimitIsSizeMinusOne)
+{
+    PoolRenameUnit pr(512, 4);
+    unsigned size = pr.poolSize(7);
+    std::uint16_t prev;
+    for (unsigned i = 0; i + 1 < size; ++i) {
+        ASSERT_TRUE(pr.canAllocate(7)) << i;
+        pr.allocate(7, prev);
+    }
+    // One entry always holds the committed value.
+    EXPECT_FALSE(pr.canAllocate(7));
+    pr.release(7);
+    EXPECT_TRUE(pr.canAllocate(7));
+}
+
+TEST(PoolRename, CurrentTracksNewestAllocation)
+{
+    PoolRenameUnit pr(512, 4);
+    PhysReg before = pr.current(9);
+    std::uint16_t prev;
+    PhysReg a = pr.allocate(9, prev);
+    EXPECT_EQ(pr.current(9), a);
+    EXPECT_NE(a, before);
+}
+
+TEST(PoolRename, RollbackRestoresCursor)
+{
+    PoolRenameUnit pr(512, 4);
+    PhysReg committed = pr.current(11);
+    std::uint16_t prev1, prev2;
+    pr.allocate(11, prev1);
+    PhysReg b = pr.allocate(11, prev2);
+    EXPECT_EQ(pr.current(11), b);
+    pr.rollback(11, prev2);
+    pr.rollback(11, prev1);
+    EXPECT_EQ(pr.current(11), committed);
+    EXPECT_EQ(pr.inflight(11), 0u);
+}
+
+TEST(PoolRename, PhysicalIndicesAreDisjointAcrossRegisters)
+{
+    PoolRenameUnit pr(512, 4);
+    std::uint16_t prev;
+    std::set<PhysReg> seen;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        PhysReg p = pr.allocate(static_cast<ArchReg>(r), prev);
+        ASSERT_TRUE(seen.insert(p).second)
+            << "physical entry shared between pools";
+        ASSERT_LT(p, 512);
+    }
+}
+
+TEST(PoolRename, RedistributionPreservesTotalAndMinimum)
+{
+    PoolRenameUnit pr(512, 4);
+    std::uint16_t prev;
+    // Concentrate writes on two registers and record stalls.
+    for (int i = 0; i < 2000; ++i) {
+        pr.allocate(5, prev);
+        pr.release(5);
+        pr.allocate(6, prev);
+        pr.release(6);
+        if (i % 10 == 0)
+            pr.noteStall(5);
+    }
+    ASSERT_TRUE(pr.redistribute());
+    unsigned total = 0;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        unsigned s = pr.poolSize(static_cast<ArchReg>(r));
+        EXPECT_GE(s, 4u);
+        total += s;
+    }
+    EXPECT_LE(total, 512u);
+    EXPECT_GE(total, 512u - kNumArchRegs);  // largest-remainder slack
+    // The hot registers got the lion's share.
+    EXPECT_GT(pr.poolSize(5), 50u);
+    EXPECT_GT(pr.poolSize(6), 50u);
+    EXPECT_EQ(pr.poolSize(40), 4u);
+}
+
+TEST(PoolRename, RedistributionWithoutDemandChangesNothing)
+{
+    PoolRenameUnit pr(512, 4);
+    EXPECT_FALSE(pr.redistribute());  // no writes recorded
+    EXPECT_EQ(pr.poolSize(0), 8u);
+}
+
+TEST(PoolRename, PoolsLargerThanCountsCorrectly)
+{
+    PoolRenameUnit pr(512, 4);
+    // Initially uniform 8 > 4 for every register.
+    EXPECT_EQ(pr.poolsLargerThan(4), kNumArchRegs);
+    EXPECT_EQ(pr.poolsLargerThan(8), 0u);
+}
+
+TEST(PoolRename, StallWindowResets)
+{
+    PoolRenameUnit pr(512, 4);
+    pr.noteStall(3);
+    pr.noteStall(3);
+    EXPECT_EQ(pr.stallsSinceCheck(), 2u);
+    pr.resetWindow();
+    EXPECT_EQ(pr.stallsSinceCheck(), 0u);
+}
+
+/** Property: after redistribution driven by a skewed write pattern,
+ *  hot registers always receive at least their fair share. */
+class RedistributionProperty
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RedistributionProperty, HotRegistersGrow)
+{
+    const unsigned hot_count = GetParam();
+    PoolRenameUnit pr(512, 4);
+    std::uint16_t prev;
+    for (int round = 0; round < 1000; ++round) {
+        for (unsigned r = 0; r < hot_count; ++r) {
+            pr.allocate(static_cast<ArchReg>(r), prev);
+            pr.release(static_cast<ArchReg>(r));
+        }
+    }
+    ASSERT_TRUE(pr.redistribute());
+    for (unsigned r = 0; r < hot_count; ++r) {
+        EXPECT_GT(pr.poolSize(static_cast<ArchReg>(r)),
+                  512u / 64)
+            << "hot register " << r << " did not grow";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HotSetSizes, RedistributionProperty,
+                         ::testing::Values(1u, 4u, 16u, 32u));
+
+} // namespace
+} // namespace flywheel

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests of the CACTI/Palacharla-style timing models against the
+ * paper's Table 1 (absolute calibration) and Fig 1 (scaling trends).
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/array_timing.hh"
+#include "timing/clock_plan.hh"
+#include "timing/issue_timing.hh"
+#include "timing/technology.hh"
+
+namespace flywheel {
+namespace {
+
+/** Paper Table 1 frequencies in MHz: {0.18, 0.13, 0.09, 0.06}. */
+struct Table1Row
+{
+    const char *name;
+    double mhz[4];
+    double ModuleFrequencies::*field;
+};
+
+const Table1Row kTable1[] = {
+    {"IssueWindow", {950, 1150, 1500, 1950},
+     &ModuleFrequencies::issueWindowMHz},
+    {"ICache", {1300, 1800, 2600, 3800}, &ModuleFrequencies::icacheMHz},
+    {"DCache", {1000, 1400, 2000, 3000}, &ModuleFrequencies::dcacheMHz},
+    {"RegFile", {1150, 1650, 2250, 3250},
+     &ModuleFrequencies::regfileMHz},
+    {"ExecCache", {1000, 1400, 2050, 3000},
+     &ModuleFrequencies::execCacheMHz},
+    {"BigRegFile", {1050, 1500, 2000, 2950},
+     &ModuleFrequencies::bigRegfileMHz},
+};
+
+const TechNode kTable1Nodes[] = {TechNode::N180, TechNode::N130,
+                                 TechNode::N90, TechNode::N60};
+
+class Table1Calibration : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Table1Calibration, FrequenciesWithinSixPercent)
+{
+    const Table1Row &row = kTable1[GetParam()];
+    for (int n = 0; n < 4; ++n) {
+        ModuleFrequencies f = moduleFrequencies(kTable1Nodes[n]);
+        double got = f.*(row.field);
+        double want = row.mhz[n];
+        EXPECT_NEAR(got / want, 1.0, 0.06)
+            << row.name << " at " << techName(kTable1Nodes[n])
+            << ": got " << got << " MHz, paper " << want;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Table1Calibration,
+                         ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             return kTable1[info.param].name;
+                         });
+
+TEST(Fig1, CacheMuchSlowerThanIssueWindowAtLargeNodes)
+{
+    // Paper: a reasonable cache is about 2x slower than the Issue
+    // Window at 0.25/0.18um.
+    for (TechNode n : {TechNode::N250, TechNode::N180}) {
+        double cache = cacheLatencyPs(n, 64 * 1024, 2, 1);
+        double iw = issueWindowLatencyPs(n, 128, 6);
+        EXPECT_GT(cache / iw, 1.4) << techName(n);
+    }
+}
+
+TEST(Fig1, CacheCatchesUpWithIssueWindowAt60nm)
+{
+    // Paper: about the same access time as the 128-entry Issue
+    // Window in 0.06um.
+    double cache = cacheLatencyPs(TechNode::N60, 64 * 1024, 2, 1);
+    double iw = issueWindowLatencyPs(TechNode::N60, 128, 6);
+    EXPECT_NEAR(cache / iw, 1.0, 0.15);
+}
+
+TEST(Fig1, IssueWindowScalesWorstOfAllStructures)
+{
+    auto improvement = [](double at180, double at60) {
+        return at180 / at60;
+    };
+    double iw_gain = improvement(
+        issueWindowLatencyPs(TechNode::N180, 128, 6),
+        issueWindowLatencyPs(TechNode::N60, 128, 6));
+    double cache_gain = improvement(
+        cacheLatencyPs(TechNode::N180, 64 * 1024, 2, 1),
+        cacheLatencyPs(TechNode::N60, 64 * 1024, 2, 1));
+    double rf_gain = improvement(regfileLatencyPs(TechNode::N180, 128),
+                                 regfileLatencyPs(TechNode::N60, 128));
+    EXPECT_LT(iw_gain, cache_gain);
+    EXPECT_LT(iw_gain, rf_gain);
+}
+
+class LatencyMonotonicity
+    : public ::testing::TestWithParam<TechNode>
+{
+};
+
+TEST_P(LatencyMonotonicity, BiggerStructuresAreSlower)
+{
+    TechNode n = GetParam();
+    EXPECT_LT(issueWindowLatencyPs(n, 64, 4),
+              issueWindowLatencyPs(n, 128, 6));
+    EXPECT_LT(cacheLatencyPs(n, 32 * 1024, 2, 1),
+              cacheLatencyPs(n, 64 * 1024, 2, 1));
+    EXPECT_LT(cacheLatencyPs(n, 64 * 1024, 2, 1),
+              cacheLatencyPs(n, 64 * 1024, 4, 2));
+    EXPECT_LT(regfileLatencyPs(n, 128), regfileLatencyPs(n, 256));
+    EXPECT_LT(regfileLatencyPs(n, 256), regfileLatencyPs(n, 512));
+}
+
+TEST_P(LatencyMonotonicity, WakeupDominatesSelectForLargeWindows)
+{
+    TechNode n = GetParam();
+    EXPECT_GT(wakeupLatencyPs(n, 128, 6), selectLatencyPs(n, 128));
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, LatencyMonotonicity,
+                         ::testing::ValuesIn(allTechNodes()),
+                         [](const auto &info) {
+                             return std::string(techName(info.param))
+                                 .substr(2, 4);
+                         });
+
+TEST(Technology, ScalingFactorsSane)
+{
+    EXPECT_DOUBLE_EQ(logicScale(TechNode::N180), 1.0);
+    EXPECT_LT(logicScale(TechNode::N60), logicScale(TechNode::N90));
+    // Wires improve, but much more slowly than logic.
+    EXPECT_GT(wireScale(TechNode::N60), logicScale(TechNode::N60));
+    EXPECT_LT(wireScale(TechNode::N60), 1.0);
+}
+
+TEST(Technology, Table2Parameters)
+{
+    EXPECT_DOUBLE_EQ(vdd(TechNode::N130), 1.4);
+    EXPECT_DOUBLE_EQ(vdd(TechNode::N90), 1.2);
+    EXPECT_DOUBLE_EQ(vdd(TechNode::N60), 1.1);
+    EXPECT_DOUBLE_EQ(leakNaPerDevice(TechNode::N130), 80.0);
+    EXPECT_DOUBLE_EQ(leakNaPerDevice(TechNode::N90), 280.0);
+    EXPECT_DOUBLE_EQ(leakNaPerDevice(TechNode::N60), 280.0);
+}
+
+TEST(ClockPlan, FrontEndHeadroomApproachesTwoXAt60nm)
+{
+    ClockPlan plan = deriveClockPlan(TechNode::N60);
+    EXPECT_GT(plan.maxFeBoost, 0.80);
+    EXPECT_LT(plan.maxFeBoost, 1.20);
+}
+
+TEST(ClockPlan, BackEndHeadroomApproachesFiftyPercentAt60nm)
+{
+    ClockPlan plan = deriveClockPlan(TechNode::N60);
+    EXPECT_GT(plan.maxBeBoost, 0.35);
+    EXPECT_LT(plan.maxBeBoost, 0.75);
+}
+
+TEST(ClockPlan, HeadroomGrowsWithScaling)
+{
+    double fe130 = deriveClockPlan(TechNode::N130).maxFeBoost;
+    double fe60 = deriveClockPlan(TechNode::N60).maxFeBoost;
+    EXPECT_GT(fe60, fe130);
+}
+
+TEST(ClockPlan, IssueWindowSetsBaseline)
+{
+    // At 0.25um the two-cycle D-cache is marginally slower than the
+    // window; from 0.18um on (the paper's Table 1 range) the Issue
+    // Window is the limiter.
+    for (TechNode n : kTable1Nodes) {
+        ModuleFrequencies f = moduleFrequencies(n);
+        ClockPlan plan = deriveClockPlan(n);
+        EXPECT_NEAR(plan.baselinePeriodPs, 1e6 / f.issueWindowMHz, 1.0)
+            << techName(n);
+    }
+}
+
+} // namespace
+} // namespace flywheel

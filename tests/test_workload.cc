@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests of the synthetic workload substrate: static program
+ * invariants and dynamic stream semantics, swept across every paper
+ * benchmark profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+class ProgramInvariants : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchProfile &profile() { return benchmarkByName(GetParam()); }
+};
+
+TEST_P(ProgramInvariants, AllBranchTargetsValid)
+{
+    StaticProgram prog(profile());
+    const auto &blocks = prog.blocks();
+    for (const auto &b : blocks) {
+        if (b.term.kind != TermKind::None) {
+            ASSERT_LT(b.term.target, blocks.size());
+        }
+        ASSERT_LT(b.fallthrough, blocks.size());
+    }
+}
+
+TEST_P(ProgramInvariants, AddressesAreContiguousAndOrdered)
+{
+    StaticProgram prog(profile());
+    Addr expected = StaticProgram::codeBase();
+    for (const auto &b : prog.blocks()) {
+        ASSERT_EQ(b.pc, expected);
+        expected += static_cast<Addr>(b.size()) * kInstBytes;
+    }
+}
+
+TEST_P(ProgramInvariants, BuildIsDeterministic)
+{
+    StaticProgram a(profile());
+    StaticProgram b(profile());
+    ASSERT_EQ(a.blocks().size(), b.blocks().size());
+    for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+        ASSERT_EQ(a.blocks()[i].pc, b.blocks()[i].pc);
+        ASSERT_EQ(a.blocks()[i].ops.size(), b.blocks()[i].ops.size());
+        ASSERT_EQ(int(a.blocks()[i].term.kind),
+                  int(b.blocks()[i].term.kind));
+    }
+}
+
+TEST_P(ProgramInvariants, DataObjectsDoNotOverlap)
+{
+    StaticProgram prog(profile());
+    const auto &objs = prog.objects();
+    for (std::size_t i = 1; i < objs.size(); ++i) {
+        ASSERT_GE(objs[i].base, objs[i - 1].base + objs[i - 1].size)
+            << "object " << i << " overlaps its predecessor";
+    }
+}
+
+TEST_P(ProgramInvariants, LoopsBranchBackward)
+{
+    StaticProgram prog(profile());
+    for (std::size_t i = 0; i < prog.blocks().size(); ++i) {
+        const auto &b = prog.blocks()[i];
+        if (b.term.kind == TermKind::Loop) {
+            ASSERT_LE(b.term.target, i) << "loop target not backward";
+        }
+    }
+}
+
+TEST_P(ProgramInvariants, BlockSizesWithinCaps)
+{
+    StaticProgram prog(profile());
+    for (const auto &b : prog.blocks()) {
+        ASSERT_GE(b.ops.size(), 1u);
+        ASSERT_LE(b.ops.size(), 16u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProgramInvariants,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+class StreamInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(StreamInvariants, SequenceNumbersAreContiguous)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream s(prog);
+    InstSeqNum expected = 1;
+    for (int i = 0; i < 30000; ++i) {
+        const DynInst &d = s.next();
+        ASSERT_EQ(d.seq, expected) << "hole in sequence numbering";
+        ++expected;
+    }
+}
+
+TEST_P(StreamInvariants, ControlFlowIsWellFormed)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream s(prog);
+    Addr prev_next = 0;
+    bool have_prev = false;
+    for (int i = 0; i < 30000; ++i) {
+        const DynInst &d = s.next();
+        if (have_prev) {
+            ASSERT_EQ(d.pc, prev_next) << "PC does not follow nextPc()";
+        }
+        prev_next = d.nextPc();
+        have_prev = true;
+    }
+}
+
+TEST_P(StreamInvariants, PeekMatchesNext)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream s1(prog), s2(prog);
+    // Peek far ahead on s1, then verify next() yields the same insts.
+    std::vector<DynInst> ahead;
+    for (int k = 0; k < 500; ++k)
+        ahead.push_back(s1.peek(k));
+    for (int k = 0; k < 500; ++k) {
+        const DynInst &d = s2.next();
+        ASSERT_EQ(d.pc, ahead[k].pc);
+        ASSERT_EQ(d.seq, ahead[k].seq);
+        ASSERT_EQ(d.taken, ahead[k].taken);
+    }
+}
+
+TEST_P(StreamInvariants, MemoryAccessesStayInsideObjects)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream s(prog);
+    Addr lo = StaticProgram::dataBase();
+    Addr hi = prog.objects().back().base + prog.objects().back().size;
+    for (int i = 0; i < 30000; ++i) {
+        const DynInst &d = s.next();
+        if (isMemOp(d.op)) {
+            ASSERT_GE(d.effAddr, lo);
+            ASSERT_LT(d.effAddr, hi);
+        }
+    }
+}
+
+TEST_P(StreamInvariants, StreamIsDeterministic)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream a(prog), b(prog);
+    for (int i = 0; i < 20000; ++i) {
+        const DynInst &x = a.next();
+        const DynInst &y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.taken, y.taken);
+        ASSERT_EQ(x.effAddr, y.effAddr);
+    }
+}
+
+TEST_P(StreamInvariants, OpMixRoughlyMatchesProfile)
+{
+    const BenchProfile &p = benchmarkByName(GetParam());
+    StaticProgram prog(p);
+    WorkloadStream s(prog);
+    std::map<OpClass, int> counts;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        counts[s.next().op]++;
+    double load_frac = double(counts[OpClass::Load]) / n;
+    double fp_frac = double(counts[OpClass::FpAdd] +
+                            counts[OpClass::FpMul] +
+                            counts[OpClass::FpDiv]) / n;
+    // Branches dilute the straight-line fractions; allow a wide band.
+    EXPECT_NEAR(load_frac, p.loadFrac * 0.88, 0.08);
+    if (p.fpFrac > 0.0)
+        EXPECT_NEAR(fp_frac, p.fpFrac * 0.88, 0.10);
+    else
+        EXPECT_EQ(fp_frac, 0.0);
+}
+
+TEST_P(StreamInvariants, BranchesHaveCondSources)
+{
+    StaticProgram prog(benchmarkByName(GetParam()));
+    WorkloadStream s(prog);
+    for (int i = 0; i < 20000; ++i) {
+        const DynInst &d = s.next();
+        if (d.isBranch() && d.isCondBranch) {
+            ASSERT_NE(d.src1, kNoArchReg);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamInvariants,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadProfiles, TenPaperBenchmarks)
+{
+    EXPECT_EQ(paperBenchmarks().size(), 10u);
+    EXPECT_EQ(benchmarkNames().front(), "ijpeg");
+    EXPECT_EQ(benchmarkNames().back(), "turb3d");
+}
+
+TEST(WorkloadProfiles, VortexHasLargestCodeFootprint)
+{
+    const auto &all = paperBenchmarks();
+    unsigned vortex_blocks = benchmarkByName("vortex").staticBlocks;
+    for (const auto &p : all) {
+        if (std::string(p.name) != "vortex") {
+            EXPECT_LT(p.staticBlocks, vortex_blocks);
+        }
+    }
+}
+
+TEST(Workload, LoopTripsRoughlyMatchMean)
+{
+    BenchProfile p = benchmarkByName("gzip");
+    StaticProgram prog(p);
+    WorkloadStream s(prog);
+    // Count taken-runs of one specific loop branch.
+    std::map<Addr, std::pair<long, long>> taken_not;  // per branch pc
+    for (int i = 0; i < 200000; ++i) {
+        const DynInst &d = s.next();
+        if (d.isBranch() && d.isCondBranch) {
+            auto &tn = taken_not[d.pc];
+            (d.taken ? tn.first : tn.second)++;
+        }
+    }
+    // At least one heavily-taken backward branch (a loop-back) should
+    // show a taken/not-taken ratio near the profile's mean trip count.
+    bool found = false;
+    for (auto &[pc, tn] : taken_not) {
+        if (tn.second >= 5 && tn.first > tn.second) {
+            double trips = double(tn.first + tn.second) / tn.second;
+            if (trips > p.loopTripMean / 4.0 &&
+                trips < p.loopTripMean * 4.0) {
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace flywheel
