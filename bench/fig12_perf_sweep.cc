@@ -10,6 +10,9 @@
  * penalty bound with the lowest EC residency; performance scales
  * super-linearly with clock speed in the FE50/BE50 case (paper: +54%
  * for +50% clocks).
+ *
+ * The 60-point grid runs on the sweep engine's thread pool
+ * (FLYWHEEL_JOBS workers); the numbers are identical to a serial run.
  */
 
 #include "bench/bench_util.hh"
@@ -26,24 +29,27 @@ main()
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100",
                           "resid"});
 
+    SweepRunner runner(sweepOptions());
+    SweepTable table = runner.run(baselinePlusFeSweepPoints(
+        {fe_boosts, fe_boosts + 5}));
+
     RowAverage avg;
-    for (const auto &name : benchmarkNames()) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
-        printLabel(name);
-        double resid = 0.0;
-        for (std::size_t i = 0; i < 5; ++i) {
-            RunResult rf = run(name, CoreKind::Flywheel,
-                               clockedParams(fe_boosts[i], 0.5));
-            double rel = double(r0.timePs) / double(rf.timePs);
-            printCell(rel);
-            avg.add(i, rel);
-            resid = rf.ecResidency;
-        }
-        printCell(resid);
-        avg.add(5, resid);
-        endRow();
-    }
+    forEachBaselineFeRow(table, 5,
+        [&](const std::string &name, const RunResult &r0,
+            const std::vector<const RunResult *> &boosted) {
+            printLabel(name);
+            double resid = 0.0;
+            for (std::size_t i = 0; i < boosted.size(); ++i) {
+                double rel =
+                    double(r0.timePs) / double(boosted[i]->timePs);
+                printCell(rel);
+                avg.add(i, rel);
+                resid = boosted[i]->ecResidency;
+            }
+            printCell(resid);
+            avg.add(5, resid);
+            endRow();
+        });
     avg.printRow("average");
     std::printf("\npaper: average 1.35 (FE0) .. ~1.6 (FE100); "
                 "FE50/BE50 average 1.54; vortex most FE-sensitive\n");

@@ -8,6 +8,8 @@
  * energy on average (larger savings on gcc/equake, smaller on vortex
  * where the front-end runs more), and the total stays relatively
  * flat as the front-end clock rises.
+ *
+ * Runs on the sweep engine's thread pool (FLYWHEEL_JOBS workers).
  */
 
 #include "bench/bench_util.hh"
@@ -23,20 +25,23 @@ main()
                 "baseline)\n\n");
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100"});
 
+    SweepRunner runner(sweepOptions());
+    SweepTable table = runner.run(baselinePlusFeSweepPoints(
+        {fe_boosts, fe_boosts + 5}));
+
     RowAverage avg;
-    for (const auto &name : benchmarkNames()) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
-        printLabel(name);
-        for (std::size_t i = 0; i < 5; ++i) {
-            RunResult rf = run(name, CoreKind::Flywheel,
-                               clockedParams(fe_boosts[i], 0.5));
-            double rel = rf.energy.totalPj() / r0.energy.totalPj();
-            printCell(rel);
-            avg.add(i, rel);
-        }
-        endRow();
-    }
+    forEachBaselineFeRow(table, 5,
+        [&](const std::string &name, const RunResult &r0,
+            const std::vector<const RunResult *> &boosted) {
+            printLabel(name);
+            for (std::size_t i = 0; i < boosted.size(); ++i) {
+                double rel =
+                    boosted[i]->energy.totalPj() / r0.energy.totalPj();
+                printCell(rel);
+                avg.add(i, rel);
+            }
+            endRow();
+        });
     avg.printRow("average");
     std::printf("\npaper: ~0.70 average across the sweep (about 30%% "
                 "energy saving), roughly flat in the FE clock\n");

@@ -7,6 +7,8 @@
  * FE0/BE50 case costs only ~2% more power than the baseline, the
  * FE100/BE50 case ~15%; the FE50/BE50 point buys ~54% performance
  * for only ~8% more power.
+ *
+ * Runs on the sweep engine's thread pool (FLYWHEEL_JOBS workers).
  */
 
 #include "bench/bench_util.hh"
@@ -22,20 +24,22 @@ main()
                 "baseline)\n\n");
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100"});
 
+    SweepRunner runner(sweepOptions());
+    SweepTable table = runner.run(baselinePlusFeSweepPoints(
+        {fe_boosts, fe_boosts + 5}));
+
     RowAverage avg;
-    for (const auto &name : benchmarkNames()) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
-        printLabel(name);
-        for (std::size_t i = 0; i < 5; ++i) {
-            RunResult rf = run(name, CoreKind::Flywheel,
-                               clockedParams(fe_boosts[i], 0.5));
-            double rel = rf.averageWatts / r0.averageWatts;
-            printCell(rel);
-            avg.add(i, rel);
-        }
-        endRow();
-    }
+    forEachBaselineFeRow(table, 5,
+        [&](const std::string &name, const RunResult &r0,
+            const std::vector<const RunResult *> &boosted) {
+            printLabel(name);
+            for (std::size_t i = 0; i < boosted.size(); ++i) {
+                double rel = boosted[i]->averageWatts / r0.averageWatts;
+                printCell(rel);
+                avg.add(i, rel);
+            }
+            endRow();
+        });
     avg.printRow("average");
     std::printf("\npaper: average ~1.02 at FE0 rising to ~1.15 at "
                 "FE100\n");

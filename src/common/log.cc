@@ -1,24 +1,28 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <vector>
 
 namespace flywheel {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+// Atomic so concurrent runSim() workers may log while another thread
+// adjusts verbosity; message emission itself is a single fprintf,
+// which POSIX keeps atomic per call.
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -65,7 +69,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (g_level != LogLevel::Quiet)
+    if (g_level.load(std::memory_order_relaxed) != LogLevel::Quiet)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

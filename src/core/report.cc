@@ -76,4 +76,143 @@ writeComparison(std::ostream &os, const std::string &title_a,
     line(os, "power ratio", b.averageWatts / a.averageWatts, "", 2);
 }
 
+// X-macro field lists keep toJson and fromJson in lock-step: every
+// serialized struct member is named exactly once.
+
+#define FW_ENERGY_BREAKDOWN_FIELDS(X) \
+    X(frontEndPj) X(issuePj) X(execPj) X(memoryPj) X(ecPj) \
+    X(clockPj) X(leakagePj)
+
+#define FW_CORE_STATS_FIELDS(X) \
+    X(retired) X(condBranches) X(mispredicts) X(btbMissBubbles) \
+    X(icacheMissStalls) X(robFullStalls) X(iwFullStalls) \
+    X(lsqFullStalls) X(renameStalls) X(ecRetired) X(ecLookups) \
+    X(ecHits) X(tracesBuilt) X(traceChanges) X(traceDivergences) \
+    X(redistributions) X(checkpointStallCycles)
+
+#define FW_ENERGY_EVENTS_FIELDS(X) \
+    X(icacheAccesses) X(bpredLookups) X(btbLookups) X(decodedOps) \
+    X(renameOps) X(dispatchOps) X(iwBroadcasts) X(iwIssues) \
+    X(ratAccesses) X(rfReads) X(rfWrites) X(aluOps) X(mulOps) \
+    X(fpOps) X(resultBusOps) X(dcacheAccesses) X(l2Accesses) \
+    X(memAccesses) X(lsqOps) X(robOps) X(ecTaLookups) X(ecDaReads) \
+    X(ecDaWrites) X(fillBufferOps) X(updateOps) X(checkpointOps) \
+    X(totalTicks) X(feActiveTicks) X(feCycles) X(beCycles) \
+    X(iwActiveCycles)
+
+Json
+toJson(const EnergyBreakdown &e)
+{
+    Json j = Json::object();
+#define X(f) j.set(#f, e.f);
+    FW_ENERGY_BREAKDOWN_FIELDS(X)
+#undef X
+    return j;
+}
+
+Json
+toJson(const CoreStats &s)
+{
+    Json j = Json::object();
+#define X(f) j.set(#f, s.f);
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+    return j;
+}
+
+Json
+toJson(const EnergyEvents &e)
+{
+    Json j = Json::object();
+#define X(f) j.set(#f, std::uint64_t(e.f));
+    FW_ENERGY_EVENTS_FIELDS(X)
+#undef X
+    return j;
+}
+
+Json
+toJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j.set("instructions", r.instructions);
+    j.set("timePs", std::uint64_t(r.timePs));
+    j.set("ipc", r.ipc);
+    j.set("ecResidency", r.ecResidency);
+    j.set("mispredictRate", r.mispredictRate);
+    j.set("averageWatts", r.averageWatts);
+    j.set("stats", toJson(r.stats));
+    j.set("events", toJson(r.events));
+    j.set("energy", toJson(r.energy));
+    return j;
+}
+
+EnergyBreakdown
+energyBreakdownFromJson(const Json &j)
+{
+    EnergyBreakdown e;
+#define X(f) e.f = j[#f].asDouble();
+    FW_ENERGY_BREAKDOWN_FIELDS(X)
+#undef X
+    return e;
+}
+
+CoreStats
+coreStatsFromJson(const Json &j)
+{
+    CoreStats s;
+#define X(f) s.f = j[#f].asU64();
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+    return s;
+}
+
+EnergyEvents
+energyEventsFromJson(const Json &j)
+{
+    EnergyEvents e;
+#define X(f) e.f = j[#f].asU64();
+    FW_ENERGY_EVENTS_FIELDS(X)
+#undef X
+    return e;
+}
+
+bool
+runResultJsonComplete(const Json &j)
+{
+    for (const char *key : {"instructions", "timePs", "ipc",
+                            "ecResidency", "mispredictRate",
+                            "averageWatts"})
+        if (!j.has(key))
+            return false;
+    if (!j["stats"].isObject() || !j["events"].isObject() ||
+        !j["energy"].isObject())
+        return false;
+#define X(f) if (!j["energy"].has(#f)) return false;
+    FW_ENERGY_BREAKDOWN_FIELDS(X)
+#undef X
+#define X(f) if (!j["stats"].has(#f)) return false;
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) if (!j["events"].has(#f)) return false;
+    FW_ENERGY_EVENTS_FIELDS(X)
+#undef X
+    return true;
+}
+
+RunResult
+runResultFromJson(const Json &j)
+{
+    RunResult r;
+    r.instructions = j["instructions"].asU64();
+    r.timePs = Tick(j["timePs"].asU64());
+    r.ipc = j["ipc"].asDouble();
+    r.ecResidency = j["ecResidency"].asDouble();
+    r.mispredictRate = j["mispredictRate"].asDouble();
+    r.averageWatts = j["averageWatts"].asDouble();
+    r.stats = coreStatsFromJson(j["stats"]);
+    r.events = energyEventsFromJson(j["events"]);
+    r.energy = energyBreakdownFromJson(j["energy"]);
+    return r;
+}
+
 } // namespace flywheel

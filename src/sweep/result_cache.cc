@@ -1,0 +1,300 @@
+#include "sweep/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "core/report.hh"
+
+namespace flywheel {
+
+namespace {
+
+/** Append "name=value;" with deterministic double formatting. */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &
+    add(const char *name, double v)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, v);
+        os_ << buf;
+        return *this;
+    }
+
+    KeyBuilder &
+    add(const char *name, std::uint64_t v)
+    {
+        os_ << name << '=' << v << ';';
+        return *this;
+    }
+
+    KeyBuilder &
+    add(const char *name, unsigned v)
+    {
+        return add(name, std::uint64_t(v));
+    }
+
+    KeyBuilder &
+    add(const char *name, bool v)
+    {
+        os_ << name << '=' << (v ? 1 : 0) << ';';
+        return *this;
+    }
+
+    KeyBuilder &
+    add(const char *name, const char *v)
+    {
+        os_ << name << '=' << v << ';';
+        return *this;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+} // namespace
+
+std::string
+configKey(const RunConfig &c)
+{
+    KeyBuilder k;
+    k.add("v", unsigned(ResultCache::kFormatVersion));
+
+    // Workload profile: every knob, not just the name, so ad-hoc
+    // profiles and future recalibrations never alias.
+    const BenchProfile &p = c.profile;
+    k.add("bench", p.name)
+        .add("seed", p.seed)
+        .add("blocks", p.staticBlocks)
+        .add("blkSize", p.avgBlockSize)
+        .add("regions", p.regions)
+        .add("loadFrac", p.loadFrac)
+        .add("storeFrac", p.storeFrac)
+        .add("fpFrac", p.fpFrac)
+        .add("mulFrac", p.mulFrac)
+        .add("divFrac", p.divFrac)
+        .add("depDist", p.avgDepDist)
+        .add("diamond", p.diamondFrac)
+        .add("bias", p.branchBias)
+        .add("trip", p.loopTripMean)
+        .add("callProb", p.callProb)
+        .add("regWs", p.regWorkingSet)
+        .add("dataKB", p.dataFootprintKB)
+        .add("memRand", p.memRandomFrac);
+
+    k.add("kind", unsigned(c.kind))
+        .add("node", unsigned(c.node))
+        .add("gating", c.frontEndPowerGating)
+        .add("warmup", c.warmupInstrs)
+        .add("measure", c.measureInstrs);
+
+    const CoreParams &cp = c.params;
+    k.add("fetchW", cp.fetchWidth)
+        .add("dispW", cp.dispatchWidth)
+        .add("issueW", cp.issueWidth)
+        .add("commitW", cp.commitWidth)
+        .add("iw", cp.iwEntries)
+        .add("rob", cp.robEntries)
+        .add("lsq", cp.lsqEntries)
+        .add("physRegs", cp.physRegs)
+        .add("feStages", cp.feStages)
+        .add("extraFe", cp.extraFrontEndStages)
+        .add("regRead", cp.regReadStages)
+        .add("wakeup", cp.wakeupExtraDelay)
+        .add("intAlu", cp.fus.intAlu)
+        .add("intMulDiv", cp.fus.intMulDiv)
+        .add("memPorts", cp.fus.memPorts)
+        .add("fpAdd", cp.fus.fpAdd)
+        .add("fpMulDiv", cp.fus.fpMulDiv)
+        .add("latAlu", cp.lat.intAlu)
+        .add("latMul", cp.lat.intMul)
+        .add("latDiv", cp.lat.intDiv)
+        .add("latFpAdd", cp.lat.fpAdd)
+        .add("latFpMul", cp.lat.fpMul)
+        .add("latFpDiv", cp.lat.fpDiv)
+        .add("latBr", cp.lat.branch)
+        .add("latAgen", cp.lat.agen)
+        .add("l2Cyc", cp.mem.l2Cycles)
+        .add("memCyc", cp.mem.memBaselineCycles)
+        .add("ghist", cp.bpred.historyBits)
+        .add("gtab", cp.bpred.tableEntries)
+        .add("btb", cp.btb.entries)
+        .add("btbAssoc", cp.btb.assoc)
+        .add("basePs", cp.basePeriodPs)
+        .add("fePs", cp.fePeriodPs)
+        .add("bePs", cp.beFastPeriodPs)
+        .add("ec", cp.execCacheEnabled)
+        .add("srt", cp.srtEnabled)
+        .add("ecBlocks", cp.ecTotalBlocks)
+        .add("ecSlots", cp.ecBlockSlots)
+        .add("ecTa", cp.ecTaEntries)
+        .add("ecRead", cp.ecReadCycles)
+        .add("maxTrace", cp.maxTraceBlocks)
+        .add("minUnits", cp.minTraceUnits)
+        .add("minInstrs", cp.minTraceInstrs)
+        .add("rebuild", cp.traceRebuildPolicy)
+        .add("pool", cp.poolPhysRegs)
+        .add("minPool", cp.minPoolSize)
+        .add("redistInt", cp.redistributionInterval)
+        .add("redistCost", cp.redistributionCost)
+        .add("redistFrac", cp.redistributionStallFrac);
+
+    // L1/L2 cache geometry and timing.
+    auto cache = [&k](const char *tag, const CacheParams &cc) {
+        std::string t(tag);
+        k.add((t + "Size").c_str(), cc.sizeBytes)
+            .add((t + "Assoc").c_str(), cc.assoc)
+            .add((t + "Line").c_str(), cc.lineBytes)
+            .add((t + "Hit").c_str(), cc.hitCycles)
+            .add((t + "Ports").c_str(), cc.ports);
+    };
+    cache("ic", cp.mem.icache);
+    cache("dc", cp.mem.dcache);
+    cache("l2", cp.mem.l2);
+
+    return k.str();
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    if (!path_.empty())
+        load();
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunResult *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = result;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // first use: the file does not exist yet
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(text.str(), doc, &error) || !doc.isObject()) {
+        FW_WARN("result cache %s unreadable (%s); starting empty",
+                path_.c_str(), error.c_str());
+        return;
+    }
+    if (doc["version"].asU64() != std::uint64_t(kFormatVersion)) {
+        FW_WARN("result cache %s has format version %llu (want %d); "
+                "starting empty",
+                path_.c_str(),
+                (unsigned long long)doc["version"].asU64(),
+                kFormatVersion);
+        return;
+    }
+    std::size_t incomplete = 0;
+    for (const auto &m : doc["entries"].members()) {
+        // An entry missing any field (written by an older build with
+        // the same format version) must miss, not zero-fill.
+        if (!runResultJsonComplete(m.second)) {
+            ++incomplete;
+            continue;
+        }
+        entries_[m.first] = runResultFromJson(m.second);
+    }
+    if (incomplete)
+        FW_WARN("result cache %s: dropped %zu incomplete entries",
+                path_.c_str(), incomplete);
+    FW_INFORM("result cache %s: loaded %zu entries", path_.c_str(),
+              entries_.size());
+}
+
+bool
+ResultCache::save() const
+{
+    if (path_.empty())
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json doc = Json::object();
+    doc.set("version", unsigned(kFormatVersion));
+    // Emit in sorted key order: the file must be byte-stable no
+    // matter which worker finished first.
+    std::vector<const std::string *> keys;
+    keys.reserve(entries_.size());
+    for (const auto &e : entries_)
+        keys.push_back(&e.first);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string *a, const std::string *b) {
+                  return *a < *b;
+              });
+    Json ents = Json::object();
+    for (const std::string *key : keys)
+        ents.add(*key, toJson(entries_.at(*key)));
+    doc.set("entries", std::move(ents));
+
+    // Write-then-rename so a killed run or a concurrent saver never
+    // leaves a truncated cache behind.
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            FW_WARN("cannot write result cache %s", tmp.c_str());
+            return false;
+        }
+        doc.write(out, 2);
+        out << '\n';
+        if (!out.good()) {
+            FW_WARN("short write to result cache %s", tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        FW_WARN("cannot move result cache into place at %s",
+                path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flywheel

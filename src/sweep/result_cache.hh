@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Content-addressed cache of completed simulation runs.  A RunConfig
+ * is reduced to a canonical key string naming every field that can
+ * influence the simulation outcome (workload profile knobs, core
+ * parameters, clocks, technology node, run lengths); the cache maps
+ * that key to the finished RunResult.  Repeating a sweep — or
+ * enlarging one axis of it — then re-simulates only the new points.
+ *
+ * The cache is thread-safe and optionally persistent: given a file
+ * path it loads existing entries on open and save() writes the merged
+ * set back as a single JSON document.
+ */
+
+#ifndef FLYWHEEL_SWEEP_RESULT_CACHE_HH
+#define FLYWHEEL_SWEEP_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/sim_driver.hh"
+
+namespace flywheel {
+
+/**
+ * Canonical cache key for @p config: a "field=value;" list covering
+ * every simulation-relevant field.  Two configs produce the same key
+ * iff runSim() is guaranteed to produce the same result for both.
+ */
+std::string configKey(const RunConfig &config);
+
+/** FNV-1a 64-bit hash, used for compact key digests in logs/exports. */
+std::uint64_t fnv1a64(const std::string &s);
+
+class ResultCache
+{
+  public:
+    /**
+     * @param path  optional persistence file; loaded immediately when
+     *              it exists (a missing file is an empty cache, a
+     *              malformed or version-mismatched file is discarded
+     *              with a warning).
+     */
+    explicit ResultCache(std::string path = "");
+
+    /** True and *out filled if @p key is cached. */
+    bool lookup(const std::string &key, RunResult *out) const;
+
+    /** Insert or overwrite the entry for @p key. */
+    void store(const std::string &key, const RunResult &result);
+
+    /**
+     * Write all entries to the persistence path (no-op without one).
+     * Returns false if the file cannot be written.
+     */
+    bool save() const;
+
+    std::size_t size() const;
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const std::string &path() const { return path_; }
+
+    /** On-disk format version (bump when serialization changes). */
+    static constexpr int kFormatVersion = 1;
+
+  private:
+    void load();
+
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, RunResult> entries_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_SWEEP_RESULT_CACHE_HH

@@ -1,0 +1,207 @@
+#include "sweep/sweep.hh"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "core/report.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+
+const char *
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::Baseline: return "baseline";
+      case CoreKind::RegisterAllocation: return "ra";
+      case CoreKind::Flywheel: return "flywheel";
+    }
+    return "unknown";
+}
+
+bool
+coreKindByName(const std::string &name, CoreKind *out)
+{
+    for (CoreKind k : {CoreKind::Baseline, CoreKind::RegisterAllocation,
+                       CoreKind::Flywheel}) {
+        if (name == coreKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+techNodeByName(const std::string &name, TechNode *out)
+{
+    for (TechNode n : allTechNodes()) {
+        if (name == techName(n)) {
+            *out = n;
+            return true;
+        }
+    }
+    return false;
+}
+
+SweepAxes::SweepAxes()
+    : warmupInstrs(defaultWarmupInstrs()),
+      measureInstrs(defaultMeasureInstrs())
+{}
+
+std::vector<SweepPoint>
+SweepAxes::expand() const
+{
+    const std::vector<std::string> &benches =
+        benchmarks.empty() ? benchmarkNames() : benchmarks;
+
+    std::vector<SweepPoint> points;
+    points.reserve(benches.size() * kinds.size() * clocks.size() *
+                   nodes.size() * gating.size());
+    for (const auto &bench : benches)
+        for (CoreKind kind : kinds)
+            for (const ClockPoint &clock : clocks)
+                for (TechNode node : nodes)
+                    for (bool gate : gating) {
+                        SweepPoint pt =
+                            makePoint(bench, kind, clock, node, gate);
+                        pt.config.warmupInstrs = warmupInstrs;
+                        pt.config.measureInstrs = measureInstrs;
+                        points.push_back(std::move(pt));
+                    }
+    return points;
+}
+
+SweepPoint
+makePoint(const std::string &bench_name, CoreKind kind, ClockPoint clock,
+          TechNode node, bool gating)
+{
+    SweepPoint pt;
+    pt.bench = bench_name;
+    pt.kind = kind;
+    pt.clock = clock;
+    pt.config.profile = benchmarkByName(bench_name);
+    pt.config.kind = kind;
+    pt.config.params = clockedParams(clock.feBoost, clock.beBoost);
+    pt.config.node = node;
+    pt.config.frontEndPowerGating = gating;
+    pt.config.warmupInstrs = defaultWarmupInstrs();
+    pt.config.measureInstrs = defaultMeasureInstrs();
+    return pt;
+}
+
+namespace {
+
+Json
+pointJson(const SweepPoint &pt)
+{
+    Json j = Json::object();
+    j.set("bench", pt.bench);
+    j.set("kind", coreKindName(pt.kind));
+    j.set("node", techName(pt.config.node));
+    j.set("feBoost", pt.clock.feBoost);
+    j.set("beBoost", pt.clock.beBoost);
+    j.set("gating", pt.config.frontEndPowerGating);
+    j.set("warmupInstrs", pt.config.warmupInstrs);
+    j.set("measureInstrs", pt.config.measureInstrs);
+    // Hex string: 64-bit hashes do not fit a JSON double exactly.
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  (unsigned long long)fnv1a64(configKey(pt.config)));
+    j.set("configHash", hash);
+    return j;
+}
+
+} // namespace
+
+void
+SweepTable::writeJson(std::ostream &os, int indent) const
+{
+    Json doc = Json::object();
+    doc.set("schema", "flywheel-sweep-v1");
+    Json rows = Json::array();
+    for (const auto &row : rows_) {
+        Json r = Json::object();
+        r.set("point", pointJson(row.point));
+        r.set("result", toJson(row.result));
+        rows.push(std::move(r));
+    }
+    doc.set("points", std::move(rows));
+    doc.write(os, indent);
+    os << '\n';
+}
+
+void
+SweepTable::writeCsv(std::ostream &os) const
+{
+    os << "bench,kind,node,feBoost,beBoost,gating,instructions,timePs,"
+          "ipc,ecResidency,mispredictRate,totalPj,averageWatts\n";
+    for (const auto &r : rows_) {
+        // Reuse the JSON number formatter so CSV bytes are stable too.
+        auto num = [](double v) { return Json(v).dump(); };
+        os << r.point.bench << ',' << coreKindName(r.point.kind) << ','
+           << techName(r.point.config.node) << ','
+           << num(r.point.clock.feBoost) << ','
+           << num(r.point.clock.beBoost) << ','
+           << (r.point.config.frontEndPowerGating ? 1 : 0) << ','
+           << r.result.instructions << ',' << r.result.timePs << ','
+           << num(r.result.ipc) << ',' << num(r.result.ecResidency)
+           << ',' << num(r.result.mispredictRate) << ','
+           << num(r.result.energy.totalPj()) << ','
+           << num(r.result.averageWatts) << '\n';
+    }
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), cache_(options.cachePath), pool_(options.jobs)
+{}
+
+RunResult
+SweepRunner::runOne(const RunConfig &config, bool *from_cache)
+{
+    const std::string key = configKey(config);
+    RunResult result;
+    if (cache_.lookup(key, &result)) {
+        if (from_cache)
+            *from_cache = true;
+        return result;
+    }
+    result = runSim(config);
+    cache_.store(key, result);
+    if (from_cache)
+        *from_cache = false;
+    return result;
+}
+
+SweepTable
+SweepRunner::run(const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepRecord> records(points.size());
+
+    std::mutex progress_mutex; // serializes the progress callback
+    std::size_t done = 0;
+
+    pool_.parallelFor(points.size(), [&](std::size_t i) {
+        SweepRecord &rec = records[i];
+        rec.point = points[i];
+        rec.result = runOne(rec.point.config, &rec.fromCache);
+        if (options_.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            ++done;
+            options_.progress(done, points.size(), rec.point, rec.result,
+                              rec.fromCache);
+        }
+    });
+
+    if (!options_.cachePath.empty())
+        cache_.save();
+
+    SweepTable table;
+    for (auto &rec : records)
+        table.add(std::move(rec));
+    return table;
+}
+
+} // namespace flywheel

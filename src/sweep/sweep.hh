@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.  Every figure and table in the
+ * paper is a parameter sweep — benchmark x core kind x clock boost x
+ * technology node — and this subsystem runs such grids on a worker
+ * thread pool instead of one point at a time.
+ *
+ * Guarantees:
+ *  - deterministic results: points are returned in submission order
+ *    and each point's RunResult is identical for any --jobs value,
+ *    because runSim() shares no mutable state between runs (workload
+ *    RNG and statistics are per-core instances; see the audit notes
+ *    in README.md);
+ *  - incremental re-runs: completed points are memoized in a
+ *    ResultCache keyed by the full simulation-relevant config, so
+ *    repeating or extending a sweep only simulates new points;
+ *  - structured export: a finished sweep serializes to JSON and CSV
+ *    with byte-stable output.
+ */
+
+#ifndef FLYWHEEL_SWEEP_SWEEP_HH
+#define FLYWHEEL_SWEEP_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/sim_driver.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/thread_pool.hh"
+
+namespace flywheel {
+
+/** One (front-end, back-end) clock boost pair (the paper's FEx/BEy). */
+struct ClockPoint
+{
+    double feBoost = 0.0;
+    double beBoost = 0.0;
+};
+
+/** One grid point: a labelled RunConfig. */
+struct SweepPoint
+{
+    std::string bench;          ///< profile name (row label)
+    CoreKind kind = CoreKind::Baseline;
+    ClockPoint clock;           ///< boosts baked into config.params
+    RunConfig config;
+};
+
+/** Short lower-case name for a core kind ("baseline", "ra", "flywheel"). */
+const char *coreKindName(CoreKind kind);
+/** Inverse of coreKindName(); returns false on unknown names. */
+bool coreKindByName(const std::string &name, CoreKind *out);
+/** Look up a TechNode from its techName() ("0.13um"); false if unknown. */
+bool techNodeByName(const std::string &name, TechNode *out);
+
+/**
+ * Composable sweep axes.  expand() produces the cartesian product in
+ * a fixed nesting order (benchmark, kind, clock, node, gating) so a
+ * grid always enumerates the same way.
+ */
+struct SweepAxes
+{
+    std::vector<std::string> benchmarks;            ///< empty = all ten
+    std::vector<CoreKind> kinds{CoreKind::Flywheel};
+    std::vector<ClockPoint> clocks{{0.0, 0.0}};
+    std::vector<TechNode> nodes{TechNode::N130};
+    std::vector<bool> gating{false};
+    std::uint64_t warmupInstrs;    ///< defaults honour FLYWHEEL_* env vars
+    std::uint64_t measureInstrs;
+
+    SweepAxes();
+
+    std::vector<SweepPoint> expand() const;
+};
+
+/** One completed grid point. */
+struct SweepRecord
+{
+    SweepPoint point;
+    RunResult result;
+    bool fromCache = false;
+};
+
+/** Results of a sweep, in submission order, with structured export. */
+class SweepTable
+{
+  public:
+    void add(SweepRecord record) { rows_.push_back(std::move(record)); }
+
+    const std::vector<SweepRecord> &rows() const { return rows_; }
+    std::size_t size() const { return rows_.size(); }
+    const SweepRecord &at(std::size_t i) const { return rows_.at(i); }
+
+    /** Full structured dump: config identity + complete RunResult. */
+    void writeJson(std::ostream &os, int indent = 2) const;
+
+    /** Flat spreadsheet view: one row per point, headline metrics. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<SweepRecord> rows_;
+};
+
+/** Knobs for a SweepRunner. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = FLYWHEEL_JOBS env or hardware concurrency. */
+    unsigned jobs = 0;
+    /** Persist the result cache at this path (empty = memory only). */
+    std::string cachePath;
+    /**
+     * Progress callback, invoked after each point completes (in
+     * completion order, serialized — never concurrently).
+     */
+    std::function<void(std::size_t done, std::size_t total,
+                       const SweepPoint &point, const RunResult &result,
+                       bool from_cache)>
+        progress;
+};
+
+/**
+ * Thread-pooled experiment runner.  The pool and cache persist across
+ * run() calls, so one runner can serve several grids in a session and
+ * later grids reuse earlier points.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** Run every point; results in submission order. */
+    SweepTable run(const std::vector<SweepPoint> &points);
+
+    /** Axes convenience overload. */
+    SweepTable run(const SweepAxes &axes) { return run(axes.expand()); }
+
+    /** Run one config through the cache. */
+    RunResult runOne(const RunConfig &config, bool *from_cache = nullptr);
+
+    ResultCache &cache() { return cache_; }
+    ThreadPool &pool() { return pool_; }
+    unsigned jobs() const { return pool_.threadCount(); }
+
+  private:
+    SweepOptions options_;
+    ResultCache cache_;
+    ThreadPool pool_;
+};
+
+/**
+ * Build the labelled grid point for @p bench_name on @p kind with the
+ * given clock boosts — the standard way benches construct points.
+ */
+SweepPoint makePoint(const std::string &bench_name, CoreKind kind,
+                     ClockPoint clock, TechNode node = TechNode::N130,
+                     bool gating = false);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_SWEEP_SWEEP_HH

@@ -1,0 +1,108 @@
+#include "sweep/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace flywheel {
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("FLYWHEEL_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // One task per worker; each claims indices from a shared cursor.
+    // Cheaper than n queue entries and keeps claim order sequential.
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    std::size_t tasks = std::min<std::size_t>(workers_.size(), n);
+    for (std::size_t t = 0; t < tasks; ++t) {
+        submit([cursor, n, &fn] {
+            for (;;) {
+                std::size_t i = cursor->fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++running_;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --running_;
+            if (tasks_.empty() && running_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace flywheel

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the sweep engine.  Workers are
+ * started once and reused across submissions; tasks are arbitrary
+ * callables.  parallelFor() provides the common "N independent
+ * indices" shape with deterministic result placement: work items may
+ * complete in any order, but each writes only its own slot, so the
+ * output of a sweep is identical for any worker count.
+ */
+
+#ifndef FLYWHEEL_SWEEP_THREAD_POOL_HH
+#define FLYWHEEL_SWEEP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flywheel {
+
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 means defaultJobs()). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(i) for each i in [0, n) on the pool and block until all
+     * are done.  fn is called concurrently from worker threads; with
+     * a single worker the calls happen in index order.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Worker count used when none is requested: the FLYWHEEL_JOBS
+     * environment variable if set, else the hardware concurrency
+     * (min 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::queue<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t running_ = 0;   ///< tasks currently executing
+    bool stopping_ = false;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_SWEEP_THREAD_POOL_HH

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: thread-pool behaviour,
+ * determinism across worker counts, result-cache hits (in-memory and
+ * on-disk), JSON round-trip of RunResult, and export stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hh"
+#include "core/report.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/sweep.hh"
+#include "sweep/thread_pool.hh"
+
+namespace flywheel {
+namespace {
+
+/** Small grid used by most tests: 2 benches x {baseline, flywheel}. */
+std::vector<SweepPoint>
+smallGrid()
+{
+    std::vector<SweepPoint> points;
+    for (const char *bench : {"gzip", "gcc"}) {
+        points.push_back(makePoint(bench, CoreKind::Baseline, {0.0, 0.0}));
+        points.push_back(
+            makePoint(bench, CoreKind::Flywheel, {0.5, 0.5}));
+    }
+    // Keep the grid cheap: the engine's properties do not depend on
+    // the simulated instruction count.
+    for (auto &pt : points) {
+        pt.config.warmupInstrs = 2000;
+        pt.config.measureInstrs = 5000;
+    }
+    return points;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ConfigKey, DistinguishesEveryAxis)
+{
+    SweepPoint base = makePoint("gcc", CoreKind::Flywheel, {0.5, 0.5});
+    std::string key = configKey(base.config);
+
+    SweepPoint other_bench =
+        makePoint("gzip", CoreKind::Flywheel, {0.5, 0.5});
+    EXPECT_NE(key, configKey(other_bench.config));
+
+    SweepPoint other_kind =
+        makePoint("gcc", CoreKind::Baseline, {0.5, 0.5});
+    EXPECT_NE(key, configKey(other_kind.config));
+
+    SweepPoint other_clock =
+        makePoint("gcc", CoreKind::Flywheel, {0.25, 0.5});
+    EXPECT_NE(key, configKey(other_clock.config));
+
+    SweepPoint other_node = makePoint("gcc", CoreKind::Flywheel,
+                                      {0.5, 0.5}, TechNode::N60);
+    EXPECT_NE(key, configKey(other_node.config));
+
+    RunConfig longer = base.config;
+    longer.measureInstrs += 1;
+    EXPECT_NE(key, configKey(longer));
+
+    SweepPoint same = makePoint("gcc", CoreKind::Flywheel, {0.5, 0.5});
+    EXPECT_EQ(key, configKey(same.config));
+}
+
+TEST(SweepRunner, DeterministicAcrossJobCounts)
+{
+    std::vector<SweepPoint> points = smallGrid();
+
+    std::vector<SweepTable> tables;
+    for (unsigned jobs : {1u, 4u, 8u}) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        SweepRunner runner(opts);
+        tables.push_back(runner.run(points));
+    }
+
+    for (std::size_t t = 1; t < tables.size(); ++t) {
+        ASSERT_EQ(tables[t].size(), tables[0].size());
+        for (std::size_t i = 0; i < tables[0].size(); ++i) {
+            const RunResult &a = tables[0].at(i).result;
+            const RunResult &b = tables[t].at(i).result;
+            EXPECT_EQ(a.timePs, b.timePs) << "point " << i;
+            EXPECT_EQ(a.instructions, b.instructions) << "point " << i;
+            EXPECT_EQ(toJson(a).dump(), toJson(b).dump())
+                << "point " << i;
+        }
+        // Byte-identical structured export, the acceptance criterion.
+        std::ostringstream ja, jb, ca, cb;
+        tables[0].writeJson(ja);
+        tables[t].writeJson(jb);
+        EXPECT_EQ(ja.str(), jb.str());
+        tables[0].writeCsv(ca);
+        tables[t].writeCsv(cb);
+        EXPECT_EQ(ca.str(), cb.str());
+    }
+}
+
+TEST(SweepRunner, CacheHitsOnRerun)
+{
+    std::vector<SweepPoint> points = smallGrid();
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    SweepRunner runner(opts);
+
+    SweepTable first = runner.run(points);
+    for (const auto &row : first.rows())
+        EXPECT_FALSE(row.fromCache);
+    EXPECT_EQ(runner.cache().size(), points.size());
+
+    SweepTable second = runner.run(points);
+    for (const auto &row : second.rows())
+        EXPECT_TRUE(row.fromCache);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(toJson(first.at(i).result).dump(),
+                  toJson(second.at(i).result).dump());
+}
+
+TEST(SweepRunner, DiskCachePersistsAcrossRunners)
+{
+    std::vector<SweepPoint> points = smallGrid();
+    const std::string path = "test_sweep_cache.json";
+    std::remove(path.c_str());
+
+    std::string first_json;
+    {
+        SweepOptions opts;
+        opts.jobs = 2;
+        opts.cachePath = path;
+        SweepRunner runner(opts);
+        std::ostringstream os;
+        runner.run(points).writeJson(os);
+        first_json = os.str();
+    }
+    {
+        SweepOptions opts;
+        opts.jobs = 2;
+        opts.cachePath = path;
+        SweepRunner runner(opts); // fresh process stand-in
+        SweepTable table = runner.run(points);
+        for (const auto &row : table.rows())
+            EXPECT_TRUE(row.fromCache);
+        std::ostringstream os;
+        table.writeJson(os);
+        EXPECT_EQ(os.str(), first_json);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunner, ProgressCallbackFiresOncePerPoint)
+{
+    std::vector<SweepPoint> points = smallGrid();
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.progress = [&](std::size_t done, std::size_t total,
+                        const SweepPoint &, const RunResult &, bool) {
+        ++calls;
+        EXPECT_EQ(total, points.size());
+        EXPECT_EQ(done, last_done + 1); // serialized, monotonic
+        last_done = done;
+    };
+    SweepRunner runner(opts);
+    runner.run(points);
+    EXPECT_EQ(calls, points.size());
+}
+
+TEST(SweepAxes, ExpandIsCartesianAndOrdered)
+{
+    SweepAxes axes;
+    axes.benchmarks = {"gzip", "gcc"};
+    axes.kinds = {CoreKind::Baseline, CoreKind::Flywheel};
+    axes.clocks = {{0.0, 0.0}, {0.5, 0.5}};
+    axes.nodes = {TechNode::N130, TechNode::N60};
+
+    std::vector<SweepPoint> points = axes.expand();
+    ASSERT_EQ(points.size(), 16u);
+    // Benchmark-major nesting order.
+    EXPECT_EQ(points[0].bench, "gzip");
+    EXPECT_EQ(points[8].bench, "gcc");
+    EXPECT_EQ(points[0].kind, CoreKind::Baseline);
+    EXPECT_EQ(points[4].kind, CoreKind::Flywheel);
+    EXPECT_EQ(points[0].config.node, TechNode::N130);
+    EXPECT_EQ(points[1].config.node, TechNode::N60);
+    EXPECT_EQ(points[2].clock.feBoost, 0.5);
+}
+
+TEST(Serialization, RunResultJsonRoundTrip)
+{
+    SweepPoint pt = makePoint("vpr", CoreKind::Flywheel, {0.25, 0.5});
+    pt.config.warmupInstrs = 2000;
+    pt.config.measureInstrs = 5000;
+    RunResult r = runSim(pt.config);
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(toJson(r).dump(2), parsed, &error)) << error;
+    RunResult back = runResultFromJson(parsed);
+
+    EXPECT_EQ(r.instructions, back.instructions);
+    EXPECT_EQ(r.timePs, back.timePs);
+    EXPECT_DOUBLE_EQ(r.ipc, back.ipc);
+    EXPECT_DOUBLE_EQ(r.ecResidency, back.ecResidency);
+    EXPECT_DOUBLE_EQ(r.mispredictRate, back.mispredictRate);
+    EXPECT_DOUBLE_EQ(r.averageWatts, back.averageWatts);
+    EXPECT_EQ(r.stats.retired, back.stats.retired);
+    EXPECT_EQ(r.stats.mispredicts, back.stats.mispredicts);
+    EXPECT_EQ(r.stats.ecRetired, back.stats.ecRetired);
+    EXPECT_EQ(r.events.totalTicks, back.events.totalTicks);
+    EXPECT_EQ(r.events.icacheAccesses, back.events.icacheAccesses);
+    EXPECT_DOUBLE_EQ(r.energy.totalPj(), back.energy.totalPj());
+    EXPECT_DOUBLE_EQ(r.energy.frontEndPj, back.energy.frontEndPj);
+    EXPECT_DOUBLE_EQ(r.energy.leakagePj, back.energy.leakagePj);
+
+    // Serialize -> parse -> serialize is byte-stable.
+    EXPECT_EQ(toJson(r).dump(2), toJson(back).dump(2));
+}
+
+TEST(Serialization, CsvHasOneLinePerPointPlusHeader)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    SweepRunner runner(opts);
+    SweepTable table = runner.run(smallGrid());
+
+    std::ostringstream os;
+    table.writeCsv(os);
+    std::string csv = os.str();
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, table.size() + 1);
+    EXPECT_EQ(csv.rfind("bench,kind,node,", 0), 0u);
+}
+
+TEST(Json, ParsesWhatItWrites)
+{
+    Json obj = Json::object();
+    obj.set("name", "sweep");
+    obj.set("count", std::uint64_t(42));
+    obj.set("ratio", 0.30000000000000004);
+    obj.set("flag", true);
+    obj.set("none", Json());
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two\nlines");
+    arr.push(false);
+    obj.set("items", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        Json back;
+        std::string error;
+        ASSERT_TRUE(Json::parse(obj.dump(indent), back, &error)) << error;
+        EXPECT_EQ(back["name"].asString(), "sweep");
+        EXPECT_EQ(back["count"].asU64(), 42u);
+        EXPECT_DOUBLE_EQ(back["ratio"].asDouble(), 0.30000000000000004);
+        EXPECT_TRUE(back["flag"].asBool());
+        EXPECT_TRUE(back["none"].isNull());
+        EXPECT_EQ(back["items"].size(), 3u);
+        EXPECT_EQ(back["items"].at(1).asString(), "two\nlines");
+    }
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    Json out;
+    EXPECT_FALSE(Json::parse("{\"a\": 1,", out));
+    EXPECT_FALSE(Json::parse("[1, 2", out));
+    EXPECT_FALSE(Json::parse("{\"a\" 1}", out));
+    EXPECT_FALSE(Json::parse("nope", out));
+    EXPECT_FALSE(Json::parse("1 2", out));
+}
+
+TEST(ResultCache, LookupMissThenHit)
+{
+    ResultCache cache;
+    RunResult r;
+    r.instructions = 123;
+    r.timePs = 456;
+
+    EXPECT_FALSE(cache.lookup("k", nullptr));
+    cache.store("k", r);
+    RunResult out;
+    ASSERT_TRUE(cache.lookup("k", &out));
+    EXPECT_EQ(out.instructions, 123u);
+    EXPECT_EQ(out.timePs, 456u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+} // namespace
+} // namespace flywheel

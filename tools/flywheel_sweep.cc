@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Command-line front end to the sweep engine: describe a grid with
+ * axis flags, run it on a worker pool, export structured results.
+ *
+ *   flywheel_sweep --bench gcc,vortex --kind baseline,flywheel \
+ *       --fe 0,0.25,0.5,0.75,1.0 --be 0.5 --node 0.13um \
+ *       --jobs 8 --cache sweep_cache.json --out results.json
+ *
+ * Omitted axes default to: all ten benchmarks, flywheel kind, one
+ * FE0/BE0 clock point, 0.13um, no power gating.  Output is
+ * byte-identical for any --jobs value.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sweep/sweep.hh"
+#include "workload/profiles.hh"
+
+using namespace flywheel;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]\n"
+        "\n"
+        "axes (comma-separated lists; the grid is their cartesian "
+        "product):\n"
+        "  --bench a,b,...   benchmark names (default: all ten)\n"
+        "  --kind k,...      baseline | ra | flywheel "
+        "(default: flywheel)\n"
+        "  --fe x,...        front-end boosts, e.g. 0,0.5,1.0 "
+        "(default: 0)\n"
+        "  --be x,...        back-end boosts (default: 0)\n"
+        "  --node n,...      tech nodes, e.g. 0.13um,0.09um "
+        "(default: 0.13um)\n"
+        "  --gating g,...    front-end power gating, 0 and/or 1 "
+        "(default: 0)\n"
+        "\n"
+        "run control:\n"
+        "  --jobs N          worker threads (default: FLYWHEEL_JOBS or "
+        "all cores)\n"
+        "  --warmup N        warm-up instructions per point\n"
+        "  --instrs N        measured instructions per point\n"
+        "  --cache FILE      persistent result cache (JSON)\n"
+        "\n"
+        "output:\n"
+        "  --out FILE        write full results as JSON ('-' = stdout)\n"
+        "  --csv FILE        write summary CSV ('-' = stdout)\n"
+        "  --quiet           suppress per-point progress\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<double>
+parseDoubles(const std::string &arg, const char *flag)
+{
+    std::vector<double> out;
+    for (const auto &tok : splitList(arg)) {
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            FW_FATAL("%s: bad number '%s'", flag, tok.c_str());
+        out.push_back(v);
+    }
+    if (out.empty())
+        FW_FATAL("%s: empty list", flag);
+    return out;
+}
+
+/** Open @p path for writing, or map "-" to stdout. */
+std::ostream &
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    file.open(path);
+    if (!file)
+        FW_FATAL("cannot write %s", path.c_str());
+    return file;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepAxes axes;
+    SweepOptions opts;
+    std::string out_path;
+    std::string csv_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                FW_FATAL("%s requires a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--bench") {
+            axes.benchmarks = splitList(value());
+            for (const auto &b : axes.benchmarks)
+                benchmarkByName(b); // validate early (fatal if unknown)
+        } else if (flag == "--kind") {
+            axes.kinds.clear();
+            for (const auto &tok : splitList(value())) {
+                CoreKind k;
+                if (!coreKindByName(tok, &k))
+                    FW_FATAL("--kind: unknown core kind '%s'",
+                             tok.c_str());
+                axes.kinds.push_back(k);
+            }
+        } else if (flag == "--fe" || flag == "--be") {
+            bool is_fe = flag == "--fe";
+            std::vector<double> boosts = parseDoubles(value(),
+                                                      flag.c_str());
+            // Rebuild the clock grid as the fe x be product of
+            // whatever has been specified so far.
+            std::vector<double> other;
+            for (const auto &c : axes.clocks) {
+                double v = is_fe ? c.beBoost : c.feBoost;
+                if (std::find(other.begin(), other.end(), v) ==
+                    other.end())
+                    other.push_back(v);
+            }
+            axes.clocks.clear();
+            for (double fe : is_fe ? boosts : other)
+                for (double be : is_fe ? other : boosts)
+                    axes.clocks.push_back({fe, be});
+        } else if (flag == "--node") {
+            axes.nodes.clear();
+            for (const auto &tok : splitList(value())) {
+                TechNode n;
+                if (!techNodeByName(tok, &n))
+                    FW_FATAL("--node: unknown tech node '%s' "
+                             "(use e.g. 0.13um)", tok.c_str());
+                axes.nodes.push_back(n);
+            }
+        } else if (flag == "--gating") {
+            axes.gating.clear();
+            for (const auto &tok : splitList(value())) {
+                if (tok != "0" && tok != "1")
+                    FW_FATAL("--gating: expected 0 or 1, got '%s'",
+                             tok.c_str());
+                axes.gating.push_back(tok == "1");
+            }
+        } else if (flag == "--jobs") {
+            opts.jobs = unsigned(std::strtoul(value().c_str(),
+                                              nullptr, 10));
+            if (opts.jobs == 0)
+                FW_FATAL("--jobs must be >= 1");
+        } else if (flag == "--warmup") {
+            axes.warmupInstrs = std::strtoull(value().c_str(),
+                                              nullptr, 10);
+        } else if (flag == "--instrs") {
+            axes.measureInstrs = std::strtoull(value().c_str(),
+                                               nullptr, 10);
+        } else if (flag == "--cache") {
+            opts.cachePath = value();
+        } else if (flag == "--out") {
+            out_path = value();
+        } else if (flag == "--csv") {
+            csv_path = value();
+        } else if (flag == "--quiet") {
+            quiet = true;
+        } else if (flag == "--help" || flag == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n\n", flag.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<SweepPoint> points = axes.expand();
+    if (!quiet) {
+        opts.progress = [](std::size_t done, std::size_t total,
+                           const SweepPoint &pt, const RunResult &r,
+                           bool from_cache) {
+            std::fprintf(stderr,
+                         "[%3zu/%zu] %-8s %-8s %s FE%.0f%%/BE%.0f%% "
+                         "time %.3f us%s\n",
+                         done, total, pt.bench.c_str(),
+                         coreKindName(pt.kind), techName(pt.config.node),
+                         pt.clock.feBoost * 100.0,
+                         pt.clock.beBoost * 100.0,
+                         double(r.timePs) / 1e6,
+                         from_cache ? " (cached)" : "");
+        };
+    }
+
+    SweepRunner runner(opts);
+    if (!quiet)
+        std::fprintf(stderr, "%zu points on %u workers\n", points.size(),
+                     runner.jobs());
+    SweepTable table = runner.run(points);
+
+    if (!quiet && !opts.cachePath.empty())
+        std::fprintf(stderr, "cache: %llu hits, %llu misses (%s)\n",
+                     (unsigned long long)runner.cache().hits(),
+                     (unsigned long long)runner.cache().misses(),
+                     opts.cachePath.c_str());
+
+    if (!out_path.empty()) {
+        std::ofstream file;
+        table.writeJson(openOut(out_path, file));
+    }
+    if (!csv_path.empty()) {
+        std::ofstream file;
+        table.writeCsv(openOut(csv_path, file));
+    }
+    if (out_path.empty() && csv_path.empty())
+        table.writeCsv(std::cout);
+    return 0;
+}
