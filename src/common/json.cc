@@ -214,13 +214,30 @@ class Parser
         double v = std::strtod(text.c_str(), &endp);
         if (endp != text.c_str() + text.size())
             return fail("invalid number: " + text);
+        if (!std::isfinite(v))
+            return fail("non-finite number: " + text);
         out = Json(v);
         return true;
     }
 
+    /** RAII nesting-depth guard shared by array() and object(). */
+    class DepthGuard
+    {
+      public:
+        explicit DepthGuard(Parser &p) : p_(p) { ++p_.depth_; }
+        ~DepthGuard() { --p_.depth_; }
+        bool ok() const { return p_.depth_ <= Json::kMaxParseDepth; }
+
+      private:
+        Parser &p_;
+    };
+
     bool
     array(Json &out)
     {
+        DepthGuard depth(*this);
+        if (!depth.ok())
+            return fail("nesting deeper than the supported maximum");
         ++p_; // '['
         out = Json::array();
         skipWs();
@@ -251,6 +268,9 @@ class Parser
     bool
     object(Json &out)
     {
+        DepthGuard depth(*this);
+        if (!depth.ok())
+            return fail("nesting deeper than the supported maximum");
         ++p_; // '{'
         out = Json::object();
         skipWs();
@@ -293,6 +313,7 @@ class Parser
 
     const char *p_;
     const char *end_;
+    int depth_ = 0;
     std::string error_;
 };
 

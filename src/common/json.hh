@@ -15,6 +15,7 @@
 #define FLYWHEEL_COMMON_JSON_HH
 
 #include <cstdint>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -50,7 +51,22 @@ class Json
 
     bool asBool() const { return bool_; }
     double asDouble() const { return num_; }
-    std::uint64_t asU64() const { return std::uint64_t(num_); }
+    /**
+     * Number as uint64, saturating: negative values clamp to 0 and
+     * values at or beyond 2^64 clamp to UINT64_MAX (the double
+     * nearest UINT64_MAX is exactly 2^64, so a serialized UINT64_MAX
+     * round-trips through the clamp).  Avoids the undefined
+     * out-of-range double->integer conversion.
+     */
+    std::uint64_t
+    asU64() const
+    {
+        if (!(num_ > 0.0))
+            return 0;
+        if (num_ >= 18446744073709551616.0)  // 2^64
+            return std::numeric_limits<std::uint64_t>::max();
+        return std::uint64_t(num_);
+    }
     const std::string &asString() const { return str_; }
 
     /** Array element access (empty Json if out of range). */
@@ -91,9 +107,15 @@ class Json
     /**
      * Parse @p text.  On success returns true and fills @p out; on
      * failure returns false and describes the problem in @p error.
+     * Non-finite numbers (NaN/Infinity literals or overflowing
+     * exponents) are rejected, and container nesting deeper than
+     * kMaxParseDepth fails cleanly instead of overflowing the stack.
      */
     static bool parse(const std::string &text, Json &out,
                       std::string *error = nullptr);
+
+    /** Maximum array/object nesting depth parse() accepts. */
+    static constexpr int kMaxParseDepth = 128;
 
   private:
     void writeImpl(std::ostream &os, int indent, int depth) const;

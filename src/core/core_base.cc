@@ -291,7 +291,12 @@ CoreBase::stepIssue(Tick now, Tick be_period)
 void
 CoreBase::stepComplete(Tick now, Tick)
 {
-    for (InFlightInst &p : rob_) {
+    // Index-based on purpose: onMispredictResolved may squash the
+    // wrong-path tail of the ROB (trace divergence), which pops
+    // younger entries off the back and would invalidate iterators
+    // held across the callback.
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        InFlightInst &p = rob_[i];
         if (p.issued && !p.completed && p.completeTick <= now) {
             p.completed = true;
             if (p.mispredicted && !p.squashed)
@@ -331,6 +336,8 @@ CoreBase::stepRetire(Tick now, Tick be_period)
         }
 
         onRetire(h, now);
+        if (retireHook_)
+            retireHook_(h, now);
 
         if (h.isMem())
             lsq_.retire(h.arch.seq);

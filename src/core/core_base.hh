@@ -26,6 +26,7 @@
 #define FLYWHEEL_CORE_CORE_BASE_HH
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "branch/btb.hh"
@@ -88,6 +89,14 @@ class CoreBase
 
     /** Simulated wall-clock time elapsed so far (ps). */
     Tick elapsedPs() const { return events_.totalTicks; }
+
+    /**
+     * Observation tap invoked after every architectural retirement,
+     * in program order (the verification subsystem cross-checks cores
+     * through it).  The hook must not mutate simulator state.
+     */
+    using RetireHook = std::function<void(const InFlightInst &, Tick)>;
+    void setRetireHook(RetireHook hook) { retireHook_ = std::move(hook); }
 
   protected:
     // ---- renaming hooks -------------------------------------------------
@@ -163,6 +172,8 @@ class CoreBase
 
     std::uint64_t lastProgressRetired_ = 0;
     Tick lastProgressTick_ = 0;
+
+    RetireHook retireHook_;
 
   private:
     std::vector<InFlightInst *> eligible_;   // scratch for stepIssue

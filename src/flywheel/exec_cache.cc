@@ -1,5 +1,7 @@
 #include "flywheel/exec_cache.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace flywheel {
@@ -113,6 +115,17 @@ ExecCache::invalidateAll()
 {
     traces_.clear();
     usedBlocks_ = 0;
+}
+
+std::vector<Addr>
+ExecCache::tracePcs() const
+{
+    std::vector<Addr> pcs;
+    pcs.reserve(traces_.size());
+    for (const auto &e : traces_)
+        pcs.push_back(e.first);
+    std::sort(pcs.begin(), pcs.end());
+    return pcs;
 }
 
 } // namespace flywheel

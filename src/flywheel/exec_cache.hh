@@ -116,6 +116,13 @@ class ExecCache
     /** Drop the trace starting at @p pc (must not be pinned). */
     void erase(Addr pc);
 
+    /**
+     * Start PCs of every resident trace, in ascending order (for
+     * inspection and fault-injection tests; pair with lookup() to
+     * reach the stored traces).
+     */
+    std::vector<Addr> tracePcs() const;
+
     unsigned blockSlots() const { return blockSlots_; }
     unsigned usedBlocks() const { return usedBlocks_; }
     unsigned totalBlocks() const { return totalBlocks_; }

@@ -63,6 +63,14 @@ class FlywheelCore : public CoreBase
     const ExecCache &execCache() const { return ec_; }
     const PoolRenameUnit &pools() const { return pools_; }
 
+    /**
+     * Mutable Execution Cache access for verification tooling only:
+     * fault-injection tests corrupt resident traces through this to
+     * prove the replay validation catches them.  Not for simulation
+     * code.
+     */
+    ExecCache &mutableExecCache() { return ec_; }
+
   protected:
     bool canRenameDest(const InFlightInst &inst) override;
     void renameSrcs(InFlightInst &inst) override;

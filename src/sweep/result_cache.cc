@@ -233,6 +233,12 @@ ResultCache::load()
                 kFormatVersion);
         return;
     }
+    if (!doc["entries"].isObject()) {
+        FW_WARN("result cache %s has no usable entries section; "
+                "starting empty",
+                path_.c_str());
+        return;
+    }
     std::size_t incomplete = 0;
     for (const auto &m : doc["entries"].members()) {
         // An entry missing any field (written by an older build with

@@ -1,0 +1,380 @@
+#include "verify/differential.hh"
+
+#include <cstdio>
+#include <deque>
+
+#include "core/baseline_core.hh"
+#include "core/inflight.hh"
+#include "flywheel/flywheel_core.hh"
+#include "workload/generator.hh"
+
+namespace flywheel {
+
+namespace {
+
+/** EnergyEvents counters by name, for monotonicity sweeps. */
+struct EventField
+{
+    const char *name;
+    std::uint64_t EnergyEvents::*member;
+};
+
+const EventField kEventFields[] = {
+    {"icacheAccesses", &EnergyEvents::icacheAccesses},
+    {"bpredLookups", &EnergyEvents::bpredLookups},
+    {"btbLookups", &EnergyEvents::btbLookups},
+    {"decodedOps", &EnergyEvents::decodedOps},
+    {"renameOps", &EnergyEvents::renameOps},
+    {"dispatchOps", &EnergyEvents::dispatchOps},
+    {"iwBroadcasts", &EnergyEvents::iwBroadcasts},
+    {"iwIssues", &EnergyEvents::iwIssues},
+    {"ratAccesses", &EnergyEvents::ratAccesses},
+    {"rfReads", &EnergyEvents::rfReads},
+    {"rfWrites", &EnergyEvents::rfWrites},
+    {"aluOps", &EnergyEvents::aluOps},
+    {"mulOps", &EnergyEvents::mulOps},
+    {"fpOps", &EnergyEvents::fpOps},
+    {"resultBusOps", &EnergyEvents::resultBusOps},
+    {"dcacheAccesses", &EnergyEvents::dcacheAccesses},
+    {"l2Accesses", &EnergyEvents::l2Accesses},
+    {"memAccesses", &EnergyEvents::memAccesses},
+    {"lsqOps", &EnergyEvents::lsqOps},
+    {"robOps", &EnergyEvents::robOps},
+    {"ecTaLookups", &EnergyEvents::ecTaLookups},
+    {"ecDaReads", &EnergyEvents::ecDaReads},
+    {"ecDaWrites", &EnergyEvents::ecDaWrites},
+    {"fillBufferOps", &EnergyEvents::fillBufferOps},
+    {"updateOps", &EnergyEvents::updateOps},
+    {"checkpointOps", &EnergyEvents::checkpointOps},
+    {"totalTicks", &EnergyEvents::totalTicks},
+    {"feActiveTicks", &EnergyEvents::feActiveTicks},
+    {"feCycles", &EnergyEvents::feCycles},
+    {"beCycles", &EnergyEvents::beCycles},
+    {"iwActiveCycles", &EnergyEvents::iwActiveCycles},
+};
+
+std::string
+hex(Addr a)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)a);
+    return buf;
+}
+
+void
+applyFault(RetireRecord &r, FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CorruptPc:
+        r.pc += kInstBytes;
+        break;
+      case FaultKind::CorruptDest:
+        r.dest = (r.dest == kNoArchReg) ? ArchReg(3)
+                                        : ArchReg((r.dest + 1) %
+                                                  kNumArchRegs);
+        break;
+      case FaultKind::CorruptEffAddr:
+        r.effAddr ^= 0x40;
+        break;
+      case FaultKind::FlipTaken:
+        r.taken = !r.taken;
+        break;
+      case FaultKind::DropRetire:
+      case FaultKind::None:
+        break;
+    }
+}
+
+} // namespace
+
+RetireRecord
+RetireRecord::from(const DynInst &d)
+{
+    RetireRecord r;
+    r.seq = d.seq;
+    r.pc = d.pc;
+    r.op = d.op;
+    r.dest = d.dest;
+    r.src1 = d.src1;
+    r.src2 = d.src2;
+    r.isCondBranch = d.isCondBranch;
+    r.taken = d.taken;
+    r.target = d.target;
+    r.effAddr = d.effAddr;
+    return r;
+}
+
+RetireRecord
+RetireRecord::from(const InFlightInst &i)
+{
+    RetireRecord r = from(i.arch);
+    r.fromEc = i.fromEc;
+    return r;
+}
+
+bool
+RetireRecord::archEquals(const RetireRecord &o) const
+{
+    return seq == o.seq && pc == o.pc && op == o.op && dest == o.dest &&
+           src1 == o.src1 && src2 == o.src2 &&
+           isCondBranch == o.isCondBranch && taken == o.taken &&
+           target == o.target && effAddr == o.effAddr;
+}
+
+std::string
+RetireRecord::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "seq=%llu pc=%s %s d=%d s1=%d s2=%d%s%s ea=%s%s",
+                  (unsigned long long)seq, hex(pc).c_str(),
+                  opClassName(op),
+                  dest == kNoArchReg ? -1 : int(dest),
+                  src1 == kNoArchReg ? -1 : int(src1),
+                  src2 == kNoArchReg ? -1 : int(src2),
+                  isCondBranch ? (taken ? " T" : " NT") : "",
+                  op == OpClass::Branch ? (" ->" + hex(target)).c_str()
+                                        : "",
+                  hex(effAddr).c_str(), fromEc ? " [EC]" : "");
+    return buf;
+}
+
+std::string
+DiffReport::summary() const
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "%s: %llu instructions cross-checked, "
+                  "%llu via EC replay (residency %.3f), %zu failure%s",
+                  ok() ? "PASS" : "FAIL",
+                  (unsigned long long)instructionsChecked,
+                  (unsigned long long)ecRetired, ecResidency,
+                  failures.size(), failures.size() == 1 ? "" : "s");
+    std::string s = head;
+    for (const DiffFailure &f : failures) {
+        s += "\n  [" + f.check + "] ";
+        if (f.seq)
+            s += "seq " + std::to_string(f.seq) + ": ";
+        s += f.detail;
+    }
+    if (!ok() && !reproHint.empty())
+        s += "\n  repro: " + reproHint;
+    return s;
+}
+
+DiffReport
+runDifferential(const BenchProfile &profile, const DiffOptions &opts)
+{
+    DiffReport report;
+    report.reproHint = opts.reproHint;
+
+    auto fail = [&](const std::string &check, InstSeqNum seq,
+                    const std::string &detail) {
+        if (report.failures.size() < opts.maxFailures)
+            report.failures.push_back({check, seq, detail});
+    };
+
+    StaticProgram program(profile);
+    WorkloadStream baseStream(program, opts.streamSeed);
+    WorkloadStream flyStream(program, opts.streamSeed);
+    WorkloadStream oracle(program, opts.streamSeed);
+
+    CoreParams flyParams = opts.params;
+    if (opts.kind == CoreKind::RegisterAllocation)
+        flyParams.execCacheEnabled = false;
+    BaselineCore base(opts.params, baseStream);
+    FlywheelCore fly(flyParams, flyStream);
+
+    std::deque<RetireRecord> baseQ, flyQ;
+    std::uint64_t flyRetires = 0;
+    std::uint64_t basePushed = 0, flyPushed = 0;
+    base.setRetireHook([&](const InFlightInst &i, Tick) {
+        baseQ.push_back(RetireRecord::from(i));
+        ++basePushed;
+    });
+    fly.setRetireHook([&](const InFlightInst &i, Tick) {
+        RetireRecord r = RetireRecord::from(i);
+        const std::uint64_t idx = flyRetires++;
+        if (r.fromEc)
+            ++report.ecRetired;
+        if (opts.injectFault != FaultKind::None &&
+            idx == opts.faultIndex) {
+            if (opts.injectFault == FaultKind::DropRetire)
+                return;
+            applyFault(r, opts.injectFault);
+        }
+        flyQ.push_back(r);
+        ++flyPushed;
+    });
+
+    EnergyEvents prevBase = base.events();
+    EnergyEvents prevFly = fly.events();
+    Tick prevBaseTime = 0, prevFlyTime = 0;
+    // Per-core expected sequence numbers: the cores overshoot run(n)
+    // by different amounts, so the queues drain unevenly and each
+    // core's contiguity must be tracked on its own.
+    InstSeqNum expectBase = 1, expectFly = 1;
+
+    auto checkEnergy = [&](const char *who, const EnergyEvents &now,
+                           EnergyEvents &prev) {
+        for (const EventField &f : kEventFields) {
+            if (now.*(f.member) < prev.*(f.member)) {
+                fail("energy-monotone", 0,
+                     std::string(who) + "." + f.name + " went from " +
+                         std::to_string(prev.*(f.member)) + " to " +
+                         std::to_string(now.*(f.member)));
+            }
+        }
+        prev = now;
+    };
+
+    auto checkPools = [&]() {
+        const PoolRenameUnit &pools = fly.pools();
+        std::uint64_t sizes = 0, inflight = 0;
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            const unsigned size = pools.poolSize(r);
+            const unsigned in = pools.inflight(r);
+            sizes += size;
+            inflight += in;
+            if (size < 2) {
+                fail("pool-partition", 0,
+                     "r" + std::to_string(r) + " pool size " +
+                         std::to_string(size) + " < 2");
+            } else if (in > size - 1) {
+                fail("pool-overflow", 0,
+                     "r" + std::to_string(r) + " has " +
+                         std::to_string(in) +
+                         " in-flight writes in a pool of " +
+                         std::to_string(size));
+            }
+        }
+        if (sizes != flyParams.poolPhysRegs) {
+            fail("pool-partition", 0,
+                 "pool sizes sum to " + std::to_string(sizes) +
+                     ", register file has " +
+                     std::to_string(flyParams.poolPhysRegs));
+        }
+        if (inflight > flyParams.robEntries) {
+            fail("pool-leak", 0,
+                 std::to_string(inflight) +
+                     " in-flight writes exceed the ROB capacity " +
+                     std::to_string(flyParams.robEntries) +
+                     " (entries leaked by a squash or retire path)");
+        }
+    };
+
+    std::uint64_t remaining = opts.instructions;
+    while (remaining > 0 && report.failures.size() < opts.maxFailures) {
+        const std::uint64_t n = std::min(remaining, opts.chunkInstrs);
+        base.run(n);
+        fly.run(n);
+        remaining -= n;
+
+        while (!baseQ.empty() && !flyQ.empty() &&
+               report.failures.size() < opts.maxFailures) {
+            const RetireRecord rb = baseQ.front();
+            const RetireRecord rf = flyQ.front();
+            baseQ.pop_front();
+            flyQ.pop_front();
+            const RetireRecord ro = RetireRecord::from(oracle.next());
+
+            // Contiguity first: a drop/duplicate desynchronizes every
+            // later comparison, so report it as what it is.
+            if (rf.seq != expectFly) {
+                fail("retire-order", rf.seq,
+                     "flywheel retired seq " + std::to_string(rf.seq) +
+                         " where " + std::to_string(expectFly) +
+                         " was expected");
+            }
+            if (rb.seq != expectBase) {
+                fail("retire-order", rb.seq,
+                     "baseline retired seq " + std::to_string(rb.seq) +
+                         " where " + std::to_string(expectBase) +
+                         " was expected");
+            }
+            ++expectBase;
+            ++expectFly;
+
+            if (!rb.archEquals(ro)) {
+                fail("baseline-vs-oracle", ro.seq,
+                     "retired { " + rb.toString() + " } oracle { " +
+                         ro.toString() + " }");
+            }
+            if (!rf.archEquals(ro)) {
+                fail("flywheel-vs-oracle", ro.seq,
+                     "retired { " + rf.toString() + " } oracle { " +
+                         ro.toString() + " }");
+            }
+            if (!rf.archEquals(rb)) {
+                fail("cross-core", rb.seq,
+                     "flywheel { " + rf.toString() + " } baseline { " +
+                         rb.toString() + " }");
+            }
+            ++report.instructionsChecked;
+        }
+
+        if (base.elapsedPs() < prevBaseTime)
+            fail("time-monotone", 0, "baseline clock went backwards");
+        if (fly.elapsedPs() < prevFlyTime)
+            fail("time-monotone", 0, "flywheel clock went backwards");
+        prevBaseTime = base.elapsedPs();
+        prevFlyTime = fly.elapsedPs();
+
+        checkEnergy("baseline", base.events(), prevBase);
+        checkEnergy("flywheel", fly.events(), prevFly);
+        checkPools();
+    }
+
+    // Tail audit: leftover unpaired records (run(n) overshoot) must
+    // still continue each core's contiguous sequence, and every
+    // retirement a core counted must have reached the tap — without
+    // this, a retirement dropped at the very end of the run (nothing
+    // after it to expose the gap) would pass silently.
+    for (const RetireRecord &r : baseQ) {
+        if (r.seq != expectBase) {
+            fail("retire-order", r.seq,
+                 "baseline tail retired seq " + std::to_string(r.seq) +
+                     " where " + std::to_string(expectBase) +
+                     " was expected");
+            break;
+        }
+        ++expectBase;
+    }
+    for (const RetireRecord &r : flyQ) {
+        if (r.seq != expectFly) {
+            fail("retire-order", r.seq,
+                 "flywheel tail retired seq " + std::to_string(r.seq) +
+                     " where " + std::to_string(expectFly) +
+                     " was expected");
+            break;
+        }
+        ++expectFly;
+    }
+    if (basePushed != base.stats().retired) {
+        fail("retire-tap", 0,
+             "baseline retired " +
+                 std::to_string(base.stats().retired) +
+                 " instructions but the tap observed " +
+                 std::to_string(basePushed));
+    }
+    if (flyPushed != fly.stats().retired) {
+        fail("retire-tap", 0,
+             "flywheel retired " + std::to_string(fly.stats().retired) +
+                 " instructions but the tap observed " +
+                 std::to_string(flyPushed));
+    }
+
+    // Retirement accounting must agree with what the hook observed.
+    if (fly.stats().ecRetired != report.ecRetired) {
+        fail("ec-accounting", 0,
+             "stats.ecRetired " + std::to_string(fly.stats().ecRetired) +
+                 " but the retire tap saw " +
+                 std::to_string(report.ecRetired) + " EC retires");
+    }
+    report.ecResidency = fly.stats().retired
+        ? double(report.ecRetired) / double(fly.stats().retired)
+        : 0.0;
+    return report;
+}
+
+} // namespace flywheel

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Differential verification of the Flywheel against the baseline
+ * (and both against the workload oracle).  The paper's central claim
+ * is that Execution Cache replay is architecturally equivalent to
+ * the conventional superscalar path; this checker turns that claim
+ * into a machine-checked property.
+ *
+ * A DifferentialChecker runs a BaselineCore and a FlywheelCore over
+ * two streams of the same program and seed, taps every retirement
+ * through CoreBase::setRetireHook, and asserts:
+ *
+ *  - per-instruction architectural equivalence: the retired sequence
+ *    of each core — PC, opcode, register names (the architectural
+ *    reg-writes), branch direction/target and memory effective
+ *    address — matches the oracle WorkloadStream exactly, in order,
+ *    with contiguous sequence numbers (so EC replay, divergence
+ *    squash and trace changes can neither drop, duplicate, reorder
+ *    nor mutate instructions);
+ *  - structural invariants on the Flywheel: the per-register rename
+ *    pools partition the physical register file exactly and never
+ *    admit more than size-1 in-flight writes (no leaked entries), EC
+ *    retirement accounting matches the observed replay retires;
+ *  - energy sanity on both cores: every activity counter is
+ *    monotonically non-decreasing across execution chunks and the
+ *    simulated clock never goes backwards.
+ *
+ * Fault injection (DiffOptions::injectFault) corrupts the observed
+ * Flywheel retirement stream at a chosen index, which is how the
+ * test suite proves the checker actually detects each class of
+ * architectural divergence and reports the reproducing seed.
+ */
+
+#ifndef FLYWHEEL_VERIFY_DIFFERENTIAL_HH
+#define FLYWHEEL_VERIFY_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/sim_driver.hh"
+#include "workload/program.hh"
+
+namespace flywheel {
+
+struct InFlightInst;
+struct DynInst;
+
+/** Architectural summary of one retired instruction. */
+struct RetireRecord
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    OpClass op = OpClass::Nop;
+    ArchReg dest = kNoArchReg;
+    ArchReg src1 = kNoArchReg;
+    ArchReg src2 = kNoArchReg;
+    bool isCondBranch = false;
+    bool taken = false;
+    Addr target = 0;
+    Addr effAddr = 0;
+    bool fromEc = false;  ///< retired via Execution Cache replay
+
+    static RetireRecord from(const DynInst &d);
+    static RetireRecord from(const InFlightInst &i);
+
+    /** Field-wise architectural equality (ignores fromEc). */
+    bool archEquals(const RetireRecord &o) const;
+
+    /** Compact "seq=.. pc=0x.. op=.. ..." debug string. */
+    std::string toString() const;
+};
+
+/** Kinds of corruption injectable into the observed Flywheel stream. */
+enum class FaultKind
+{
+    None,
+    CorruptPc,       ///< retired PC off by one instruction
+    CorruptDest,     ///< architectural destination register mutated
+    CorruptEffAddr,  ///< memory effect at the wrong address
+    FlipTaken,       ///< branch direction inverted
+    DropRetire,      ///< instruction vanishes from the retired stream
+};
+
+/** Configuration of one differential run. */
+struct DiffOptions
+{
+    /** Instructions to retire and cross-check per core. */
+    std::uint64_t instructions = 20000;
+    /** Core-run granularity between invariant sweeps. */
+    std::uint64_t chunkInstrs = 2000;
+    /** WorkloadStream seed (same for both cores and the oracle). */
+    std::uint64_t streamSeed = 0xfeedULL;
+    /** Shared core configuration (baseline ignores Flywheel knobs). */
+    CoreParams params;
+    /** Flywheel flavour: Flywheel or RegisterAllocation. */
+    CoreKind kind = CoreKind::Flywheel;
+    /** Stop after this many recorded failures. */
+    unsigned maxFailures = 8;
+    /** One-line reproduction command carried into the report. */
+    std::string reproHint;
+
+    // Fault injection (self-test of the checker).
+    FaultKind injectFault = FaultKind::None;
+    /** Flywheel retire index (0-based) at which to apply the fault. */
+    std::uint64_t faultIndex = 1000;
+};
+
+/** One detected violation. */
+struct DiffFailure
+{
+    std::string check;   ///< which property broke
+    InstSeqNum seq = 0;  ///< dynamic sequence number, 0 if n/a
+    std::string detail;
+};
+
+/** Outcome of a differential run. */
+struct DiffReport
+{
+    std::uint64_t instructionsChecked = 0;  ///< cross-checked pairs
+    std::uint64_t ecRetired = 0;   ///< Flywheel retires via the EC path
+    double ecResidency = 0.0;
+    std::vector<DiffFailure> failures;
+    std::string reproHint;
+
+    bool ok() const { return failures.empty(); }
+
+    /** Multi-line human-readable verdict (includes reproHint). */
+    std::string summary() const;
+};
+
+/**
+ * Run the full differential check of @p profile under @p opts.
+ * Thread-safe: every invocation owns its program, streams and cores.
+ */
+DiffReport runDifferential(const BenchProfile &profile,
+                           const DiffOptions &opts = {});
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_VERIFY_DIFFERENTIAL_HH

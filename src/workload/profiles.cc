@@ -192,7 +192,14 @@ benchmarkByName(const std::string &name)
         if (name == p.name)
             return p;
     }
-    FW_FATAL("unknown benchmark '%s'", name.c_str());
+    std::string known;
+    for (const auto &p : paperBenchmarks()) {
+        if (!known.empty())
+            known += ", ";
+        known += p.name;
+    }
+    FW_FATAL("unknown benchmark '%s' (valid names: %s)", name.c_str(),
+             known.c_str());
 }
 
 std::vector<std::string>

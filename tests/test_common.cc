@@ -1,13 +1,17 @@
 /**
  * @file
- * Unit tests for common infrastructure: the PCG32 generator and the
- * statistics package.
+ * Unit tests for common infrastructure: the PCG32 generator, the
+ * statistics package, and the JSON parser/writer edge cases (escape
+ * sequences, nesting limits, NaN/Inf rejection, uint64 round-trips).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
+#include "common/json.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 
@@ -135,6 +139,122 @@ TEST(Stats, DistributionBucketsAndOverflow)
     EXPECT_EQ(d.overflow(), 1u);
     EXPECT_EQ(d.max(), 100u);
     EXPECT_NEAR(d.mean(), 155.0 / 4, 1e-9);
+}
+
+TEST(JsonEdge, EscapeSequencesRoundTrip)
+{
+    // Every escape the writer can emit, plus a few only the parser
+    // produces (\/ \b \f and \u forms).
+    const std::string original =
+        std::string("quote\" backslash\\ nl\n cr\r tab\t nul") +
+        '\x01' + "\x02 end";
+    Json j(original);
+    std::string dumped = j.dump(0);
+    EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+
+    Json back;
+    std::string error;
+    ASSERT_TRUE(Json::parse(dumped, back, &error)) << error;
+    EXPECT_EQ(back.asString(), original);
+}
+
+TEST(JsonEdge, ParserDecodesExplicitEscapes)
+{
+    Json out;
+    std::string error;
+    ASSERT_TRUE(Json::parse(
+        "\"a\\/b\\b\\f\\u0041\\u00e9\\u20ac\"", out, &error))
+        << error;
+    // \u0041 = 'A'; \u00e9 and \u20ac UTF-8 encode to 2 and 3 bytes.
+    EXPECT_EQ(out.asString(), "a/b\b\fA\xc3\xa9\xe2\x82\xac");
+
+    EXPECT_FALSE(Json::parse("\"bad \\q escape\"", out));
+    EXPECT_FALSE(Json::parse("\"truncated \\u12\"", out));
+    EXPECT_FALSE(Json::parse("\"bad hex \\u12g4\"", out));
+    EXPECT_FALSE(Json::parse("\"unterminated", out));
+    EXPECT_FALSE(Json::parse("\"unterminated escape \\", out));
+}
+
+TEST(JsonEdge, DeepNestingParsesUpToTheLimit)
+{
+    const int depth = Json::kMaxParseDepth;
+    std::string nested(depth, '[');
+    nested.append(depth, ']');
+    Json out;
+    std::string error;
+    EXPECT_TRUE(Json::parse(nested, out, &error)) << error;
+}
+
+TEST(JsonEdge, ExcessiveNestingFailsCleanly)
+{
+    // Far past the limit: must return false, not overflow the stack.
+    std::string bomb(100000, '[');
+    bomb.append(100000, ']');
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::parse(bomb, out, &error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+
+    std::string obj_bomb;
+    for (int i = 0; i < 1000; ++i)
+        obj_bomb += "{\"k\":";
+    EXPECT_FALSE(Json::parse(obj_bomb, out, &error));
+}
+
+TEST(JsonEdge, NanAndInfinityAreRejected)
+{
+    Json out;
+    for (const char *text :
+         {"nan", "NaN", "inf", "Infinity", "-Infinity", "-inf",
+          "1e999", "-1e999", "[1, 1e999]"}) {
+        EXPECT_FALSE(Json::parse(text, out)) << text;
+    }
+}
+
+TEST(JsonEdge, WriterEmitsNullForNonFiniteNumbers)
+{
+    // The writer cannot emit tokens the parser rejects.
+    Json inf(1e308 * 10);
+    EXPECT_EQ(inf.dump(0), "null");
+    EXPECT_EQ(Json(std::stod("nan")).dump(0), "null");
+}
+
+TEST(JsonEdge, LargeUint64ValuesRoundTrip)
+{
+    // Exactly double-representable values round-trip bit-exactly,
+    // including Tick magnitudes far beyond 2^53.
+    const std::uint64_t values[] = {
+        0u,
+        (1ULL << 53) - 1,           // last contiguous integer
+        1ULL << 53,
+        1ULL << 62,
+        (1ULL << 62) + (1ULL << 13),
+        9007199254740992ULL,        // 2^53, printed via %.17g
+    };
+    for (std::uint64_t v : values) {
+        Json j(v);
+        Json back;
+        std::string error;
+        ASSERT_TRUE(Json::parse(j.dump(0), back, &error))
+            << v << ": " << error;
+        EXPECT_EQ(back.asU64(), v) << j.dump(0);
+    }
+
+    // UINT64_MAX itself is not a representable double; the nearest
+    // double is 2^64 and the saturating asU64 maps it back.
+    Json max_j(std::uint64_t(0) - 1);
+    Json back;
+    ASSERT_TRUE(Json::parse(max_j.dump(0), back, nullptr));
+    EXPECT_EQ(back.asU64(), std::uint64_t(0) - 1);
+}
+
+TEST(JsonEdge, AsU64SaturatesInsteadOfOverflowing)
+{
+    EXPECT_EQ(Json(-5.0).asU64(), 0u);
+    EXPECT_EQ(Json(-0.5).asU64(), 0u);
+    EXPECT_EQ(Json(1e300).asU64(), std::uint64_t(0) - 1);
+    EXPECT_EQ(Json(42.9).asU64(), 42u);
+    EXPECT_EQ(Json().asU64(), 0u);  // null
 }
 
 TEST(Stats, StatGroupDumpsRegisteredValues)

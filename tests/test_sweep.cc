@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/json.hh"
 #include "core/report.hh"
@@ -302,6 +304,87 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_FALSE(Json::parse("{\"a\" 1}", out));
     EXPECT_FALSE(Json::parse("nope", out));
     EXPECT_FALSE(Json::parse("1 2", out));
+}
+
+class ResultCacheDiskCorruption : public ::testing::Test
+{
+  protected:
+    void SetUp() override { std::remove(kPath); }
+    void TearDown() override { std::remove(kPath); }
+
+    void
+    writeFile(const std::string &contents)
+    {
+        std::ofstream out(kPath);
+        out << contents;
+    }
+
+    /** The cache must start cold but stay fully usable. */
+    void
+    expectColdButUsable()
+    {
+        ResultCache cache(kPath);
+        EXPECT_EQ(cache.size(), 0u);
+        RunResult r;
+        r.instructions = 7;
+        cache.store("k", r);
+        EXPECT_TRUE(cache.save());
+        ResultCache reloaded(kPath);
+        EXPECT_EQ(reloaded.size(), 1u);
+    }
+
+    static constexpr const char *kPath = "test_cache_corrupt.json";
+};
+
+TEST_F(ResultCacheDiskCorruption, TruncatedJsonStartsCold)
+{
+    // A file cut off mid-document (e.g. by a full disk or kill -9
+    // from a tool that did not write atomically).
+    writeFile("{\"version\": 1, \"entries\": {\"k\": {\"instr");
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, BinaryGarbageStartsCold)
+{
+    writeFile(std::string("\x00\xff\xfe{]garbage\x7f", 12));
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, WrongShapeStartsCold)
+{
+    // Parseable JSON that is not a cache document.
+    writeFile("[1, 2, 3]");
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, WrongVersionStartsCold)
+{
+    writeFile("{\"version\": 999, \"entries\": {}}");
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, NonObjectEntriesStartsCold)
+{
+    writeFile("{\"version\": 1, \"entries\": [1, 2]}");
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, NestingBombStartsCold)
+{
+    // Hostile nesting must not crash the parser (depth cap).
+    std::string bomb(50000, '[');
+    writeFile(bomb);
+    expectColdButUsable();
+}
+
+TEST_F(ResultCacheDiskCorruption, IncompleteEntriesAreDropped)
+{
+    writeFile("{\"version\": 1, \"entries\": "
+              "{\"partial\": {\"instructions\": 5}}}");
+    ResultCache cache(kPath);
+    EXPECT_EQ(cache.size(), 0u);
+    RunResult out;
+    EXPECT_FALSE(cache.lookup("partial", &out));
 }
 
 TEST(ResultCache, LookupMissThenHit)

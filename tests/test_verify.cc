@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the differential verification engine: clean equivalence
+ * on calibrated and fuzzed workloads, fault-injection self-tests
+ * (every corruption class must be detected and reported with its
+ * reproducing seed), structural invariants, and the end-to-end
+ * Execution Cache corruption death test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flywheel/flywheel_core.hh"
+#include "verify/differential.hh"
+#include "verify/fuzz.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+DiffOptions
+fastOptions()
+{
+    DiffOptions opts;
+    opts.instructions = 8000;
+    opts.chunkInstrs = 1000;
+    opts.params = clockedParams(0.5, 0.5);
+    return opts;
+}
+
+TEST(Differential, BaselineAndFlywheelAreArchitecturallyEquivalent)
+{
+    for (const char *bench : {"gzip", "gcc"}) {
+        DiffReport report =
+            runDifferential(benchmarkByName(bench), fastOptions());
+        EXPECT_TRUE(report.ok()) << bench << ": " << report.summary();
+        EXPECT_GE(report.instructionsChecked, 8000u);
+    }
+}
+
+TEST(Differential, ExecCacheReplayActuallyExercised)
+{
+    // The checker proves nothing about replay if the EC path never
+    // runs; gcc's high residency guarantees real coverage.
+    DiffReport report =
+        runDifferential(benchmarkByName("gcc"), fastOptions());
+    ASSERT_TRUE(report.ok()) << report.summary();
+    EXPECT_GT(report.ecRetired, 1000u);
+    EXPECT_GT(report.ecResidency, 0.1);
+}
+
+TEST(Differential, RegisterAllocationKindChecksToo)
+{
+    DiffOptions opts = fastOptions();
+    opts.kind = CoreKind::RegisterAllocation;
+    DiffReport report =
+        runDifferential(benchmarkByName("vpr"), opts);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_EQ(report.ecRetired, 0u);  // no EC in the RA config
+}
+
+class FaultInjection : public ::testing::TestWithParam<FaultKind>
+{
+};
+
+TEST_P(FaultInjection, CorruptionIsDetectedAndCarriesRepro)
+{
+    DiffOptions opts = fastOptions();
+    opts.instructions = 4000;
+    opts.injectFault = GetParam();
+    opts.faultIndex = 2100;
+    opts.reproHint = "flywheel_fuzz --seed 424242";
+
+    DiffReport report =
+        runDifferential(benchmarkByName("gzip"), opts);
+    ASSERT_FALSE(report.ok())
+        << "fault kind " << int(GetParam()) << " went undetected";
+    // The report must carry the one-line repro for the failing seed.
+    EXPECT_NE(report.summary().find("flywheel_fuzz --seed 424242"),
+              std::string::npos)
+        << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultKinds, FaultInjection,
+    ::testing::Values(FaultKind::CorruptPc, FaultKind::CorruptDest,
+                      FaultKind::CorruptEffAddr, FaultKind::FlipTaken,
+                      FaultKind::DropRetire),
+    [](const auto &info) {
+        switch (info.param) {
+          case FaultKind::CorruptPc: return "CorruptPc";
+          case FaultKind::CorruptDest: return "CorruptDest";
+          case FaultKind::CorruptEffAddr: return "CorruptEffAddr";
+          case FaultKind::FlipTaken: return "FlipTaken";
+          case FaultKind::DropRetire: return "DropRetire";
+          default: return "None";
+        }
+    });
+
+TEST(Differential, DroppedTailRetirementIsDetected)
+{
+    // A retirement dropped at the very end of the run has no later
+    // record to expose a sequence gap pairwise; the tail audit
+    // (tap-vs-stats accounting) must still catch it.
+    DiffOptions opts = fastOptions();
+    opts.instructions = 4000;
+    opts.injectFault = FaultKind::DropRetire;
+    opts.faultIndex = 3999;  // inside the final commit group
+    DiffReport report =
+        runDifferential(benchmarkByName("gzip"), opts);
+    ASSERT_FALSE(report.ok()) << report.summary();
+}
+
+TEST(Differential, FaultBeyondRunLengthIsNotDetected)
+{
+    // Control: the same fault configuration with an index past the
+    // end of the run must report a clean pass — the fault machinery
+    // itself must not trip the checker.
+    DiffOptions opts = fastOptions();
+    opts.instructions = 4000;
+    opts.injectFault = FaultKind::CorruptPc;
+    opts.faultIndex = 1000000;
+    DiffReport report =
+        runDifferential(benchmarkByName("gzip"), opts);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Differential, ReportSummaryNamesTheFailedCheck)
+{
+    DiffOptions opts = fastOptions();
+    opts.instructions = 4000;
+    opts.injectFault = FaultKind::CorruptDest;
+    opts.faultIndex = 500;
+    DiffReport report =
+        runDifferential(benchmarkByName("gzip"), opts);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.summary().find("flywheel-vs-oracle"),
+              std::string::npos)
+        << report.summary();
+}
+
+TEST(ExecCacheFault, CorruptedTraceIsCaughtByReplayValidation)
+{
+    // End-to-end fault injection below the checker: corrupt resident
+    // Execution Cache traces and verify the core's own replay
+    // validation against the oracle stream refuses to continue.
+    BenchProfile profile = benchmarkByName("gcc");
+    CoreParams params = clockedParams(0.5, 0.5);
+
+    EXPECT_DEATH(
+        {
+            StaticProgram program(profile);
+            WorkloadStream stream(program);
+            FlywheelCore core(params, stream);
+            core.run(30000);  // traces built and replaying by now
+            ExecCache &ec = core.mutableExecCache();
+            for (Addr pc : ec.tracePcs()) {
+                Trace *t = ec.lookup(pc);
+                // First-slot PC no longer matches the correct path.
+                t->slots[t->rankToSlot[0]].pc ^= 0xFFF0;
+            }
+            core.run(200000);
+        },
+        "first slot differs|replay misaligned|divergence");
+}
+
+TEST(Fuzz, CaseExpansionIsDeterministic)
+{
+    for (std::uint64_t seed : {0ULL, 7ULL, 123456789ULL}) {
+        FuzzCase a = makeFuzzCase(seed);
+        FuzzCase b = makeFuzzCase(seed);
+        EXPECT_EQ(a.describe(), b.describe());
+        EXPECT_EQ(a.profile.seed, b.profile.seed);
+        EXPECT_EQ(a.options.streamSeed, b.options.streamSeed);
+        EXPECT_EQ(a.options.instructions, b.options.instructions);
+        EXPECT_EQ(a.options.reproHint,
+                  "flywheel_fuzz --seed " + std::to_string(seed));
+    }
+}
+
+TEST(Fuzz, DifferentSeedsGiveDifferentCases)
+{
+    FuzzCase a = makeFuzzCase(1);
+    FuzzCase b = makeFuzzCase(2);
+    EXPECT_NE(a.describe(), b.describe());
+}
+
+TEST(Fuzz, SmallBatchPassesDifferentialChecking)
+{
+    // A slice of the stress tier runs in tier 1 so the fuzz pipeline
+    // itself cannot rot; the `stress` ctest label runs many more.
+    for (std::uint64_t seed = 300; seed < 304; ++seed) {
+        FuzzCase c = makeFuzzCase(seed);
+        c.options.instructions = 3000;
+        DiffReport report = runFuzzCase(c);
+        EXPECT_TRUE(report.ok())
+            << c.describe() << "\n" << report.summary();
+    }
+}
+
+TEST(Fuzz, FuzzedProgramsSatisfyProgramInvariants)
+{
+    for (std::uint64_t seed = 500; seed < 520; ++seed) {
+        FuzzCase c = makeFuzzCase(seed);
+        StaticProgram prog(c.profile);
+        const auto &blocks = prog.blocks();
+        ASSERT_GE(blocks.size(), 4u);
+        for (const auto &b : blocks) {
+            if (b.term.kind != TermKind::None) {
+                ASSERT_LT(b.term.target, blocks.size());
+            }
+            ASSERT_LT(b.fallthrough, blocks.size());
+        }
+    }
+}
+
+} // namespace
+} // namespace flywheel

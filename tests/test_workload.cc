@@ -204,6 +204,106 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamInvariants,
                          ::testing::ValuesIn(benchmarkNames()),
                          [](const auto &info) { return info.param; });
 
+bool
+sameInst(const DynInst &a, const DynInst &b)
+{
+    return a.seq == b.seq && a.pc == b.pc && a.op == b.op &&
+           a.dest == b.dest && a.src1 == b.src1 && a.src2 == b.src2 &&
+           a.isCondBranch == b.isCondBranch && a.taken == b.taken &&
+           a.target == b.target && a.effAddr == b.effAddr;
+}
+
+class StreamLookahead : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StreamLookahead, PeekThenNextEquivalence)
+{
+    // Whatever peek(k) showed must be exactly what the next k+1
+    // next() calls deliver, at any seed and at any buffer fill level.
+    StaticProgram prog(benchmarkByName("parser"));
+    WorkloadStream s(prog, GetParam());
+    Pcg32 rng(GetParam() ^ 0xabcdef);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t k = rng.below(40);
+        std::vector<DynInst> ahead;
+        for (std::size_t i = 0; i <= k; ++i)
+            ahead.push_back(s.peek(i));
+        for (std::size_t i = 0; i <= k; ++i) {
+            const DynInst &d = s.next();
+            ASSERT_TRUE(sameInst(d, ahead[i]))
+                << "round " << round << " offset " << i << ": peeked {"
+                << ahead[i].toString() << "} got {" << d.toString()
+                << "}";
+        }
+    }
+}
+
+TEST_P(StreamLookahead, PeekDoesNotPerturbTheStream)
+{
+    // A stream hammered with lookahead yields the identical dynamic
+    // instruction sequence as an undisturbed twin.
+    StaticProgram prog(benchmarkByName("vpr"));
+    WorkloadStream peeky(prog, GetParam());
+    WorkloadStream plain(prog, GetParam());
+    Pcg32 rng(GetParam() + 17);
+    for (int i = 0; i < 5000; ++i) {
+        // Random redundant lookahead before every consume.
+        peeky.peek(rng.below(24));
+        if (rng.chance(0.2))
+            peeky.peek(rng.below(64));
+        const DynInst &a = peeky.next();
+        const DynInst &b = plain.next();
+        ASSERT_TRUE(sameInst(a, b))
+            << "diverged at " << i << ": {" << a.toString()
+            << "} vs {" << b.toString() << "}";
+    }
+    EXPECT_EQ(peeky.consumed(), plain.consumed());
+}
+
+TEST_P(StreamLookahead, PeekIsIdempotent)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream s(prog, GetParam());
+    for (std::size_t k : {0u, 3u, 17u, 63u}) {
+        const DynInst first = s.peek(k);
+        const DynInst again = s.peek(k);
+        ASSERT_TRUE(sameInst(first, again)) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StreamLookahead,
+    ::testing::Values(0ULL, 1ULL, 0xfeedULL, 0xdeadbeefULL,
+                      0x123456789abcdefULL),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.index);
+    });
+
+TEST(StreamLookahead, DifferentStreamSeedsDiverge)
+{
+    // The stream seed is a real axis: same program, different seeds
+    // must produce different dynamic behaviour somewhere.
+    StaticProgram prog(benchmarkByName("vpr"));
+    WorkloadStream a(prog, 1), b(prog, 2);
+    bool diverged = false;
+    for (int i = 0; i < 20000 && !diverged; ++i) {
+        const DynInst &x = a.next();
+        const DynInst &y = b.next();
+        diverged = !sameInst(x, y);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(WorkloadProfilesDeathTest, UnknownNameListsValidNames)
+{
+    EXPECT_EXIT(benchmarkByName("no-such-bench"),
+                ::testing::ExitedWithCode(1),
+                "unknown benchmark 'no-such-bench'.*valid names: "
+                "ijpeg, gcc, gzip, vpr, mesa, equake, parser, vortex, "
+                "bzip2, turb3d");
+}
+
 TEST(WorkloadProfiles, TenPaperBenchmarks)
 {
     EXPECT_EQ(paperBenchmarks().size(), 10u);
