@@ -5,37 +5,47 @@
  * usually hold three or more Issue Units; smaller blocks store
  * instructions more densely but cost more accesses, very small
  * blocks hurt performance).
+ *
+ * Registered as figure "abl_ec_block".  The three geometries are
+ * tweak blocks tagged "ec4"/"ec8"/"ec16", each shrinking or growing
+ * the block count to keep the 128KB capacity.
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+const unsigned kSlotCounts[] = {4, 8, 16};
+const char *kLabels[] = {"ec4", "ec8", "ec16"};
+
+const std::vector<std::string> &
+ecBenches()
 {
-    const unsigned slot_counts[] = {4, 8, 16};
+    static const std::vector<std::string> benches{"gzip", "mesa",
+                                                  "vortex", "turb3d"};
+    return benches;
+}
+
+void
+renderAblEcBlock(const SweepTable &table)
+{
     std::printf("Ablation: EC block size (slots per DA block), "
                 "FE0%%/BE50%%\n\n");
     printHeader("bench", {"perf4", "perf8", "perf16", "daRd4",
                           "daRd8", "daRd16"},
                 10);
 
+    TableIndex ix(table);
     RowAverage avg;
-    for (const auto &name :
-         {std::string("gzip"), std::string("mesa"),
-          std::string("vortex"), std::string("turb3d")}) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+    for (const auto &name : ecBenches()) {
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
         printLabel(name);
         double perf[3], reads[3];
         for (int i = 0; i < 3; ++i) {
-            CoreParams p = clockedParams(0.0, 0.5);
-            p.ecBlockSlots = slot_counts[i];
-            // Keep the 128KB capacity: blocks shrink/grow with slots.
-            p.ecTotalBlocks = 2048 * 8 / slot_counts[i];
-            RunResult rf = run(name, CoreKind::Flywheel, p);
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {0.0, 0.5},
+                       TechNode::N130, false, kLabels[i]);
             perf[i] = double(r0.timePs) / double(rf.timePs);
             reads[i] = double(rf.events.ecDaReads) /
                        double(rf.instructions) * 1000.0;
@@ -55,5 +65,40 @@ main()
                 "smaller blocks need more accesses, the paper's "
                 "8-slot block balances access count vs storage "
                 "efficiency)\n");
-    return 0;
 }
+
+ExperimentSpec
+ablEcBlockSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "abl_ec_block";
+    spec.title = "Execution Cache block-size trade-off";
+    spec.render = "abl_ec_block";
+
+    GridSpec baseline;
+    baseline.benchmarks = ecBenches();
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    for (int i = 0; i < 3; ++i) {
+        GridSpec geometry;
+        geometry.label = kLabels[i];
+        geometry.benchmarks = ecBenches();
+        geometry.kinds = {CoreKind::Flywheel};
+        geometry.clocks = {{0.0, 0.5}};
+        geometry.tweaks.ecBlockSlots = kSlotCounts[i];
+        // Keep the 128KB capacity: blocks shrink/grow with slots.
+        geometry.tweaks.ecTotalBlocks = 2048 * 8 / kSlotCounts[i];
+        spec.grids.push_back(geometry);
+    }
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"abl_ec_block",
+     "Execution Cache block-size trade-off (Section 3.3)",
+     ablEcBlockSpec(), renderAblEcBlock});
+
+} // namespace
+} // namespace flywheel::bench

@@ -3,36 +3,47 @@
  * Ablation: Flywheel register file size (Section 3.5).  The paper
  * uses 512 entries and reports that after redistribution only 10-15%
  * of architected registers need more than four physical entries.
+ *
+ * Registered as figure "abl_pool_size".  The four file sizes are
+ * tweak blocks tagged "rf256".."rf768"; the pool-occupancy claim at
+ * the end needs core internals the sweep result does not carry, so
+ * the renderer runs those three short simulations directly.
  */
 
 #include "bench/bench_util.hh"
 #include "flywheel/flywheel_core.hh"
 #include "workload/generator.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+const unsigned kSizes[] = {256, 384, 512, 768};
+const char *kLabels[] = {"rf256", "rf384", "rf512", "rf768"};
+
+const std::vector<std::string> &
+poolBenches()
 {
-    const unsigned sizes[] = {256, 384, 512, 768};
+    static const std::vector<std::string> benches{
+        "gzip", "vpr", "parser", "equake", "turb3d"};
+    return benches;
+}
+
+void
+renderAblPoolSize(const SweepTable &table)
+{
     std::printf("Ablation: Flywheel register file size, "
                 "FE0%%/BE50%% (normalized performance)\n\n");
     printHeader("bench", {"rf256", "rf384", "rf512", "rf768"}, 10);
 
+    TableIndex ix(table);
     RowAverage avg;
-    for (const auto &name :
-         {std::string("gzip"), std::string("vpr"),
-          std::string("parser"), std::string("equake"),
-          std::string("turb3d")}) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
+    for (const auto &name : poolBenches()) {
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
         printLabel(name);
         for (int i = 0; i < 4; ++i) {
-            CoreParams p = clockedParams(0.0, 0.5);
-            p.poolPhysRegs = sizes[i];
-            p.minPoolSize = sizes[i] >= 512 ? 4 : 2;
-            RunResult rf = run(name, CoreKind::Flywheel, p);
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {0.0, 0.5},
+                       TechNode::N130, false, kLabels[i]);
             double rel = double(r0.timePs) / double(rf.timePs);
             printCell(rel, 10);
             avg.add(i, rel);
@@ -55,5 +66,39 @@ main()
         std::printf("  %-8s %u of %u (%.0f%%)\n", name.c_str(), big,
                     kNumArchRegs, 100.0 * big / kNumArchRegs);
     }
-    return 0;
 }
+
+ExperimentSpec
+ablPoolSizeSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "abl_pool_size";
+    spec.title = "Flywheel register file sizing";
+    spec.render = "abl_pool_size";
+
+    GridSpec baseline;
+    baseline.benchmarks = poolBenches();
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    for (int i = 0; i < 4; ++i) {
+        GridSpec sized;
+        sized.label = kLabels[i];
+        sized.benchmarks = poolBenches();
+        sized.kinds = {CoreKind::Flywheel};
+        sized.clocks = {{0.0, 0.5}};
+        sized.tweaks.poolPhysRegs = kSizes[i];
+        sized.tweaks.minPoolSize = kSizes[i] >= 512 ? 4 : 2;
+        spec.grids.push_back(sized);
+    }
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"abl_pool_size",
+     "Flywheel register file sizing (Section 3.5)",
+     ablPoolSizeSpec(), renderAblPoolSize});
+
+} // namespace
+} // namespace flywheel::bench

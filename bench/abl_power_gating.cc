@@ -5,33 +5,26 @@
  * "conservative as power gating may provide additional power
  * savings").  Measured at FE100%/BE50% across technology nodes,
  * where leakage matters most.
+ *
+ * Registered as figure "abl_power_gating"; the gating axis of the
+ * Flywheel block covers clock-gating-only vs +power-gating.
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
-
+namespace flywheel::bench {
 namespace {
 
-RunResult
-runGated(const std::string &name, TechNode node, bool gate)
+const std::vector<std::string> &
+gatingBenches()
 {
-    RunConfig cfg;
-    cfg.profile = benchmarkByName(name);
-    cfg.kind = CoreKind::Flywheel;
-    cfg.params = clockedParams(1.0, 0.5);
-    cfg.node = node;
-    cfg.frontEndPowerGating = gate;
-    cfg.warmupInstrs = defaultWarmupInstrs();
-    cfg.measureInstrs = defaultMeasureInstrs();
-    return runSim(cfg);
+    static const std::vector<std::string> benches{"gzip", "mesa",
+                                                  "equake", "turb3d"};
+    return benches;
 }
 
-} // namespace
-
-int
-main()
+void
+renderAblPowerGating(const SweepTable &table)
 {
     std::printf("Ablation: front-end power gating (paper extension), "
                 "FE100%%/BE50%%\n");
@@ -39,17 +32,20 @@ main()
                 "gating only vs + power gating\n\n");
     printHeader("bench", {"cg130", "pg130", "cg60", "pg60"}, 9);
 
+    TableIndex ix(table);
     RowAverage avg;
-    for (const auto &name :
-         {std::string("gzip"), std::string("mesa"),
-          std::string("equake"), std::string("turb3d")}) {
+    for (const auto &name : gatingBenches()) {
         printLabel(name);
         std::size_t col = 0;
         for (TechNode node : {TechNode::N130, TechNode::N60}) {
-            RunResult base = run(name, CoreKind::Baseline,
-                                 clockedParams(0.0, 0.0), node);
-            RunResult cg = runGated(name, node, false);
-            RunResult pg = runGated(name, node, true);
+            const RunResult &base =
+                ix.get(name, CoreKind::Baseline, {0.0, 0.0}, node);
+            const RunResult &cg =
+                ix.get(name, CoreKind::Flywheel, {1.0, 0.5}, node,
+                       false);
+            const RunResult &pg =
+                ix.get(name, CoreKind::Flywheel, {1.0, 0.5}, node,
+                       true);
             double rel_cg = cg.energy.totalPj() / base.energy.totalPj();
             double rel_pg = pg.energy.totalPj() / base.energy.totalPj();
             printCell(rel_cg);
@@ -63,5 +59,35 @@ main()
     std::printf("\n(power gating buys more at 60nm, where leakage "
                 "dominates — quantifying the paper's 'our results "
                 "are conservative' remark)\n");
-    return 0;
 }
+
+ExperimentSpec
+ablPowerGatingSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "abl_power_gating";
+    spec.title = "front-end power gating across nodes";
+    spec.render = "abl_power_gating";
+
+    GridSpec baseline;
+    baseline.benchmarks = gatingBenches();
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    baseline.nodes = {TechNode::N130, TechNode::N60};
+    spec.grids.push_back(baseline);
+
+    GridSpec flywheel = baseline;
+    flywheel.kinds = {CoreKind::Flywheel};
+    flywheel.clocks = {{1.0, 0.5}};
+    flywheel.gating = {false, true};
+    spec.grids.push_back(flywheel);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"abl_power_gating",
+     "front-end power gating across nodes (paper extension)",
+     ablPowerGatingSpec(), renderAblPowerGating});
+
+} // namespace
+} // namespace flywheel::bench

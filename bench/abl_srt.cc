@@ -5,15 +5,18 @@
  * cycle; without it every trace change waits for the previous
  * trace's last instruction to retire before the FRT can be copied
  * into the RT.
+ *
+ * Registered as figure "abl_srt"; the SRT-less configuration is the
+ * tweak block tagged "srt_off".
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderAblSrt(const SweepTable &table)
 {
     std::printf("Ablation: SRT on/off, FE0%%/BE50%% (values "
                 "normalized to baseline)\n\n");
@@ -21,17 +24,14 @@ main()
                           "ckptOff"},
                 10);
 
+    TableIndex ix(table);
     RowAverage avg;
     for (const auto &name : benchmarkNames()) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
-
-        CoreParams on = clockedParams(0.0, 0.5);
-        RunResult ra = run(name, CoreKind::Flywheel, on);
-
-        CoreParams off = on;
-        off.srtEnabled = false;
-        RunResult rb = run(name, CoreKind::Flywheel, off);
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        const RunResult &ra = ix.get(name, CoreKind::Flywheel, {0.0, 0.5});
+        const RunResult &rb =
+            ix.get(name, CoreKind::Flywheel, {0.0, 0.5}, TechNode::N130,
+                   false, "srt_off");
 
         double rel_on = double(r0.timePs) / double(ra.timePs);
         double rel_off = double(r0.timePs) / double(rb.timePs);
@@ -51,5 +51,37 @@ main()
     avg.printRow("average", 10);
     std::printf("\n(the SRT should never hurt; its benefit grows "
                 "with trace-change frequency)\n");
-    return 0;
 }
+
+ExperimentSpec
+ablSrtSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "abl_srt";
+    spec.title = "Speculative Remapping Table on/off";
+    spec.render = "abl_srt";
+
+    GridSpec baseline;
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    GridSpec srt_on;
+    srt_on.kinds = {CoreKind::Flywheel};
+    srt_on.clocks = {{0.0, 0.5}};
+    spec.grids.push_back(srt_on);
+
+    GridSpec srt_off = srt_on;
+    srt_off.label = "srt_off";
+    srt_off.tweaks.srtEnabled = false;
+    spec.grids.push_back(srt_off);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"abl_srt",
+     "Speculative Remapping Table on/off (Section 3.5)",
+     ablSrtSpec(), renderAblSrt});
+
+} // namespace
+} // namespace flywheel::bench

@@ -5,31 +5,32 @@
  * scheduling at the cost of extra match lines; the Delay Network
  * alternative delays tag observation by a cycle, losing exactly the
  * capability the design set out to keep.
+ *
+ * Registered as figure "abl_sync"; the Delay Network alternative is
+ * the tweak block tagged "delayNet".
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderAblSync(const SweepTable &table)
 {
     std::printf("Ablation: duplicated tag matching vs Delay Network "
                 "(Register Allocation config, FE+50%%)\n\n");
     printHeader("bench", {"dupTag", "delayNet", "loss%"}, 10);
 
+    TableIndex ix(table);
     RowAverage avg;
     for (const auto &name : benchmarkNames()) {
-        RunResult r0 =
-            run(name, CoreKind::Baseline, clockedParams(0.0, 0.0));
-
-        CoreParams dup = clockedParams(0.5, 0.0);
-        RunResult ra = run(name, CoreKind::RegisterAllocation, dup);
-
-        CoreParams delay = dup;
-        delay.wakeupExtraDelay = 1;
-        RunResult rb = run(name, CoreKind::RegisterAllocation, delay);
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        const RunResult &ra =
+            ix.get(name, CoreKind::RegisterAllocation, {0.5, 0.0});
+        const RunResult &rb =
+            ix.get(name, CoreKind::RegisterAllocation, {0.5, 0.0},
+                   TechNode::N130, false, "delayNet");
 
         double rel_dup = double(r0.timePs) / double(ra.timePs);
         double rel_delay = double(r0.timePs) / double(rb.timePs);
@@ -48,5 +49,37 @@ main()
     std::printf("\n(paper: the Delay Network 'loses the exact same "
                 "capability that we intended to preserve' — "
                 "back-to-back scheduling)\n");
-    return 0;
 }
+
+ExperimentSpec
+ablSyncSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "abl_sync";
+    spec.title = "dual-clock synchronizer alternatives";
+    spec.render = "abl_sync";
+
+    GridSpec baseline;
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    GridSpec dup;
+    dup.kinds = {CoreKind::RegisterAllocation};
+    dup.clocks = {{0.5, 0.0}};
+    spec.grids.push_back(dup);
+
+    GridSpec delay = dup;
+    delay.label = "delayNet";
+    delay.tweaks.wakeupExtraDelay = 1;
+    spec.grids.push_back(delay);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"abl_sync",
+     "dual-clock synchronizer alternatives (Section 3.2)",
+     ablSyncSpec(), renderAblSync});
+
+} // namespace
+} // namespace flywheel::bench

@@ -1,93 +1,29 @@
 /**
  * @file
- * Shared helpers for the paper-reproduction benches: uniform run
- * setup and fixed-width table printing, so every binary emits the
- * same kind of rows the paper's figures plot.
+ * Shared helpers for the paper-figure registrations: spec-building
+ * shorthand and fixed-width table printing, so every figure emits
+ * the same kind of rows the paper's figures plot.
+ *
+ * The figures themselves live in the bench/ translation units as
+ * ExperimentSpec + renderer registrations (api/figures.hh), all
+ * served by the `flywheel_bench` CLI.
  */
 
 #ifndef FLYWHEEL_BENCH_BENCH_UTIL_HH
 #define FLYWHEEL_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "core/sim_driver.hh"
-#include "sweep/sweep.hh"
+#include "api/figures.hh"
+#include "api/paper_grids.hh"
 #include "workload/profiles.hh"
 
 namespace flywheel::bench {
-
-/**
- * Sweep engine options for the paper benches: worker count from
- * FLYWHEEL_JOBS (default: all cores), optional persistent result
- * cache from FLYWHEEL_CACHE.  Identical numbers for any job count.
- */
-inline SweepOptions
-sweepOptions()
-{
-    SweepOptions opts;
-    if (const char *cache = std::getenv("FLYWHEEL_CACHE"))
-        opts.cachePath = cache;
-    return opts;
-}
-
-/**
- * The Fig 12/13/14 grid: per benchmark, one synchronous baseline
- * point followed by a BE+50% Flywheel point per front-end boost.
- * Read the finished table back with forEachBaselineFeRow(), which
- * encodes the same row order.
- */
-inline std::vector<SweepPoint>
-baselinePlusFeSweepPoints(const std::vector<double> &fe_boosts,
-                          double be_boost = 0.5)
-{
-    std::vector<SweepPoint> points;
-    for (const auto &name : benchmarkNames()) {
-        points.push_back(makePoint(name, CoreKind::Baseline, {0.0, 0.0}));
-        for (double fe : fe_boosts)
-            points.push_back(
-                makePoint(name, CoreKind::Flywheel, {fe, be_boost}));
-    }
-    return points;
-}
-
-/**
- * Walk a table produced from baselinePlusFeSweepPoints(): invoke
- * fn(bench_name, baseline_result, boosted_results) once per
- * benchmark, with boosted_results in fe_boosts order.
- */
-template <typename Fn>
-inline void
-forEachBaselineFeRow(const SweepTable &table, std::size_t fe_count,
-                     Fn fn)
-{
-    std::size_t row = 0;
-    for (const auto &name : benchmarkNames()) {
-        const RunResult &r0 = table.at(row++).result;
-        std::vector<const RunResult *> boosted;
-        boosted.reserve(fe_count);
-        for (std::size_t i = 0; i < fe_count; ++i)
-            boosted.push_back(&table.at(row++).result);
-        fn(name, r0, boosted);
-    }
-}
-
-/** Run one benchmark on one config with the default lengths. */
-inline RunResult
-run(const std::string &name, CoreKind kind, const CoreParams &params,
-    TechNode node = TechNode::N130)
-{
-    RunConfig cfg;
-    cfg.profile = benchmarkByName(name);
-    cfg.kind = kind;
-    cfg.params = params;
-    cfg.node = node;
-    cfg.warmupInstrs = defaultWarmupInstrs();
-    cfg.measureInstrs = defaultMeasureInstrs();
-    return runSim(cfg);
-}
+// feBoostAxis() and baselinePlusFeSpec() come from api/paper_grids.hh
+// (shared with the golden regression); unqualified use resolves to
+// the parent flywheel namespace.
 
 /** Print the row label column. */
 inline void

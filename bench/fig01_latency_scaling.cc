@@ -6,18 +6,23 @@
  * Paper claims to verify: a reasonably sized cache is about two times
  * slower than the Issue Window at 0.25/0.18um but achieves about the
  * same access time as the 128-entry window at 0.06um.
+ *
+ * Registered as figure "fig01".  A model-only figure: no simulation
+ * grid, the renderer evaluates the timing model directly.
  */
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "timing/array_timing.hh"
 #include "timing/issue_timing.hh"
 #include "timing/technology.hh"
 
-using namespace flywheel;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig01(const SweepTable &)
 {
     std::printf("Fig 1: latency scaling [ps] (0.25um .. 0.06um)\n\n");
     std::printf("%-28s", "structure");
@@ -59,5 +64,22 @@ main()
     std::printf("\ncache/IW-128 latency ratio: %.2f at 0.25um "
                 "(paper: ~2x), %.2f at 0.06um (paper: ~1x)\n",
                 ratio_250, ratio_60);
-    return 0;
 }
+
+ExperimentSpec
+fig01Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig01";
+    spec.title = "structure latency scaling across nodes (timing "
+                 "model only, no simulation)";
+    spec.render = "fig01";
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig01", "structure latency scaling across nodes (paper Fig 1)",
+     fig01Spec(), renderFig01});
+
+} // namespace
+} // namespace flywheel::bench

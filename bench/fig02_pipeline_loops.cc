@@ -7,32 +7,33 @@
  * Paper claims to verify: the extra front-end stage costs < 3% on
  * average; pipelining Wake-Up/Select loses back-to-back scheduling
  * and costs slightly less than 30% on average (> 40% worst case).
+ *
+ * Registered as figure "fig02".  The two degraded pipelines are
+ * parameter-tweak grid blocks tagged "fetch+1" and "wakeup+1".
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig02(const SweepTable &table)
 {
     std::printf("Fig 2: IPC degradation [%%] vs fully synchronous "
                 "baseline\n\n");
     printHeader("bench", {"fetch+1", "wakeup+1"});
 
+    TableIndex ix(table);
     RowAverage avg;
     for (const auto &name : benchmarkNames()) {
-        CoreParams base = clockedParams(0.0, 0.0);
-        RunResult r0 = run(name, CoreKind::Baseline, base);
-
-        CoreParams fe = base;
-        fe.extraFrontEndStages = 1;
-        RunResult rf = run(name, CoreKind::Baseline, fe);
-
-        CoreParams ws = base;
-        ws.wakeupExtraDelay = 1;
-        RunResult rw = run(name, CoreKind::Baseline, ws);
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        const RunResult &rf =
+            ix.get(name, CoreKind::Baseline, {0.0, 0.0}, TechNode::N130,
+                   false, "fetch+1");
+        const RunResult &rw =
+            ix.get(name, CoreKind::Baseline, {0.0, 0.0}, TechNode::N130,
+                   false, "wakeup+1");
 
         double fe_loss = (1.0 - rf.ipc / r0.ipc) * 100.0;
         double ws_loss = (1.0 - rw.ipc / r0.ipc) * 100.0;
@@ -47,5 +48,38 @@ main()
     avg.printRow("average", 9, 1);
     std::printf("\npaper: fetch+1 < 3%% average; wakeup+1 slightly "
                 "below 30%% average, above 40%% worst case\n");
-    return 0;
 }
+
+ExperimentSpec
+fig02Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig02";
+    spec.title = "IPC cost of deeper fetch vs pipelined wake-up/select";
+    spec.render = "fig02";
+
+    GridSpec baseline;
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    GridSpec fetch = baseline;
+    fetch.label = "fetch+1";
+    fetch.tweaks.extraFrontEndStages = 1;
+    spec.grids.push_back(fetch);
+
+    GridSpec wakeup = baseline;
+    wakeup.label = "wakeup+1";
+    wakeup.tweaks.wakeupExtraDelay = 1;
+    spec.grids.push_back(wakeup);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig02",
+     "IPC cost of deeper fetch vs pipelined wake-up/select (paper "
+     "Fig 2)",
+     fig02Spec(), renderFig02});
+
+} // namespace
+} // namespace flywheel::bench

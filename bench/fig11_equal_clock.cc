@@ -11,26 +11,29 @@
  * mispredict penalty of the alternative execution path (paper
  * average: +5%).  Also reports the alternative-path residency the
  * text quotes (88% average, vortex below 60%).
+ *
+ * Registered as figure "fig11".
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig11(const SweepTable &table)
 {
     std::printf("Fig 11: normalized performance at the baseline "
                 "clock (1.0 = baseline)\n\n");
     printHeader("bench", {"regalloc", "flywheel", "residency"});
 
+    TableIndex ix(table);
     RowAverage avg;
     for (const auto &name : benchmarkNames()) {
-        CoreParams p = clockedParams(0.0, 0.0);
-        RunResult r0 = run(name, CoreKind::Baseline, p);
-        RunResult ra = run(name, CoreKind::RegisterAllocation, p);
-        RunResult fl = run(name, CoreKind::Flywheel, p);
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        const RunResult &ra =
+            ix.get(name, CoreKind::RegisterAllocation, {0.0, 0.0});
+        const RunResult &fl = ix.get(name, CoreKind::Flywheel, {0.0, 0.0});
 
         double ra_rel = double(r0.timePs) / double(ra.timePs);
         double fl_rel = double(r0.timePs) / double(fl.timePs);
@@ -48,5 +51,28 @@ main()
     std::printf("\npaper: regalloc drops >10%% on gzip/vpr/parser; "
                 "flywheel average ~1.05; residency 88%% average "
                 "with vortex lowest (<60%%)\n");
-    return 0;
 }
+
+ExperimentSpec
+fig11Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig11";
+    spec.title = "all three cores at the baseline clock";
+    spec.render = "fig11";
+
+    GridSpec grid;
+    grid.kinds = {CoreKind::Baseline, CoreKind::RegisterAllocation,
+                  CoreKind::Flywheel};
+    grid.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(grid);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig11",
+     "all three cores at the baseline clock (paper Fig 11)",
+     fig11Spec(), renderFig11});
+
+} // namespace
+} // namespace flywheel::bench

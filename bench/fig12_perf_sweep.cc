@@ -11,47 +11,55 @@
  * super-linearly with clock speed in the FE50/BE50 case (paper: +54%
  * for +50% clocks).
  *
- * The 60-point grid runs on the sweep engine's thread pool
- * (FLYWHEEL_JOBS workers); the numbers are identical to a serial run.
+ * Registered as figure "fig12"; run with `flywheel_bench --figure
+ * fig12` (or from specs/fig12.json via --spec).  The 60-point grid
+ * runs on the session's thread pool (FLYWHEEL_JOBS workers); the
+ * numbers are identical for any worker count.
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig12(const SweepTable &table)
 {
-    const double fe_boosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
     std::printf("Fig 12: normalized performance, BE +50%% in trace "
                 "execution, FE +0..100%%\n\n");
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100",
                           "resid"});
 
-    SweepRunner runner(sweepOptions());
-    SweepTable table = runner.run(baselinePlusFeSweepPoints(
-        {fe_boosts, fe_boosts + 5}));
-
+    TableIndex ix(table);
     RowAverage avg;
-    forEachBaselineFeRow(table, 5,
-        [&](const std::string &name, const RunResult &r0,
-            const std::vector<const RunResult *> &boosted) {
-            printLabel(name);
-            double resid = 0.0;
-            for (std::size_t i = 0; i < boosted.size(); ++i) {
-                double rel =
-                    double(r0.timePs) / double(boosted[i]->timePs);
-                printCell(rel);
-                avg.add(i, rel);
-                resid = boosted[i]->ecResidency;
-            }
-            printCell(resid);
-            avg.add(5, resid);
-            endRow();
-        });
+    for (const auto &name : benchmarkNames()) {
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        printLabel(name);
+        double resid = 0.0;
+        const std::vector<double> &boosts = feBoostAxis();
+        for (std::size_t i = 0; i < boosts.size(); ++i) {
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {boosts[i], 0.5});
+            double rel = double(r0.timePs) / double(rf.timePs);
+            printCell(rel);
+            avg.add(i, rel);
+            resid = rf.ecResidency;
+        }
+        printCell(resid);
+        avg.add(5, resid);
+        endRow();
+    }
     avg.printRow("average");
     std::printf("\npaper: average 1.35 (FE0) .. ~1.6 (FE100); "
                 "FE50/BE50 average 1.54; vortex most FE-sensitive\n");
-    return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig12",
+     "normalized performance vs FE boost, BE+50% (paper Fig 12)",
+     baselinePlusFeSpec("fig12", "normalized performance vs FE boost, "
+                                 "BE+50% (paper Fig 12)"),
+     renderFig12});
+
+} // namespace
+} // namespace flywheel::bench

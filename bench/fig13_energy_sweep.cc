@@ -9,41 +9,48 @@
  * where the front-end runs more), and the total stays relatively
  * flat as the front-end clock rises.
  *
- * Runs on the sweep engine's thread pool (FLYWHEEL_JOBS workers).
+ * Registered as figure "fig13"; shares the fig12 grid, so a session
+ * running both simulates it once.
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig13(const SweepTable &table)
 {
-    const double fe_boosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
     std::printf("Fig 13: normalized energy at 0.13um (1.0 = "
                 "baseline)\n\n");
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100"});
 
-    SweepRunner runner(sweepOptions());
-    SweepTable table = runner.run(baselinePlusFeSweepPoints(
-        {fe_boosts, fe_boosts + 5}));
-
+    TableIndex ix(table);
     RowAverage avg;
-    forEachBaselineFeRow(table, 5,
-        [&](const std::string &name, const RunResult &r0,
-            const std::vector<const RunResult *> &boosted) {
-            printLabel(name);
-            for (std::size_t i = 0; i < boosted.size(); ++i) {
-                double rel =
-                    boosted[i]->energy.totalPj() / r0.energy.totalPj();
-                printCell(rel);
-                avg.add(i, rel);
-            }
-            endRow();
-        });
+    for (const auto &name : benchmarkNames()) {
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        printLabel(name);
+        const std::vector<double> &boosts = feBoostAxis();
+        for (std::size_t i = 0; i < boosts.size(); ++i) {
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {boosts[i], 0.5});
+            double rel = rf.energy.totalPj() / r0.energy.totalPj();
+            printCell(rel);
+            avg.add(i, rel);
+        }
+        endRow();
+    }
     avg.printRow("average");
     std::printf("\npaper: ~0.70 average across the sweep (about 30%% "
                 "energy saving), roughly flat in the FE clock\n");
-    return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig13", "normalized total energy at 0.13um (paper Fig 13)",
+     baselinePlusFeSpec("fig13",
+                        "normalized total energy at 0.13um (paper "
+                        "Fig 13)"),
+     renderFig13});
+
+} // namespace
+} // namespace flywheel::bench

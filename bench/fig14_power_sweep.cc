@@ -8,40 +8,47 @@
  * FE100/BE50 case ~15%; the FE50/BE50 point buys ~54% performance
  * for only ~8% more power.
  *
- * Runs on the sweep engine's thread pool (FLYWHEEL_JOBS workers).
+ * Registered as figure "fig14"; shares the fig12 grid.
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig14(const SweepTable &table)
 {
-    const double fe_boosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
     std::printf("Fig 14: normalized average power at 0.13um (1.0 = "
                 "baseline)\n\n");
     printHeader("bench", {"FE0", "FE25", "FE50", "FE75", "FE100"});
 
-    SweepRunner runner(sweepOptions());
-    SweepTable table = runner.run(baselinePlusFeSweepPoints(
-        {fe_boosts, fe_boosts + 5}));
-
+    TableIndex ix(table);
     RowAverage avg;
-    forEachBaselineFeRow(table, 5,
-        [&](const std::string &name, const RunResult &r0,
-            const std::vector<const RunResult *> &boosted) {
-            printLabel(name);
-            for (std::size_t i = 0; i < boosted.size(); ++i) {
-                double rel = boosted[i]->averageWatts / r0.averageWatts;
-                printCell(rel);
-                avg.add(i, rel);
-            }
-            endRow();
-        });
+    for (const auto &name : benchmarkNames()) {
+        const RunResult &r0 = ix.get(name, CoreKind::Baseline, {0.0, 0.0});
+        printLabel(name);
+        const std::vector<double> &boosts = feBoostAxis();
+        for (std::size_t i = 0; i < boosts.size(); ++i) {
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {boosts[i], 0.5});
+            double rel = rf.averageWatts / r0.averageWatts;
+            printCell(rel);
+            avg.add(i, rel);
+        }
+        endRow();
+    }
     avg.printRow("average");
     std::printf("\npaper: average ~1.02 at FE0 rising to ~1.15 at "
                 "FE100\n");
-    return 0;
 }
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig14", "normalized average power at 0.13um (paper Fig 14)",
+     baselinePlusFeSpec("fig14",
+                        "normalized average power at 0.13um (paper "
+                        "Fig 14)"),
+     renderFig14});
+
+} // namespace
+} // namespace flywheel::bench

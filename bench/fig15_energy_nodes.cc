@@ -8,29 +8,32 @@
  * grows — almost 30% savings at 130nm but only about 20% at 60nm,
  * because clock gating removes dynamic but not static power and the
  * Execution Cache adds leaking devices.
+ *
+ * Registered as figure "fig15".
  */
 
 #include "bench/bench_util.hh"
 
-using namespace flywheel;
-using namespace flywheel::bench;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderFig15(const SweepTable &table)
 {
     std::printf("Fig 15: normalized energy per node, FE100%%/BE50%% "
                 "(1.0 = baseline at the same node)\n\n");
     printHeader("bench", {"130nm", "90nm", "60nm"});
 
+    TableIndex ix(table);
     RowAverage avg;
     for (const auto &name : benchmarkNames()) {
         printLabel(name);
         std::size_t col = 0;
         for (TechNode node : powerTechNodes()) {
-            RunResult r0 = run(name, CoreKind::Baseline,
-                               clockedParams(0.0, 0.0), node);
-            RunResult rf = run(name, CoreKind::Flywheel,
-                               clockedParams(1.0, 0.5), node);
+            const RunResult &r0 =
+                ix.get(name, CoreKind::Baseline, {0.0, 0.0}, node);
+            const RunResult &rf =
+                ix.get(name, CoreKind::Flywheel, {1.0, 0.5}, node);
             double rel = rf.energy.totalPj() / r0.energy.totalPj();
             printCell(rel);
             avg.add(col++, rel);
@@ -40,5 +43,33 @@ main()
     avg.printRow("average");
     std::printf("\npaper: ~0.70 at 130nm degrading to ~0.80 at "
                 "60nm\n");
-    return 0;
 }
+
+ExperimentSpec
+fig15Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig15";
+    spec.title = "energy advantage across technology nodes";
+    spec.render = "fig15";
+
+    GridSpec baseline;
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    baseline.nodes = {TechNode::N130, TechNode::N90, TechNode::N60};
+    spec.grids.push_back(baseline);
+
+    GridSpec flywheel = baseline;
+    flywheel.kinds = {CoreKind::Flywheel};
+    flywheel.clocks = {{1.0, 0.5}};
+    spec.grids.push_back(flywheel);
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"fig15",
+     "energy advantage across technology nodes (paper Fig 15)",
+     fig15Spec(), renderFig15});
+
+} // namespace
+} // namespace flywheel::bench

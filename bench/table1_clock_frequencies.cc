@@ -4,20 +4,24 @@
  * at 0.18/0.13/0.09/0.06um, printed next to the paper's values with
  * the model error.
  *
- * The per-node timing models are evaluated on the sweep engine's
- * thread pool (one task per node); rows print in fixed node order,
- * so the output is identical for any worker count.
+ * Registered as figure "table1".  A model-only figure: its spec has
+ * no simulation grid — the renderer evaluates the per-node timing
+ * models itself (on the sweep thread pool, one task per node; rows
+ * print in fixed node order, so the output is identical for any
+ * worker count).
  */
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "sweep/thread_pool.hh"
 #include "timing/clock_plan.hh"
 
-using namespace flywheel;
+namespace flywheel::bench {
+namespace {
 
-int
-main()
+void
+renderTable1(const SweepTable &)
 {
     const TechNode nodes[] = {TechNode::N180, TechNode::N130,
                               TechNode::N90, TechNode::N60};
@@ -86,5 +90,23 @@ main()
                     plans[i].maxFeBoost * 100.0,
                     plans[i].maxBeBoost * 100.0);
     }
-    return 0;
 }
+
+ExperimentSpec
+table1Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "table1";
+    spec.title = "module clock frequencies vs paper Table 1 "
+                 "(timing model only, no simulation)";
+    spec.render = "table1";
+    return spec;
+}
+
+[[maybe_unused]] const bool kRegistered = registerFigure(
+    {"table1",
+     "module clock frequencies vs paper Table 1 (timing model)",
+     table1Spec(), renderTable1});
+
+} // namespace
+} // namespace flywheel::bench

@@ -5,15 +5,19 @@
  * a full comparison report (execution time, IPC, alternative-path
  * residency, energy breakdown).
  *
+ * Uses the Experiment API: the two runs are one declarative
+ * ExperimentSpec executed by a Session (worker pool + result cache),
+ * and the report pulls its rows from the finished table by identity.
+ *
  *   ./quickstart [benchmark]       (default: gzip)
  */
 
 #include <iostream>
 #include <string>
 
+#include "api/session.hh"
+#include "api/table_index.hh"
 #include "core/report.hh"
-#include "core/sim_driver.hh"
-#include "workload/profiles.hh"
 
 using namespace flywheel;
 
@@ -22,23 +26,31 @@ main(int argc, char **argv)
 {
     const std::string bench = argc > 1 ? argv[1] : "gzip";
 
-    RunConfig cfg;
-    cfg.profile = benchmarkByName(bench);
-    cfg.warmupInstrs = 50000;
-    cfg.measureInstrs = 200000;
+    // What to run, as a value: the fully synchronous baseline and
+    // the paper's FE50/BE50 Flywheel point on one benchmark.
+    ExperimentSpec spec;
+    spec.name = "quickstart";
+    spec.warmupInstrs = 50000;
+    spec.measureInstrs = 200000;
 
-    // Fully synchronous baseline at the Issue-Window-limited clock.
-    cfg.kind = CoreKind::Baseline;
-    cfg.params = clockedParams(0.0, 0.0);
-    RunResult base = runSim(cfg);
+    GridSpec baseline;
+    baseline.benchmarks = {bench};
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
 
-    // Flywheel: front-end +50%, trace-execution back-end +50%
-    // (the paper's FE50/BE50 point).
-    cfg.kind = CoreKind::Flywheel;
-    cfg.params = clockedParams(0.5, 0.5);
-    RunResult fly = runSim(cfg);
+    GridSpec flywheel = baseline;
+    flywheel.kinds = {CoreKind::Flywheel};
+    flywheel.clocks = {{0.5, 0.5}};
+    spec.grids.push_back(flywheel);
 
-    writeComparison(std::cout, "baseline (" + bench + ")", base,
-                    "flywheel FE50/BE50 (" + bench + ")", fly);
+    Session session(SessionOptions::fromEnv());
+    SweepTable table = session.run(spec);
+    TableIndex ix(table);
+
+    writeComparison(std::cout, "baseline (" + bench + ")",
+                    ix.get(bench, CoreKind::Baseline, {0.0, 0.0}),
+                    "flywheel FE50/BE50 (" + bench + ")",
+                    ix.get(bench, CoreKind::Flywheel, {0.5, 0.5}));
     return 0;
 }

@@ -1,0 +1,50 @@
+#include "api/figures.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace flywheel {
+
+namespace {
+
+/** Keyed registry; std::map keeps allFigures() sorted by name. */
+std::map<std::string, FigureDef> &
+registry()
+{
+    static std::map<std::string, FigureDef> figures;
+    return figures;
+}
+
+} // namespace
+
+bool
+registerFigure(FigureDef def)
+{
+    if (def.name.empty())
+        FW_FATAL("figure registration without a name");
+    auto [it, inserted] = registry().emplace(def.name, std::move(def));
+    if (!inserted)
+        FW_FATAL("duplicate figure registration '%s'",
+                 it->first.c_str());
+    return true;
+}
+
+const FigureDef *
+figureByName(const std::string &name)
+{
+    auto it = registry().find(name);
+    return it == registry().end() ? nullptr : &it->second;
+}
+
+std::vector<const FigureDef *>
+allFigures()
+{
+    std::vector<const FigureDef *> out;
+    out.reserve(registry().size());
+    for (const auto &[name, def] : registry())
+        out.push_back(&def);
+    return out;
+}
+
+} // namespace flywheel

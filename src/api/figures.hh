@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure registry: every paper figure, table and ablation is an
+ * ExperimentSpec (what to simulate) plus a renderer (how to print
+ * the finished table), registered under a stable name.  The bench/
+ * translation units register themselves at static-init time and are
+ * all served by the single `flywheel_bench` CLI — adding a figure
+ * is one registration, not a new binary.
+ *
+ * Renderers print to stdout with the bench/bench_util.hh fixed-width
+ * helpers and must look rows up through TableIndex (identity, not
+ * position), so a figure renders byte-identically whether its grid
+ * came from the registry or from a spec file.
+ */
+
+#ifndef FLYWHEEL_API_FIGURES_HH
+#define FLYWHEEL_API_FIGURES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "api/table_index.hh"
+
+namespace flywheel {
+
+/** One registered figure. */
+struct FigureDef
+{
+    std::string name;    ///< CLI name ("fig12", "abl_srt")
+    std::string title;   ///< one-liner for --list
+    ExperimentSpec spec; ///< grid to simulate (may be empty)
+    /** Print the figure from the finished table to stdout. */
+    std::function<void(const SweepTable &table)> render;
+};
+
+/**
+ * Add @p def to the registry.  Duplicate names are a fatal error.
+ * Returns true so registrations can live in namespace-scope
+ * initializers:  const bool registered = registerFigure({...});
+ */
+bool registerFigure(FigureDef def);
+
+/** Look up a figure; nullptr if unknown. */
+const FigureDef *figureByName(const std::string &name);
+
+/** Every registered figure, sorted by name. */
+std::vector<const FigureDef *> allFigures();
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_API_FIGURES_HH

@@ -1,0 +1,34 @@
+#include "api/paper_grids.hh"
+
+namespace flywheel {
+
+const std::vector<double> &
+feBoostAxis()
+{
+    static const std::vector<double> axis{0.0, 0.25, 0.5, 0.75, 1.0};
+    return axis;
+}
+
+ExperimentSpec
+baselinePlusFeSpec(const std::string &name, const std::string &title)
+{
+    ExperimentSpec spec;
+    spec.name = name;
+    spec.title = title;
+    spec.render = name;
+
+    GridSpec baseline;
+    baseline.kinds = {CoreKind::Baseline};
+    baseline.clocks = {{0.0, 0.0}};
+    spec.grids.push_back(baseline);
+
+    GridSpec flywheel;
+    flywheel.kinds = {CoreKind::Flywheel};
+    flywheel.clocks.clear();
+    for (double fe : feBoostAxis())
+        flywheel.clocks.push_back({fe, 0.5});
+    spec.grids.push_back(flywheel);
+    return spec;
+}
+
+} // namespace flywheel

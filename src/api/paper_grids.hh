@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared paper-grid builders.  The fig12/fig13/fig14 figures and the
+ * golden-figure regression all run the same grid — one synchronous
+ * baseline point plus a BE+50% Flywheel point per front-end boost —
+ * so it is defined exactly once here: if the axis ever changes, the
+ * figures and the regression that protects them move together.
+ */
+
+#ifndef FLYWHEEL_API_PAPER_GRIDS_HH
+#define FLYWHEEL_API_PAPER_GRIDS_HH
+
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+
+namespace flywheel {
+
+/** The Fig 12/13/14 front-end boost axis (the paper's FE0..FE100). */
+const std::vector<double> &feBoostAxis();
+
+/**
+ * The Fig 12/13/14 grid as a declarative spec: a baseline block plus
+ * a BE+50% Flywheel block across feBoostAxis(), rendered by the
+ * figure registered under @p name.
+ */
+ExperimentSpec baselinePlusFeSpec(const std::string &name,
+                                  const std::string &title);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_API_PAPER_GRIDS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Identity-keyed view of a finished SweepTable.  Figure renderers
+ * look results up by what a point *is* — (label, bench, kind, clock,
+ * node, gating) — instead of by row position, so a figure renders
+ * identically whether its grid came from the built-in registration,
+ * a hand-written spec file, or a larger sweep that merely contains
+ * the required points in some other order.
+ */
+
+#ifndef FLYWHEEL_API_TABLE_INDEX_HH
+#define FLYWHEEL_API_TABLE_INDEX_HH
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "sweep/sweep.hh"
+
+namespace flywheel {
+
+class TableIndex
+{
+  public:
+    /**
+     * Indexes into @p table, which must outlive this index (rows are
+     * referenced, not copied).  The rvalue overload is deleted so
+     * `TableIndex ix(session.run(spec))` — an index into a destroyed
+     * temporary — fails to compile; keep the table in a named
+     * variable.
+     */
+    explicit TableIndex(const SweepTable &table);
+    explicit TableIndex(SweepTable &&) = delete;
+
+    /**
+     * The result for the identified point, or nullptr if absent.
+     * Looking up an *ambiguous* identity — several rows share it
+     * with different configurations (grid blocks missing distinct
+     * labels) — is a fatal error: returning either row would present
+     * one configuration's numbers as another's.
+     */
+    const RunResult *find(const std::string &bench, CoreKind kind,
+                          ClockPoint clock,
+                          TechNode node = TechNode::N130,
+                          bool gating = false,
+                          const std::string &label = "") const;
+
+    /** Like find(), but a missing point is a fatal error. */
+    const RunResult &get(const std::string &bench, CoreKind kind,
+                         ClockPoint clock,
+                         TechNode node = TechNode::N130,
+                         bool gating = false,
+                         const std::string &label = "") const;
+
+    std::size_t size() const { return rows_.size(); }
+
+  private:
+    static std::string key(const std::string &bench, CoreKind kind,
+                           ClockPoint clock, TechNode node, bool gating,
+                           const std::string &label);
+
+    std::unordered_map<std::string, const RunResult *> rows_;
+    std::set<std::string> ambiguous_;  ///< keys with conflicting configs
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_API_TABLE_INDEX_HH

@@ -99,6 +99,7 @@ pointJson(const SweepPoint &pt)
 {
     Json j = Json::object();
     j.set("bench", pt.bench);
+    j.set("label", pt.label);
     j.set("kind", coreKindName(pt.kind));
     j.set("node", techName(pt.config.node));
     j.set("feBoost", pt.clock.feBoost);
@@ -133,15 +134,31 @@ SweepTable::writeJson(std::ostream &os, int indent) const
     os << '\n';
 }
 
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n\r") == std::string::npos)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        quoted += c;
+        if (c == '"')
+            quoted += '"';
+    }
+    quoted += '"';
+    return quoted;
+}
+
 void
 SweepTable::writeCsv(std::ostream &os) const
 {
     os << "bench,kind,node,feBoost,beBoost,gating,instructions,timePs,"
-          "ipc,ecResidency,mispredictRate,totalPj,averageWatts\n";
+          "ipc,ecResidency,mispredictRate,totalPj,averageWatts,label\n";
     for (const auto &r : rows_) {
         // Reuse the JSON number formatter so CSV bytes are stable too.
         auto num = [](double v) { return Json(v).dump(); };
-        os << r.point.bench << ',' << coreKindName(r.point.kind) << ','
+        os << csvField(r.point.bench) << ','
+           << coreKindName(r.point.kind) << ','
            << techName(r.point.config.node) << ','
            << num(r.point.clock.feBoost) << ','
            << num(r.point.clock.beBoost) << ','
@@ -150,7 +167,8 @@ SweepTable::writeCsv(std::ostream &os) const
            << num(r.result.ipc) << ',' << num(r.result.ecResidency)
            << ',' << num(r.result.mispredictRate) << ','
            << num(r.result.energy.totalPj()) << ','
-           << num(r.result.averageWatts) << '\n';
+           << num(r.result.averageWatts) << ','
+           << csvField(r.point.label) << '\n';
     }
 }
 

@@ -48,6 +48,13 @@ struct SweepPoint
     CoreKind kind = CoreKind::Baseline;
     ClockPoint clock;           ///< boosts baked into config.params
     RunConfig config;
+    /**
+     * Free-form row tag (grid-block name).  Presentation metadata
+     * only: it distinguishes points that share (bench, kind, clock)
+     * but came from different spec blocks; it is not part of the
+     * result-cache key.
+     */
+    std::string label;
 };
 
 /** Short lower-case name for a core kind ("baseline", "ra", "flywheel"). */
@@ -56,6 +63,13 @@ const char *coreKindName(CoreKind kind);
 bool coreKindByName(const std::string &name, CoreKind *out);
 /** Look up a TechNode from its techName() ("0.13um"); false if unknown. */
 bool techNodeByName(const std::string &name, TechNode *out);
+
+/**
+ * RFC-4180 CSV field escaping: values containing commas, quotes or
+ * line breaks are quoted with embedded quotes doubled; anything else
+ * passes through unchanged.
+ */
+std::string csvField(const std::string &value);
 
 /**
  * Composable sweep axes.  expand() produces the cartesian product in

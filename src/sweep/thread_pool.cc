@@ -1,20 +1,49 @@
 #include "sweep/thread_pool.hh"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
+#include "common/log.hh"
+
 namespace flywheel {
+
+bool
+ThreadPool::parseJobsValue(const char *text, unsigned *out)
+{
+    if (!text || !*text)
+        return false;
+    // Strict decimal only: strtoul would silently accept "8 threads"
+    // (prefix), "-2" (wraps to a huge value) and "0x10".
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (errno == ERANGE || *end != '\0')
+        return false;
+    if (v < 1 || v > kMaxJobs)
+        return false;
+    *out = static_cast<unsigned>(v);
+    return true;
+}
 
 unsigned
 ThreadPool::defaultJobs()
 {
-    if (const char *env = std::getenv("FLYWHEEL_JOBS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    if (hw == 0)
+        hw = 1;
+    if (const char *env = std::getenv("FLYWHEEL_JOBS")) {
+        unsigned v = 0;
+        if (parseJobsValue(env, &v))
+            return v;
+        FW_WARN("ignoring FLYWHEEL_JOBS='%s' (want an integer in "
+                "1..%u); using hardware concurrency (%u)",
+                env, kMaxJobs, hw);
+    }
+    return hw;
 }
 
 ThreadPool::ThreadPool(unsigned threads)

@@ -54,10 +54,22 @@ class ThreadPool
 
     /**
      * Worker count used when none is requested: the FLYWHEEL_JOBS
-     * environment variable if set, else the hardware concurrency
-     * (min 1).
+     * environment variable if it holds a valid count, else the
+     * hardware concurrency (min 1).  An invalid FLYWHEEL_JOBS —
+     * empty, non-numeric, trailing garbage, zero, negative, or
+     * beyond kMaxJobs — is rejected with a warning rather than
+     * silently starting a wrong-sized (or unstartable) pool.
      */
     static unsigned defaultJobs();
+
+    /** Upper bound defaultJobs() accepts from the environment. */
+    static constexpr unsigned kMaxJobs = 4096;
+
+    /**
+     * Strict FLYWHEEL_JOBS parser (exposed for tests): true and *out
+     * filled only for a plain decimal in [1, kMaxJobs].
+     */
+    static bool parseJobsValue(const char *text, unsigned *out);
 
   private:
     void workerLoop();

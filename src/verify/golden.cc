@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/paper_grids.hh"
+#include "api/table_index.hh"
 #include "common/log.hh"
 #include "sweep/sweep.hh"
 #include "timing/clock_plan.hh"
@@ -12,27 +14,23 @@ namespace flywheel {
 
 namespace {
 
-/** The fig12/13/14 front-end boost axis (the paper's FE0..FE100). */
-const double kFeBoosts[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+/** Labels for the shared feBoostAxis() points, in axis order. */
 const char *kFeLabels[] = {"FE0", "FE25", "FE50", "FE75", "FE100"};
 constexpr std::size_t kFeCount = 5;
 
-/** The shared figure grid: baseline + BE50 Flywheel per FE boost. */
-std::vector<SweepPoint>
-figureGrid(const GoldenOptions &opts)
+/**
+ * The fig12/13/14 grid (shared with the figure registrations via
+ * api/paper_grids.hh) with the pinned golden run lengths.
+ */
+ExperimentSpec
+figureSpec(const GoldenOptions &opts)
 {
-    std::vector<SweepPoint> points;
-    for (const auto &name : benchmarkNames()) {
-        points.push_back(makePoint(name, CoreKind::Baseline, {0.0, 0.0}));
-        for (double fe : kFeBoosts)
-            points.push_back(
-                makePoint(name, CoreKind::Flywheel, {fe, 0.5}));
-    }
-    for (auto &pt : points) {
-        pt.config.warmupInstrs = opts.warmupInstrs;
-        pt.config.measureInstrs = opts.measureInstrs;
-    }
-    return points;
+    ExperimentSpec spec =
+        baselinePlusFeSpec("golden-figures", "golden regression grid");
+    spec.render.clear(); // snapshotted as JSON, never rendered
+    spec.warmupInstrs = opts.warmupInstrs;
+    spec.measureInstrs = opts.measureInstrs;
+    return spec;
 }
 
 Json
@@ -53,14 +51,14 @@ docHeader(const char *figure, const char *metric,
  */
 Json
 figureDoc(const char *figure, const char *metric,
-          const SweepTable &table, const GoldenOptions &opts,
+          const TableIndex &ix, const GoldenOptions &opts,
           double (*derive)(const RunResult &base, const RunResult &fly))
 {
     Json doc = docHeader(figure, metric, opts);
     Json rows = Json::object();
-    std::size_t row = 0;
     for (const auto &name : benchmarkNames()) {
-        const RunResult &r0 = table.at(row++).result;
+        const RunResult &r0 =
+            ix.get(name, CoreKind::Baseline, {0.0, 0.0});
         Json bench = Json::object();
         Json derived = Json::object();
         Json raw = Json::object();
@@ -68,7 +66,8 @@ figureDoc(const char *figure, const char *metric,
         raw.set("baselineEnergyPj", r0.energy.totalPj());
         raw.set("baselineWatts", r0.averageWatts);
         for (std::size_t i = 0; i < kFeCount; ++i) {
-            const RunResult &rf = table.at(row++).result;
+            const RunResult &rf = ix.get(name, CoreKind::Flywheel,
+                                         {feBoostAxis()[i], 0.5});
             derived.set(kFeLabels[i], derive(r0, rf));
             Json point = Json::object();
             point.set("timePs", rf.timePs);
@@ -133,25 +132,25 @@ buildGoldenDocs(const GoldenOptions &opts)
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
     SweepRunner runner(sweep_opts);
-    SweepTable table = runner.run(figureGrid(opts));
+    SweepTable table = runner.run(figureSpec(opts).expand());
+    TableIndex ix(table);
 
     std::vector<std::pair<std::string, Json>> docs;
     docs.emplace_back(
         "fig12",
-        figureDoc("fig12", "relative performance, BE+50%", table, opts,
+        figureDoc("fig12", "relative performance, BE+50%", ix, opts,
                   [](const RunResult &b, const RunResult &f) {
                       return double(b.timePs) / double(f.timePs);
                   }));
     docs.emplace_back(
         "fig13",
-        figureDoc("fig13", "relative total energy, BE+50%", table, opts,
+        figureDoc("fig13", "relative total energy, BE+50%", ix, opts,
                   [](const RunResult &b, const RunResult &f) {
                       return f.energy.totalPj() / b.energy.totalPj();
                   }));
     docs.emplace_back(
         "fig14",
-        figureDoc("fig14", "relative average power, BE+50%", table,
-                  opts,
+        figureDoc("fig14", "relative average power, BE+50%", ix, opts,
                   [](const RunResult &b, const RunResult &f) {
                       return f.averageWatts / b.averageWatts;
                   }));

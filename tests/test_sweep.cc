@@ -66,6 +66,79 @@ TEST(ThreadPool, DefaultJobsIsPositive)
     EXPECT_GE(ThreadPool::defaultJobs(), 1u);
 }
 
+TEST(ThreadPool, ParseJobsValueAcceptsOnlySaneCounts)
+{
+    unsigned v = 0;
+    EXPECT_TRUE(ThreadPool::parseJobsValue("1", &v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(ThreadPool::parseJobsValue("8", &v));
+    EXPECT_EQ(v, 8u);
+    EXPECT_TRUE(ThreadPool::parseJobsValue("4096", &v));
+    EXPECT_EQ(v, ThreadPool::kMaxJobs);
+
+    // Zero workers can execute nothing; submit() would hang forever.
+    EXPECT_FALSE(ThreadPool::parseJobsValue("0", &v));
+    // Garbage, prefixes and suffixes.
+    EXPECT_FALSE(ThreadPool::parseJobsValue("", &v));
+    EXPECT_FALSE(ThreadPool::parseJobsValue("abc", &v));
+    EXPECT_FALSE(ThreadPool::parseJobsValue("8x", &v));
+    EXPECT_FALSE(ThreadPool::parseJobsValue(" 8", &v));
+    EXPECT_FALSE(ThreadPool::parseJobsValue("0x10", &v));
+    // Negative input must not wrap to a huge unsigned.
+    EXPECT_FALSE(ThreadPool::parseJobsValue("-2", &v));
+    // Overflow and absurd counts.
+    EXPECT_FALSE(ThreadPool::parseJobsValue("4097", &v));
+    EXPECT_FALSE(ThreadPool::parseJobsValue("99999999999999999999999",
+                                            &v));
+}
+
+class FlywheelJobsEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *old = std::getenv("FLYWHEEL_JOBS");
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        if (had_)
+            setenv("FLYWHEEL_JOBS", saved_.c_str(), 1);
+        else
+            unsetenv("FLYWHEEL_JOBS");
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST_F(FlywheelJobsEnv, ValidValueIsHonoured)
+{
+    setenv("FLYWHEEL_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ThreadPool pool;
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST_F(FlywheelJobsEnv, InvalidValuesFallBackToHardwareConcurrency)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    for (const char *bad : {"0", "garbage", "8 threads", "-1",
+                            "184467440737095516160", ""}) {
+        setenv("FLYWHEEL_JOBS", bad, 1);
+        EXPECT_EQ(ThreadPool::defaultJobs(), hw)
+            << "FLYWHEEL_JOBS='" << bad << "'";
+    }
+}
+
 TEST(ConfigKey, DistinguishesEveryAxis)
 {
     SweepPoint base = makePoint("gcc", CoreKind::Flywheel, {0.5, 0.5});
@@ -266,6 +339,78 @@ TEST(Serialization, CsvHasOneLinePerPointPlusHeader)
         lines += c == '\n';
     EXPECT_EQ(lines, table.size() + 1);
     EXPECT_EQ(csv.rfind("bench,kind,node,", 0), 0u);
+}
+
+/** Minimal RFC-4180 reader: one record per line, quoted fields. */
+std::vector<std::string>
+parseCsvRecord(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+                field += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += c;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+TEST(Serialization, CsvEscapesPathologicalLabels)
+{
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvField("two\nlines"), "\"two\nlines\"");
+
+    // A custom point whose labels need every escaping rule at once.
+    const std::string evil_bench = "my,\"bench\"";
+    const std::string evil_label = "block \"a\", step 2";
+    SweepRecord rec;
+    rec.point.bench = evil_bench;
+    rec.point.label = evil_label;
+    rec.point.kind = CoreKind::Flywheel;
+    rec.result.instructions = 42;
+    SweepTable table;
+    table.add(rec);
+
+    std::ostringstream os;
+    table.writeCsv(os);
+    std::string csv = os.str();
+
+    // Two lines: header + the (escaped) record.
+    std::size_t newline = csv.find('\n');
+    ASSERT_NE(newline, std::string::npos);
+    std::string header = csv.substr(0, newline);
+    std::string row = csv.substr(newline + 1);
+    ASSERT_FALSE(row.empty());
+    row.pop_back(); // trailing '\n'
+
+    // Field count survives the embedded commas...
+    std::vector<std::string> header_fields = parseCsvRecord(header);
+    std::vector<std::string> fields = parseCsvRecord(row);
+    ASSERT_EQ(fields.size(), header_fields.size());
+    // ...and the pathological values round-trip exactly.
+    EXPECT_EQ(fields[0], evil_bench);
+    EXPECT_EQ(fields[1], "flywheel");
+    EXPECT_EQ(fields[6], "42");
+    EXPECT_EQ(fields.back(), evil_label);
 }
 
 TEST(Json, ParsesWhatItWrites)

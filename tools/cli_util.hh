@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Argument/environment helpers shared by the three CLIs
+ * (flywheel_bench, flywheel_sweep, flywheel_fuzz): list splitting,
+ * strictly validated number parsing, output-file plumbing and the
+ * common flag-value idiom.  One implementation so every tool rejects
+ * the same garbage the same way.
+ */
+
+#ifndef FLYWHEEL_TOOLS_CLI_UTIL_HH
+#define FLYWHEEL_TOOLS_CLI_UTIL_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sweep/thread_pool.hh"
+
+namespace flywheel::cli {
+
+/** Split a comma-separated list; empty items are dropped. */
+inline std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Parse a comma-separated list of doubles; fatal on garbage. */
+inline std::vector<double>
+parseDoubles(const std::string &arg, const char *flag)
+{
+    std::vector<double> out;
+    for (const auto &tok : splitList(arg)) {
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            FW_FATAL("%s: bad number '%s'", flag, tok.c_str());
+        out.push_back(v);
+    }
+    if (out.empty())
+        FW_FATAL("%s: empty list", flag);
+    return out;
+}
+
+/**
+ * Parse one unsigned decimal; fatal on garbage.  Rejects a leading
+ * sign explicitly because strtoull silently wraps negative input
+ * ("-1" -> 2^64-1), which would turn a typo into an attempt to
+ * enqueue 2^64 seeds.
+ */
+inline std::uint64_t
+parseU64(const std::string &s, const char *flag)
+{
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        FW_FATAL("%s: bad number '%s'", flag, s.c_str());
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size())
+        FW_FATAL("%s: bad number '%s'", flag, s.c_str());
+    return v;
+}
+
+/**
+ * Parse a worker count with the same rules the FLYWHEEL_JOBS env
+ * variable gets (plain decimal in [1, ThreadPool::kMaxJobs]), so the
+ * CLI and the environment reject the same garbage the same way.
+ */
+inline unsigned
+parseJobs(const std::string &s, const char *flag)
+{
+    unsigned v = 0;
+    if (!ThreadPool::parseJobsValue(s.c_str(), &v))
+        FW_FATAL("%s: expected an integer in 1..%u, got '%s'", flag,
+                 ThreadPool::kMaxJobs, s.c_str());
+    return v;
+}
+
+/** Open @p path for writing, or map "-" to stdout. */
+inline std::ostream &
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    file.open(path);
+    if (!file)
+        FW_FATAL("cannot write %s", path.c_str());
+    return file;
+}
+
+/**
+ * The "--flag VALUE" idiom: returns argv[*i + 1] and advances *i, or
+ * dies with a uniform message when the value is missing.
+ */
+inline std::string
+requireValue(int argc, char **argv, int *i, const std::string &flag)
+{
+    if (*i + 1 >= argc)
+        FW_FATAL("%s requires a value", flag.c_str());
+    return argv[++*i];
+}
+
+} // namespace flywheel::cli
+
+#endif // FLYWHEEL_TOOLS_CLI_UTIL_HH

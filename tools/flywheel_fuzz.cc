@@ -15,14 +15,13 @@
  * golden diff, 2 on usage errors.
  */
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "sweep/thread_pool.hh"
+#include "tools/cli_util.hh"
 #include "verify/fuzz.hh"
 #include "verify/golden.hh"
 
@@ -57,20 +56,6 @@ usage(const char *argv0)
         argv0);
 }
 
-std::uint64_t
-parseU64(const std::string &s, const char *flag)
-{
-    // strtoull silently wraps negative input ("-1" -> 2^64-1), which
-    // would turn a typo into an attempt to enqueue 2^64 seeds.
-    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
-        FW_FATAL("%s: bad number '%s'", flag, s.c_str());
-    char *end = nullptr;
-    std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
-    if (end != s.c_str() + s.size())
-        FW_FATAL("%s: bad number '%s'", flag, s.c_str());
-    return v;
-}
-
 } // namespace
 
 int
@@ -88,21 +73,19 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                FW_FATAL("%s requires a value", flag.c_str());
-            return argv[++i];
+        auto value = [&] {
+            return cli::requireValue(argc, argv, &i, flag);
         };
         if (flag == "--seeds") {
-            seed_count = parseU64(value(), "--seeds");
+            seed_count = cli::parseU64(value(), "--seeds");
         } else if (flag == "--seed") {
-            explicit_seeds.push_back(parseU64(value(), "--seed"));
+            explicit_seeds.push_back(cli::parseU64(value(), "--seed"));
         } else if (flag == "--seed-start") {
-            seed_start = parseU64(value(), "--seed-start");
+            seed_start = cli::parseU64(value(), "--seed-start");
         } else if (flag == "--instrs") {
-            instr_override = parseU64(value(), "--instrs");
+            instr_override = cli::parseU64(value(), "--instrs");
         } else if (flag == "--jobs") {
-            jobs = unsigned(parseU64(value(), "--jobs"));
+            jobs = cli::parseJobs(value(), "--jobs");
         } else if (flag == "--list") {
             list_only = true;
         } else if (flag == "--quiet") {

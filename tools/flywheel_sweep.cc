@@ -14,14 +14,13 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "sweep/sweep.hh"
+#include "tools/cli_util.hh"
 #include "workload/profiles.hh"
 
 using namespace flywheel;
@@ -61,50 +60,6 @@ usage(const char *argv0)
         argv0);
 }
 
-std::vector<std::string>
-splitList(const std::string &arg)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= arg.size()) {
-        std::size_t comma = arg.find(',', start);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > start)
-            out.push_back(arg.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
-}
-
-std::vector<double>
-parseDoubles(const std::string &arg, const char *flag)
-{
-    std::vector<double> out;
-    for (const auto &tok : splitList(arg)) {
-        char *end = nullptr;
-        double v = std::strtod(tok.c_str(), &end);
-        if (end != tok.c_str() + tok.size())
-            FW_FATAL("%s: bad number '%s'", flag, tok.c_str());
-        out.push_back(v);
-    }
-    if (out.empty())
-        FW_FATAL("%s: empty list", flag);
-    return out;
-}
-
-/** Open @p path for writing, or map "-" to stdout. */
-std::ostream &
-openOut(const std::string &path, std::ofstream &file)
-{
-    if (path == "-")
-        return std::cout;
-    file.open(path);
-    if (!file)
-        FW_FATAL("cannot write %s", path.c_str());
-    return file;
-}
-
 } // namespace
 
 int
@@ -118,18 +73,16 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                FW_FATAL("%s requires a value", flag.c_str());
-            return argv[++i];
+        auto value = [&] {
+            return cli::requireValue(argc, argv, &i, flag);
         };
         if (flag == "--bench") {
-            axes.benchmarks = splitList(value());
+            axes.benchmarks = cli::splitList(value());
             for (const auto &b : axes.benchmarks)
                 benchmarkByName(b); // validate early (fatal if unknown)
         } else if (flag == "--kind") {
             axes.kinds.clear();
-            for (const auto &tok : splitList(value())) {
+            for (const auto &tok : cli::splitList(value())) {
                 CoreKind k;
                 if (!coreKindByName(tok, &k))
                     FW_FATAL("--kind: unknown core kind '%s'",
@@ -138,8 +91,8 @@ main(int argc, char **argv)
             }
         } else if (flag == "--fe" || flag == "--be") {
             bool is_fe = flag == "--fe";
-            std::vector<double> boosts = parseDoubles(value(),
-                                                      flag.c_str());
+            std::vector<double> boosts =
+                cli::parseDoubles(value(), flag.c_str());
             // Rebuild the clock grid as the fe x be product of
             // whatever has been specified so far.
             std::vector<double> other;
@@ -155,7 +108,7 @@ main(int argc, char **argv)
                     axes.clocks.push_back({fe, be});
         } else if (flag == "--node") {
             axes.nodes.clear();
-            for (const auto &tok : splitList(value())) {
+            for (const auto &tok : cli::splitList(value())) {
                 TechNode n;
                 if (!techNodeByName(tok, &n))
                     FW_FATAL("--node: unknown tech node '%s' "
@@ -164,23 +117,18 @@ main(int argc, char **argv)
             }
         } else if (flag == "--gating") {
             axes.gating.clear();
-            for (const auto &tok : splitList(value())) {
+            for (const auto &tok : cli::splitList(value())) {
                 if (tok != "0" && tok != "1")
                     FW_FATAL("--gating: expected 0 or 1, got '%s'",
                              tok.c_str());
                 axes.gating.push_back(tok == "1");
             }
         } else if (flag == "--jobs") {
-            opts.jobs = unsigned(std::strtoul(value().c_str(),
-                                              nullptr, 10));
-            if (opts.jobs == 0)
-                FW_FATAL("--jobs must be >= 1");
+            opts.jobs = cli::parseJobs(value(), "--jobs");
         } else if (flag == "--warmup") {
-            axes.warmupInstrs = std::strtoull(value().c_str(),
-                                              nullptr, 10);
+            axes.warmupInstrs = cli::parseU64(value(), "--warmup");
         } else if (flag == "--instrs") {
-            axes.measureInstrs = std::strtoull(value().c_str(),
-                                               nullptr, 10);
+            axes.measureInstrs = cli::parseU64(value(), "--instrs");
         } else if (flag == "--cache") {
             opts.cachePath = value();
         } else if (flag == "--out") {
@@ -230,11 +178,11 @@ main(int argc, char **argv)
 
     if (!out_path.empty()) {
         std::ofstream file;
-        table.writeJson(openOut(out_path, file));
+        table.writeJson(cli::openOut(out_path, file));
     }
     if (!csv_path.empty()) {
         std::ofstream file;
-        table.writeCsv(openOut(csv_path, file));
+        table.writeCsv(cli::openOut(csv_path, file));
     }
     if (out_path.empty() && csv_path.empty())
         table.writeCsv(std::cout);
