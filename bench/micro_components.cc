@@ -7,8 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+
 #include "branch/gshare.hh"
 #include "core/baseline_core.hh"
+#include "core/issue_window.hh"
+#include "core/lsq.hh"
 #include "flywheel/exec_cache.hh"
 #include "flywheel/flywheel_core.hh"
 #include "mem/cache.hh"
@@ -80,6 +84,69 @@ BM_ExecCacheLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ExecCacheLookup);
+
+void
+BM_IssueWindowSelectCycle(benchmark::State &state)
+{
+    // Steady-state Wake-Up/Select traffic: every iteration selects
+    // the oldest visible entries (one issue group), removes them, and
+    // dispatches replacements — the exact per-cycle pattern of
+    // CoreBase::stepIssue.
+    IssueWindow iw(128);
+    std::deque<InFlightInst> live;   // stable addresses
+    InstSeqNum seq = 1;
+    auto fill = [&] {
+        while (!iw.full()) {
+            live.emplace_back();
+            live.back().arch.seq = seq++;
+            live.back().iwVisible = 0;
+            iw.insert(&live.back());
+        }
+    };
+    fill();
+    std::vector<InFlightInst *> selected;
+    for (auto _ : state) {
+        iw.visibleOldestFirst(1, selected);
+        unsigned n = 0;
+        for (InFlightInst *p : selected) {
+            if (n++ == 6)
+                break;
+            iw.remove(p);
+        }
+        while (!live.empty() && !live.front().inIw)
+            live.pop_front();
+        fill();
+        benchmark::DoNotOptimize(selected.size());
+    }
+}
+BENCHMARK(BM_IssueWindowSelectCycle);
+
+void
+BM_LsqDisambiguation(benchmark::State &state)
+{
+    // Load/store queue at realistic occupancy: insert, query both
+    // disambiguation paths, resolve the store address, retire.
+    Lsq lsq(64);
+    std::deque<InstSeqNum> resident;
+    InstSeqNum seq = 1;
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        while (lsq.size() >= 48) {
+            lsq.retire(resident.front());
+            resident.pop_front();
+        }
+        const bool is_store = (seq & 1) != 0;
+        lsq.insert(seq, is_store, addr);
+        resident.push_back(seq);
+        benchmark::DoNotOptimize(lsq.loadMayIssue(seq + 1));
+        benchmark::DoNotOptimize(lsq.loadForwards(seq + 1, addr));
+        if (is_store)
+            lsq.storeIssued(seq);
+        ++seq;
+        addr = (addr + 8) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_LsqDisambiguation);
 
 void
 BM_BaselineSimulation(benchmark::State &state)

@@ -23,6 +23,12 @@ CoreBase::CoreBase(const CoreParams &params, WorkloadStream &stream,
                   params_.fetchWidth;
     memTicks_ = static_cast<Tick>(std::llround(
         params_.mem.memBaselineCycles * params_.basePeriodPs));
+    // Invariant per-run values, hoisted out of the per-cycle loop.
+    l2StallTicks_ = static_cast<Tick>(std::llround(
+        params_.mem.l2Cycles * params_.basePeriodPs));
+    progressHorizonTicks_ =
+        static_cast<Tick>(500000.0 * params_.basePeriodPs);
+    issuedPending_.reserve(params_.robEntries);
 }
 
 bool
@@ -68,8 +74,7 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
             if (lvl != MemLevel::L1) {
                 // Pipelined L1 miss: charge L2 (back-end clocked at
                 // the baseline rate) or full memory time.
-                Tick stall = static_cast<Tick>(std::llround(
-                    params_.mem.l2Cycles * params_.basePeriodPs));
+                Tick stall = l2StallTicks_;
                 if (lvl == MemLevel::Memory)
                     stall += memTicks_;
                 fetchStallUntil_ = now + stall;
@@ -223,6 +228,9 @@ CoreBase::issueOne(InFlightInst *p, Tick now, Tick be_period)
 
     p->completeTick = now +
         static_cast<Tick>(rr + exec_cycles) * be_period + mem_extra;
+    issuedPending_.push_back(p);
+    if (p->completeTick < minCompleteTick_)
+        minCompleteTick_ = p->completeTick;
 
     if (p->arch.hasDest()) {
         // Bypass: dependents may issue exec_cycles (+ any extra
@@ -289,19 +297,54 @@ CoreBase::stepIssue(Tick now, Tick be_period)
 }
 
 void
+CoreBase::dropPendingCompletion(InFlightInst *inst)
+{
+    if (!inst->issued || inst->completed)
+        return;
+    for (std::size_t i = 0; i < issuedPending_.size(); ++i) {
+        if (issuedPending_[i] == inst) {
+            issuedPending_[i] = issuedPending_.back();
+            issuedPending_.pop_back();
+            return;
+        }
+    }
+    FW_PANIC("issued instruction missing from the completion list");
+}
+
+void
 CoreBase::stepComplete(Tick now, Tick)
 {
+    // The list holds only issued-but-incomplete instructions, and
+    // minCompleteTick_ lets the common nothing-finishes cycle return
+    // without touching it at all.
+    if (now < minCompleteTick_)
+        return;
+
     // Index-based on purpose: onMispredictResolved may squash the
-    // wrong-path tail of the ROB (trace divergence), which pops
-    // younger entries off the back and would invalidate iterators
-    // held across the callback.
-    for (std::size_t i = 0; i < rob_.size(); ++i) {
-        InFlightInst &p = rob_[i];
-        if (p.issued && !p.completed && p.completeTick <= now) {
-            p.completed = true;
-            if (p.mispredicted && !p.squashed)
-                onMispredictResolved(p, now);
+    // wrong-path tail of the ROB (trace divergence).  The squash path
+    // calls dropPendingCompletion for every popped entry, which
+    // reorders this list arbitrarily — restart the pass after any
+    // callback; completion marking is idempotent within the cycle.
+    std::size_t i = 0;
+    while (i < issuedPending_.size()) {
+        InFlightInst *p = issuedPending_[i];
+        if (p->completeTick > now) {
+            ++i;
+            continue;
         }
+        issuedPending_[i] = issuedPending_.back();
+        issuedPending_.pop_back();
+        p->completed = true;
+        if (p->mispredicted && !p->squashed) {
+            onMispredictResolved(*p, now);
+            i = 0;
+        }
+    }
+
+    minCompleteTick_ = kTickMax;
+    for (const InFlightInst *p : issuedPending_) {
+        if (p->completeTick < minCompleteTick_)
+            minCompleteTick_ = p->completeTick;
     }
 }
 
@@ -357,8 +400,7 @@ CoreBase::checkProgress(Tick now)
         lastProgressTick_ = now;
         return;
     }
-    Tick horizon = static_cast<Tick>(500000.0 * params_.basePeriodPs);
-    if (now - lastProgressTick_ > horizon) {
+    if (now - lastProgressTick_ > progressHorizonTicks_) {
         FW_PANIC("pipeline wedged: no retirement since tick %llu "
                  "(now %llu, rob %zu, iw %u, feq %zu, stall %llu) %s",
                  static_cast<unsigned long long>(lastProgressTick_),

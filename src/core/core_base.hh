@@ -135,6 +135,13 @@ class CoreBase
     bool operandsReady(const InFlightInst &inst, Tick now) const;
     /** Issue bookkeeping shared by window issue and EC replay. */
     void issueOne(InFlightInst *inst, Tick now, Tick be_period);
+    /**
+     * Forget a tracked issued-but-incomplete instruction.  Squash
+     * paths MUST call this for every ROB entry they pop that may have
+     * issued, while the entry is still alive — stepComplete tracks
+     * such instructions by pointer and must never see a dangling one.
+     */
+    void dropPendingCompletion(InFlightInst *inst);
     /** Resume fetch at tick @p at (mispredict redirect). */
     void resumeFetch(Tick at) { fetchStallUntil_ = at; }
     /** Watchdog: abort if the pipeline wedges. */
@@ -179,6 +186,18 @@ class CoreBase
     std::vector<InFlightInst *> eligible_;   // scratch for stepIssue
     std::vector<InFlightInst *> issuedGroup_;
     Tick memTicks_;
+    Tick l2StallTicks_;       ///< fetch-miss stall, hoisted from the loop
+    Tick progressHorizonTicks_;
+
+    /**
+     * Issued-but-incomplete instructions (ROB pointers; the deque
+     * guarantees element stability) plus the earliest completion tick
+     * among them.  stepComplete runs every back-end cycle, so it must
+     * not rescan the whole ROB: most cycles it bails on the tick
+     * check, and otherwise walks only this short list.
+     */
+    std::vector<InFlightInst *> issuedPending_;
+    Tick minCompleteTick_ = kTickMax;
 };
 
 } // namespace flywheel

@@ -69,16 +69,16 @@ FunctionalUnits::claim(Pool &pool, Tick now, Tick busy_until)
     return false;
 }
 
-FunctionalUnits::State
-FunctionalUnits::save() const
+void
+FunctionalUnits::save(State &s) const
 {
-    State s;
+    unsigned i = 0;
     for (const Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
                           &fpMulDiv_}) {
-        s.used.push_back(p->usedThisCycle);
-        s.busy.push_back(p->busyUntil);
+        s.used[i] = p->usedThisCycle;
+        s.busy[i] = p->busyUntil;  // equal-size assign: no realloc
+        ++i;
     }
-    return s;
 }
 
 void

@@ -47,12 +47,18 @@ class FunctionalUnits
     /** Opaque snapshot of all claim state (for atomic unit issue). */
     struct State
     {
-        std::vector<unsigned> used;
-        std::vector<std::vector<Tick>> busy;
+        static constexpr unsigned kPools = 5;
+        unsigned used[kPools] = {};
+        std::vector<Tick> busy[kPools];
     };
 
-    /** Capture claim state; restore() undoes claims made since. */
-    State save() const;
+    /**
+     * Capture claim state into @p out; restore() undoes claims made
+     * since.  The caller keeps one State and reuses it: after the
+     * first save() the per-pool buffers are right-sized, so the
+     * save/restore pair is allocation-free on the replay hot path.
+     */
+    void save(State &out) const;
     void restore(const State &state);
 
   private:

@@ -38,6 +38,7 @@ struct InFlightInst
 
     // Status.
     bool inIw = false;
+    std::uint32_t iwPos = 0;  ///< slot in the window's age array
     bool issued = false;
     bool completed = false;
     bool squashed = false;    ///< wrong-path trace replay slot

@@ -1,69 +1,81 @@
 #include "core/issue_window.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
 
 namespace flywheel {
 
 IssueWindow::IssueWindow(unsigned entries)
-    : slots_(entries, nullptr)
-{}
+    : capacity_(entries)
+{
+    order_.reserve(static_cast<std::size_t>(entries) * 2);
+}
 
 void
 IssueWindow::insert(InFlightInst *inst)
 {
-    FW_ASSERT(used_ < slots_.size(), "issue window overflow");
-    for (auto &slot : slots_) {
-        if (slot == nullptr) {
-            slot = inst;
-            inst->inIw = true;
-            ++used_;
-            return;
-        }
-    }
-    FW_PANIC("no free slot despite used_ < capacity");
+    FW_ASSERT(used_ < capacity_, "issue window overflow");
+    FW_ASSERT(inst->arch.seq > lastSeq_,
+              "issue window inserts must be age-ordered");
+    lastSeq_ = inst->arch.seq;
+    if (order_.size() == order_.capacity())
+        compact();
+    inst->iwPos = static_cast<std::uint32_t>(order_.size());
+    order_.push_back(inst);
+    inst->inIw = true;
+    ++used_;
 }
 
 void
 IssueWindow::remove(InFlightInst *inst)
 {
-    for (auto &slot : slots_) {
-        if (slot == inst) {
-            slot = nullptr;
-            inst->inIw = false;
-            --used_;
-            return;
-        }
-    }
-    FW_PANIC("removing instruction not in the window");
+    FW_ASSERT(inst->inIw && inst->iwPos < order_.size() &&
+                  order_[inst->iwPos] == inst,
+              "removing instruction not in the window");
+    order_[inst->iwPos] = nullptr;
+    inst->inIw = false;
+    --used_;
+    if (used_ == 0)
+        order_.clear();
 }
 
 void
 IssueWindow::dropSquashed()
 {
-    for (auto &slot : slots_) {
+    for (auto &slot : order_) {
         if (slot != nullptr && slot->squashed) {
             slot->inIw = false;
             slot = nullptr;
             --used_;
         }
     }
+    if (used_ == 0)
+        order_.clear();
+}
+
+void
+IssueWindow::compact()
+{
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] == nullptr)
+            continue;
+        order_[i]->iwPos = static_cast<std::uint32_t>(live);
+        order_[live++] = order_[i];
+    }
+    order_.resize(live);
 }
 
 void
 IssueWindow::visibleOldestFirst(Tick now,
                                 std::vector<InFlightInst *> &out) const
 {
+    // order_ is age-ordered by construction, so this is already the
+    // oldest-first enumeration — no per-cycle sort.
     out.clear();
-    for (auto *slot : slots_) {
+    for (auto *slot : order_) {
         if (slot != nullptr && !slot->issued && slot->iwVisible <= now)
             out.push_back(slot);
     }
-    std::sort(out.begin(), out.end(),
-              [](const InFlightInst *a, const InFlightInst *b) {
-                  return a->arch.seq < b->arch.seq;
-              });
 }
 
 } // namespace flywheel

@@ -12,6 +12,14 @@
  * effect of the RAT sampling at Dispatch plus the (duplicated) tag
  * matching in Wake-Up: no wake-up is ever lost, exactly the behaviour
  * the paper's two-cycle duplicated tag match guarantees (Fig 5).
+ *
+ * Implementation: dispatch inserts in program order (sequence numbers
+ * are globally monotonic — replays bypass the window entirely), so
+ * entries are kept in an age-ordered array with tombstones for
+ * selected entries.  Select is then a single in-order pass with no
+ * per-cycle sort, and removal is O(1) through the entry's recorded
+ * position.  Tombstones are compacted once they outnumber live
+ * entries.
  */
 
 #ifndef FLYWHEEL_CORE_ISSUE_WINDOW_HH
@@ -31,13 +39,10 @@ class IssueWindow
   public:
     explicit IssueWindow(unsigned entries);
 
-    bool full() const { return used_ >= slots_.size(); }
+    bool full() const { return used_ >= capacity_; }
     bool empty() const { return used_ == 0; }
     unsigned occupancy() const { return used_; }
-    unsigned capacity() const
-    {
-        return static_cast<unsigned>(slots_.size());
-    }
+    unsigned capacity() const { return capacity_; }
 
     /** Insert at Dispatch; visibility is recorded in the inst. */
     void insert(InFlightInst *inst);
@@ -57,8 +62,13 @@ class IssueWindow
                             std::vector<InFlightInst *> &out) const;
 
   private:
-    std::vector<InFlightInst *> slots_;
+    void compact();
+
+    /** Live entries in age order, nullptr = tombstone. */
+    std::vector<InFlightInst *> order_;
+    unsigned capacity_;
     unsigned used_ = 0;
+    InstSeqNum lastSeq_ = 0;   ///< insertion-order guard
 };
 
 } // namespace flywheel

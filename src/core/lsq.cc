@@ -10,29 +10,50 @@ namespace flywheel {
 void
 Lsq::insert(InstSeqNum seq, bool is_store, Addr addr)
 {
-    FW_ASSERT(queue_.size() < capacity_, "LSQ overflow");
-    FW_ASSERT(queue_.empty() || queue_.back().seq < seq,
+    FW_ASSERT(count_ < capacity_, "LSQ overflow");
+    FW_ASSERT(count_ == 0 || buf_[at(count_ - 1)].seq < seq,
               "LSQ inserts must be in program order");
-    queue_.push_back(Entry{seq, addr >> 3, is_store, false});
+    buf_[at(count_)] = Entry{seq, addr >> 3, is_store, false};
+    ++count_;
+    if (is_store) {
+        // Inserts are age-ordered, so the first unknown store seen
+        // while none was outstanding is the oldest one.
+        if (unknownStores_ == 0)
+            minUnknownSeq_ = seq;
+        ++unknownStores_;
+    }
 }
 
-bool
-Lsq::loadMayIssue(InstSeqNum load_seq) const
+void
+Lsq::noteUnknownGone(const Entry &e)
 {
-    for (const Entry &e : queue_) {
-        if (e.seq >= load_seq)
-            break;
-        if (e.isStore && !e.addrKnown)
-            return false;
+    FW_ASSERT(unknownStores_ > 0, "unknown-store accounting underflow");
+    --unknownStores_;
+    if (unknownStores_ > 0 && e.seq == minUnknownSeq_)
+        refreshMinUnknown();
+}
+
+void
+Lsq::refreshMinUnknown()
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Entry &e = buf_[at(i)];
+        if (e.isStore && !e.addrKnown) {
+            minUnknownSeq_ = e.seq;
+            return;
+        }
     }
-    return true;
+    FW_PANIC("unknown-store count does not match queue contents");
 }
 
 bool
 Lsq::loadMayIssue(InstSeqNum load_seq,
                   const std::vector<InstSeqNum> &co_issued) const
 {
-    for (const Entry &e : queue_) {
+    if (loadMayIssue(load_seq))
+        return true;
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Entry &e = buf_[at(i)];
         if (e.seq >= load_seq)
             break;
         if (e.isStore && !e.addrKnown) {
@@ -53,23 +74,28 @@ Lsq::loadMayIssue(InstSeqNum load_seq,
 bool
 Lsq::loadForwards(InstSeqNum load_seq, Addr addr) const
 {
+    if (knownStores_ == 0)
+        return false;
     const Addr word = addr >> 3;
-    bool forwards = false;
-    for (const Entry &e : queue_) {
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Entry &e = buf_[at(i)];
         if (e.seq >= load_seq)
             break;
         if (e.isStore && e.addrKnown && e.word == word)
-            forwards = true;  // youngest older match wins
+            return true;
     }
-    return forwards;
+    return false;
 }
 
 void
 Lsq::storeIssued(InstSeqNum seq)
 {
-    for (Entry &e : queue_) {
+    for (std::size_t i = 0; i < count_; ++i) {
+        Entry &e = buf_[at(i)];
         if (e.seq == seq) {
             e.addrKnown = true;
+            ++knownStores_;
+            noteUnknownGone(e);
             return;
         }
     }
@@ -80,23 +106,48 @@ Lsq::storeIssued(InstSeqNum seq)
 void
 Lsq::retire(InstSeqNum seq)
 {
-    FW_ASSERT(!queue_.empty() && queue_.front().seq == seq,
+    FW_ASSERT(count_ > 0 && buf_[head_].seq == seq,
               "LSQ retire out of order");
-    queue_.pop_front();
+    // Remove before accounting so refreshMinUnknown never sees the
+    // departing entry.
+    const Entry e = buf_[head_];
+    head_ = at(1);
+    --count_;
+    if (count_ == 0)
+        head_ = 0;
+    if (e.isStore) {
+        if (e.addrKnown)
+            --knownStores_;
+        else
+            noteUnknownGone(e);
+    }
 }
 
 void
 Lsq::squashFrom(InstSeqNum seq)
 {
-    while (!queue_.empty() && queue_.back().seq >= seq)
-        queue_.pop_back();
+    while (count_ > 0) {
+        const Entry e = buf_[at(count_ - 1)];
+        if (e.seq < seq)
+            break;
+        --count_;
+        if (e.isStore) {
+            if (e.addrKnown)
+                --knownStores_;
+            else
+                noteUnknownGone(e);
+        }
+    }
+    if (count_ == 0)
+        head_ = 0;
 }
 
 std::string
 Lsq::debugDump() const
 {
     std::string out;
-    for (const Entry &e : queue_) {
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Entry &e = buf_[at(i)];
         char buf[48];
         std::snprintf(buf, sizeof(buf), "%llu:%c:%d ",
                       static_cast<unsigned long long>(e.seq),

@@ -5,12 +5,17 @@
  * until every older store has computed its address; a load whose
  * address matches an older in-flight store forwards from the queue.
  * Stores write the data cache at retire.
+ *
+ * Storage is a fixed ring buffer (program order, no per-entry heap
+ * traffic), and the common disambiguation query — "is any older
+ * store's address still unknown?" — is answered from the tracked
+ * sequence number of the oldest address-unknown store instead of a
+ * queue walk.
  */
 
 #ifndef FLYWHEEL_CORE_LSQ_HH
 #define FLYWHEEL_CORE_LSQ_HH
 
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,16 +27,22 @@ namespace flywheel {
 class Lsq
 {
   public:
-    explicit Lsq(unsigned entries) : capacity_(entries) {}
+    explicit Lsq(unsigned entries)
+        : capacity_(entries), buf_(entries)
+    {}
 
-    bool full() const { return queue_.size() >= capacity_; }
-    std::size_t size() const { return queue_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    std::size_t size() const { return count_; }
 
     /** Allocate an entry at dispatch (program order). */
     void insert(InstSeqNum seq, bool is_store, Addr addr);
 
     /** True if no older store still has an unknown address. */
-    bool loadMayIssue(InstSeqNum load_seq) const;
+    bool
+    loadMayIssue(InstSeqNum load_seq) const
+    {
+        return unknownStores_ == 0 || load_seq <= minUnknownSeq_;
+    }
 
     /**
      * Variant for atomic issue-unit dispatch: stores listed in
@@ -68,8 +79,29 @@ class Lsq
         bool addrKnown;  ///< store has issued (address generated)
     };
 
-    unsigned capacity_;
-    std::deque<Entry> queue_;  ///< program order (front = oldest)
+    /** Ring index of the i-th oldest entry. */
+    std::size_t
+    at(std::size_t i) const
+    {
+        std::size_t idx = head_ + i;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        return idx;
+    }
+
+    /** Entry lost an unknown address (issued / squashed / retired). */
+    void noteUnknownGone(const Entry &e);
+    /** Recompute minUnknownSeq_ with a queue walk. */
+    void refreshMinUnknown();
+
+    std::size_t capacity_;
+    std::vector<Entry> buf_;   ///< ring, program order from head_
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+
+    unsigned unknownStores_ = 0;       ///< stores with addrKnown=false
+    unsigned knownStores_ = 0;         ///< stores with addrKnown=true
+    InstSeqNum minUnknownSeq_ = 0;     ///< oldest unknown store's seq
 };
 
 } // namespace flywheel

@@ -379,7 +379,7 @@ FlywheelCore::enterExec(Tick now)
     }
     FW_ASSERT(v >= 1, "trace start matched but first slot differs");
 
-    replay_ = Replay{};
+    replay_.reset();
     replay_.trace = t;
     replay_.valid = v;
     replay_.divergent = v < len;
@@ -499,9 +499,10 @@ FlywheelCore::replayIssue(Tick now)
     // wrong-path slot could otherwise block the very branch whose
     // resolution flushes it).  Once the divergence has been resolved
     // they vanish entirely.
-    std::vector<InFlightInst *> gated;   // valid-path, fully interlocked
-    std::vector<InFlightInst *> free_slots;  // wrong-path, ungated
-    gated.reserve(u.count);
+    std::vector<InFlightInst *> &gated = gatedScratch_;
+    std::vector<InFlightInst *> &free_slots = freeSlotsScratch_;
+    gated.clear();
+    free_slots.clear();
     for (std::uint32_t j = u.firstSlot; j < u.firstSlot + u.count; ++j) {
         const std::uint32_t rank = t->slots[j].rank;
         const bool wrong = rank >= replay_.valid;
@@ -536,7 +537,8 @@ FlywheelCore::replayIssue(Tick now)
     // Stores co-issued earlier in the same unit satisfy a load's
     // disambiguation check, exactly as the recorded same-cycle
     // schedule did at build time.
-    std::vector<InstSeqNum> co_stores;
+    std::vector<InstSeqNum> &co_stores = coStoresScratch_;
+    co_stores.clear();
     for (InFlightInst *p : active) {
         if (!operandsReady(*p, now))
             return;
@@ -548,11 +550,12 @@ FlywheelCore::replayIssue(Tick now)
             co_stores.push_back(p->arch.seq);
     }
 
-    // Claim functional units atomically.
-    FunctionalUnits::State fu_state = fus_.save();
+    // Claim functional units atomically (snapshot into a reused
+    // buffer; this runs every trace-execution cycle).
+    fus_.save(fuStateScratch_);
     for (InFlightInst *p : active) {
         if (!fus_.tryIssue(p->arch.op, now, double(beFast_))) {
-            fus_.restore(fu_state);
+            fus_.restore(fuStateScratch_);
             return;
         }
     }
@@ -583,6 +586,9 @@ FlywheelCore::resolveDivergence(InFlightInst &branch, Tick now)
     lsq_.squashFrom(replay_.baseSeq + replay_.valid);
     while (!rob_.empty() && rob_.back().squashed) {
         InFlightInst &b = rob_.back();
+        // Completion tracking holds issued-incomplete entries by
+        // pointer; forget this one while it is still alive.
+        dropPendingCompletion(&b);
         if (b.arch.hasDest()) {
             pools_.rollback(b.arch.dest, b.poolPrevSlot);
             // The slot reverts to holding its previous (committed)
@@ -672,7 +678,7 @@ FlywheelCore::finishReplay(Tick)
             ec_.erase(t->startPc);
         }
     }
-    replay_ = Replay{};
+    replay_.reset();
 }
 
 void

@@ -121,6 +121,28 @@ class FlywheelCore : public CoreBase
         InstSeqNum baseSeq = 0;
         bool endHandled = false;
         std::vector<InFlightInst *> byRank;
+
+        /** Back to the idle state, keeping vector capacity: replays
+         *  start every few hundred cycles, so the buffers are reused
+         *  instead of reallocated. */
+        void
+        reset()
+        {
+            trace = nullptr;
+            actual.clear();
+            valid = 0;
+            divergent = false;
+            divergenceResolved = false;
+            nextUnit = 0;
+            allocated = 0;
+            allocLimit = 0;
+            lastUnit = 0;
+            blocksRead = 0;
+            start = 0;
+            baseSeq = 0;
+            endHandled = false;
+            byRank.clear();
+        }
     };
 
     /** Queued switch to a replay once constraints are met. */
@@ -188,6 +210,13 @@ class FlywheelCore : public CoreBase
 
     std::uint64_t beCyclesSinceCheck_ = 0;
     bool redistributionArmed_ = false;
+
+    // Per-cycle scratch for replayIssue (reused, never reallocated on
+    // the trace-execution hot path).
+    std::vector<InFlightInst *> gatedScratch_;
+    std::vector<InFlightInst *> freeSlotsScratch_;
+    std::vector<InstSeqNum> coStoresScratch_;
+    FunctionalUnits::State fuStateScratch_;
 };
 
 } // namespace flywheel

@@ -24,19 +24,14 @@ Cache::Cache(const CacheParams &params)
     numSets_ = lines / params_.assoc;
     FW_ASSERT(isPow2(numSets_), "number of sets must be a power of 2");
     lines_.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
-}
 
-std::uint32_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>(addr / params_.lineBytes) &
-           (numSets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / params_.lineBytes / numSets_;
+    while ((params_.lineBytes >> lineShift_) != 1)
+        ++lineShift_;
+    unsigned set_bits = 0;
+    while ((numSets_ >> set_bits) != 1)
+        ++set_bits;
+    tagShift_ = lineShift_ + set_bits;
+    setMask_ = numSets_ - 1;
 }
 
 bool

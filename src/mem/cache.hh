@@ -70,11 +70,22 @@ class Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::uint32_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> lineShift_) & setMask_;
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> tagShift_; }
 
     CacheParams params_;
     std::uint32_t numSets_;
+    // Line size and set count are asserted powers of two, so the
+    // index/tag split is pure shift/mask (this is fetch-path code:
+    // one lookup per simulated fetch group and data access).
+    unsigned lineShift_ = 0;
+    unsigned tagShift_ = 0;
+    std::uint32_t setMask_ = 0;
     std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
     std::uint64_t useClock_ = 0;
 

@@ -1,0 +1,106 @@
+#include "perf/perf_harness.hh"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "core/baseline_core.hh"
+#include "flywheel/flywheel_core.hh"
+#include "sweep/sweep.hh"
+#include "sweep/thread_pool.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel::perf {
+
+TimedRun
+timeOneRun(const std::string &bench_name, CoreKind kind,
+           std::uint64_t warmup_instrs, std::uint64_t measure_instrs)
+{
+    const BenchProfile &profile = benchmarkByName(bench_name);
+    StaticProgram program(profile);
+    WorkloadStream stream(program);
+
+    CoreParams params;  // default clock plan (FE0/BE0, Table 2 sizes)
+    std::unique_ptr<CoreBase> core;
+    if (kind == CoreKind::Baseline) {
+        core = std::make_unique<BaselineCore>(params, stream);
+    } else {
+        if (kind == CoreKind::RegisterAllocation)
+            params.execCacheEnabled = false;
+        core = std::make_unique<FlywheelCore>(params, stream);
+    }
+
+    core->run(warmup_instrs);
+    const std::uint64_t before = core->stats().retired;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    core->run(measure_instrs);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    TimedRun r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.instructions = core->stats().retired - before;
+    return r;
+}
+
+BenchReport
+runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
+{
+    BenchReport report;
+    report.host = collectHostInfo();
+    report.warmupInstrs = options.warmupInstrs;
+    report.measureInstrs = options.measureInstrs;
+    report.repeats = options.repeats;
+    report.jobs = options.jobs;
+
+    std::vector<std::string> benches = options.benchmarks;
+    if (benches.empty())
+        benches = benchmarkNames();
+    for (const std::string &b : benches)
+        benchmarkByName(b);  // validate up front (fatal if unknown)
+
+    report.entries.resize(benches.size() * options.kinds.size());
+    for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+        for (std::size_t ki = 0; ki < options.kinds.size(); ++ki) {
+            PerfEntry &e =
+                report.entries[bi * options.kinds.size() + ki];
+            e.bench = benches[bi];
+            e.kind = coreKindName(options.kinds[ki]);
+        }
+    }
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    auto run_cell = [&](std::size_t idx) {
+        PerfEntry &e = report.entries[idx];
+        const CoreKind kind =
+            options.kinds[idx % options.kinds.size()];
+        for (unsigned rep = 0; rep < options.repeats; ++rep) {
+            TimedRun r = timeOneRun(e.bench, kind,
+                                    options.warmupInstrs,
+                                    options.measureInstrs);
+            e.repSeconds.push_back(r.seconds);
+            e.instructions = r.instructions;
+        }
+        e.medianSeconds = median(e.repSeconds);
+        e.minstrPerSec = e.medianSeconds > 0.0
+            ? double(e.instructions) / e.medianSeconds / 1e6
+            : 0.0;
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(++done, report.entries.size(), e);
+        }
+    };
+
+    if (options.jobs <= 1) {
+        for (std::size_t i = 0; i < report.entries.size(); ++i)
+            run_cell(i);
+    } else {
+        ThreadPool pool(options.jobs);
+        pool.parallelFor(report.entries.size(), run_cell);
+    }
+    return report;
+}
+
+} // namespace flywheel::perf

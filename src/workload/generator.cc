@@ -14,40 +14,20 @@ WorkloadStream::WorkloadStream(const StaticProgram &program,
       cursors_(program.objects().size(), 0)
 {}
 
-const DynInst &
-WorkloadStream::next()
-{
-    if (lookahead_.empty())
-        produce();
-    current_ = lookahead_.front();
-    lookahead_.pop_front();
-    ++consumed_;
-    return current_;
-}
-
-const DynInst &
-WorkloadStream::peek(std::size_t k)
-{
-    while (lookahead_.size() <= k)
-        produce();
-    return lookahead_[k];
-}
-
 void
 WorkloadStream::produce()
 {
     const auto &blocks = prog_.blocks();
-    const BasicBlock &blk = blocks[curBlock_];
     const BenchProfile &prof = prog_.profile();
 
-    // Silent fall-through: no instruction is emitted for this block
-    // boundary, so no sequence number may be consumed.
-    if (opIdx_ >= blk.ops.size() && blk.term.kind == TermKind::None) {
+    // Silent fall-through: no instruction is emitted for these block
+    // boundaries, so no sequence number may be consumed.
+    while (opIdx_ >= blocks[curBlock_].ops.size() &&
+           blocks[curBlock_].term.kind == TermKind::None) {
         opIdx_ = 0;
-        curBlock_ = blk.fallthrough;
-        produce();
-        return;
+        curBlock_ = blocks[curBlock_].fallthrough;
     }
+    const BasicBlock &blk = blocks[curBlock_];
 
     DynInst inst;
     inst.seq = nextSeq_++;

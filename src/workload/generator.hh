@@ -10,7 +10,6 @@
 #define FLYWHEEL_WORKLOAD_GENERATOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/random.hh"
@@ -40,10 +39,33 @@ class WorkloadStream
                             std::uint64_t seed = 0xfeedULL);
 
     /** Consume and return the next correct-path instruction. */
-    const DynInst &next();
+    const DynInst &
+    next()
+    {
+        if (head_ == lookahead_.size())
+            produce();
+        current_ = lookahead_[head_++];
+        recycleLookahead();
+        ++consumed_;
+        return current_;
+    }
 
-    /** Look ahead k instructions (k=0 is what next() would return). */
-    const DynInst &peek(std::size_t k = 0);
+    /**
+     * Look ahead k instructions (k=0 is what next() would return).
+     *
+     * The returned reference is only valid until the next peek() or
+     * next() call: the lookahead buffer is a recycling vector, so any
+     * later production or consumption may grow, shift or clear it.
+     * Copy the fields you need (every current caller reads .pc/.seq
+     * immediately) instead of holding the reference.
+     */
+    const DynInst &
+    peek(std::size_t k = 0)
+    {
+        while (lookahead_.size() - head_ <= k)
+            produce();
+        return lookahead_[head_ + k];
+    }
 
     /** Instructions consumed so far. */
     std::uint64_t consumed() const { return consumed_; }
@@ -53,6 +75,26 @@ class WorkloadStream
   private:
     /** Generate one more instruction into the lookahead buffer. */
     void produce();
+
+    /**
+     * Reclaim consumed lookahead slots.  The buffer drains completely
+     * between fetch groups in the common case, so the cheap
+     * reset-to-zero covers almost every call; the erase path only
+     * triggers under very deep replay validation lookahead.
+     */
+    void
+    recycleLookahead()
+    {
+        if (head_ == lookahead_.size()) {
+            lookahead_.clear();
+            head_ = 0;
+        } else if (head_ >= 4096) {
+            lookahead_.erase(lookahead_.begin(),
+                             lookahead_.begin() +
+                                 static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
 
     const StaticProgram &prog_;
     Pcg32 rng_;
@@ -73,7 +115,9 @@ class WorkloadStream
     /** Strided cursor per data object. */
     std::vector<std::uint32_t> cursors_;
 
-    std::deque<DynInst> lookahead_;
+    /** Lookahead buffer; [head_, size) are the pending instructions. */
+    std::vector<DynInst> lookahead_;
+    std::size_t head_ = 0;
     DynInst current_;
     std::uint64_t consumed_ = 0;
     InstSeqNum nextSeq_ = 1;

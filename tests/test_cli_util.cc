@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the shared CLI helper header (tools/cli_util.hh):
+ * list splitting, strict number parsing (including the fatal paths),
+ * the output-file plumbing, and the repeat-median / host-metadata
+ * helpers every tool shares.
+ */
+
+#include "tools/cli_util.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace flywheel;
+
+TEST(SplitList, BasicAndEmptyItems)
+{
+    EXPECT_EQ(cli::splitList("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(cli::splitList("a,,b,"),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(cli::splitList(""), std::vector<std::string>{});
+    EXPECT_EQ(cli::splitList("solo"),
+              std::vector<std::string>{"solo"});
+}
+
+TEST(ParseDoubles, ParsesList)
+{
+    std::vector<double> v = cli::parseDoubles("0,0.5,1.0", "--fe");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.5);
+    EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(ParseDoublesDeathTest, RejectsGarbage)
+{
+    EXPECT_EXIT(cli::parseDoubles("0.5,zebra", "--fe"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(cli::parseDoubles(",", "--fe"),
+                ::testing::ExitedWithCode(1), "empty list");
+}
+
+TEST(ParseU64, ParsesPlainDecimals)
+{
+    EXPECT_EQ(cli::parseU64("0", "--n"), 0u);
+    EXPECT_EQ(cli::parseU64("300000", "--n"), 300000u);
+}
+
+TEST(ParseU64DeathTest, RejectsSignsAndGarbage)
+{
+    EXPECT_EXIT(cli::parseU64("-1", "--n"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(cli::parseU64("12x", "--n"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(cli::parseU64("", "--n"),
+                ::testing::ExitedWithCode(1), "bad number");
+}
+
+TEST(ParseJobs, AcceptsSameRangeAsEnvVar)
+{
+    EXPECT_EQ(cli::parseJobs("1", "--jobs"), 1u);
+    EXPECT_EQ(cli::parseJobs("8", "--jobs"), 8u);
+}
+
+TEST(ParseJobsDeathTest, RejectsZeroAndGarbage)
+{
+    EXPECT_EXIT(cli::parseJobs("0", "--jobs"),
+                ::testing::ExitedWithCode(1), "expected an integer");
+    EXPECT_EXIT(cli::parseJobs("many", "--jobs"),
+                ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+TEST(Median, OddEvenAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(cli::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(cli::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(cli::median({7.5}), 7.5);
+    EXPECT_DOUBLE_EQ(cli::median({}), 0.0);
+}
+
+TEST(Median, DoesNotMutateCallerOrder)
+{
+    // Takes its argument by value: a caller's rep_seconds list keeps
+    // its chronological order for the report.
+    std::vector<double> reps{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(cli::median(reps), 2.0);
+    EXPECT_EQ(reps, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Geomean, PositiveValuesAndEdgeCases)
+{
+    EXPECT_NEAR(cli::geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cli::geomean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(cli::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(cli::geomean({1.0, 0.0}), 0.0);
+}
+
+TEST(HostMeta, CollectsNonEmptyIdentity)
+{
+    cli::HostInfo h = cli::collectHostInfo();
+    EXPECT_FALSE(h.hostname.empty());
+    EXPECT_FALSE(h.cpu.empty());
+    EXPECT_GE(h.hwThreads, 1u);
+    EXPECT_FALSE(h.compiler.empty());
+    EXPECT_TRUE(h.build == "release" || h.build == "debug");
+}
+
+TEST(OpenOut, DashMeansStdout)
+{
+    std::ofstream file;
+    std::ostream &os = cli::openOut("-", file);
+    EXPECT_EQ(&os, &std::cout);
+    EXPECT_FALSE(file.is_open());
+}
+
+TEST(OpenOut, WritesNamedFile)
+{
+    const std::string path = ::testing::TempDir() + "cli_util_out.txt";
+    {
+        std::ofstream file;
+        std::ostream &os = cli::openOut(path, file);
+        os << "hello\n";
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "hello");
+    std::remove(path.c_str());
+}
+
+TEST(RequireValue, ReturnsNextArgAndAdvances)
+{
+    const char *argv_c[] = {"prog", "--flag", "value"};
+    char **argv = const_cast<char **>(argv_c);
+    int i = 1;
+    EXPECT_EQ(cli::requireValue(3, argv, &i, "--flag"), "value");
+    EXPECT_EQ(i, 2);
+}
+
+TEST(RequireValueDeathTest, MissingValueIsFatal)
+{
+    const char *argv_c[] = {"prog", "--flag"};
+    char **argv = const_cast<char **>(argv_c);
+    int i = 1;
+    EXPECT_EXIT(cli::requireValue(2, argv, &i, "--flag"),
+                ::testing::ExitedWithCode(1), "requires a value");
+}
+
+TEST(StderrProgress, MatchesSweepProgressSignature)
+{
+    // The shared printer must stay assignable to the sweep/session
+    // progress slot (the compile is the real assertion).
+    SweepOptions opts;
+    opts.progress = cli::stderrProgress;
+    EXPECT_TRUE(static_cast<bool>(opts.progress));
+}

@@ -253,7 +253,8 @@ TEST(FunctionalUnits, SaveRestoreUndoesClaims)
 {
     FunctionalUnits fu({}, {});
     fu.beginCycle(0);
-    auto snap = fu.save();
+    FunctionalUnits::State snap;
+    fu.save(snap);
     EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0, 1000.0));
     EXPECT_TRUE(fu.tryIssue(OpClass::Store, 0, 1000.0));
     EXPECT_FALSE(fu.canIssue(OpClass::Load, 0, 0));

@@ -1,16 +1,19 @@
 /**
  * @file
- * Argument/environment helpers shared by the three CLIs
- * (flywheel_bench, flywheel_sweep, flywheel_fuzz): list splitting,
- * strictly validated number parsing, output-file plumbing and the
- * common flag-value idiom.  One implementation so every tool rejects
- * the same garbage the same way.
+ * Argument/environment helpers shared by the CLIs (flywheel_bench,
+ * flywheel_sweep, flywheel_fuzz, flywheel_perf): list splitting,
+ * strictly validated number parsing, output-file plumbing, the common
+ * flag-value idiom, the shared per-point progress printer, and the
+ * repeat-median / host-metadata helpers (re-exported from the perf
+ * subsystem).  One implementation so every tool rejects the same
+ * garbage — and reports the same way.
  */
 
 #ifndef FLYWHEEL_TOOLS_CLI_UTIL_HH
 #define FLYWHEEL_TOOLS_CLI_UTIL_HH
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -18,9 +21,36 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "perf/bench_report.hh"
+#include "sweep/sweep.hh"
 #include "sweep/thread_pool.hh"
 
 namespace flywheel::cli {
+
+// Repeat-median and host-metadata helpers: one implementation in the
+// perf subsystem, surfaced here so every CLI shares it.
+using flywheel::perf::HostInfo;
+using flywheel::perf::collectHostInfo;
+using flywheel::perf::geomean;
+using flywheel::perf::median;
+
+/**
+ * The per-point progress printer every grid-running CLI uses
+ * (assignable to SweepOptions::progress / SessionOptions::progress).
+ */
+inline void
+stderrProgress(std::size_t done, std::size_t total,
+               const SweepPoint &pt, const RunResult &r,
+               bool from_cache)
+{
+    std::fprintf(stderr,
+                 "[%3zu/%zu] %-8s %-8s %s FE%.0f%%/BE%.0f%% "
+                 "time %.3f us%s\n",
+                 done, total, pt.bench.c_str(), coreKindName(pt.kind),
+                 techName(pt.config.node), pt.clock.feBoost * 100.0,
+                 pt.clock.beBoost * 100.0, double(r.timePs) / 1e6,
+                 from_cache ? " (cached)" : "");
+}
 
 /** Split a comma-separated list; empty items are dropped. */
 inline std::vector<std::string>

@@ -148,21 +148,8 @@ main(int argc, char **argv)
     }
 
     std::vector<SweepPoint> points = axes.expand();
-    if (!quiet) {
-        opts.progress = [](std::size_t done, std::size_t total,
-                           const SweepPoint &pt, const RunResult &r,
-                           bool from_cache) {
-            std::fprintf(stderr,
-                         "[%3zu/%zu] %-8s %-8s %s FE%.0f%%/BE%.0f%% "
-                         "time %.3f us%s\n",
-                         done, total, pt.bench.c_str(),
-                         coreKindName(pt.kind), techName(pt.config.node),
-                         pt.clock.feBoost * 100.0,
-                         pt.clock.beBoost * 100.0,
-                         double(r.timePs) / 1e6,
-                         from_cache ? " (cached)" : "");
-        };
-    }
+    if (!quiet)
+        opts.progress = cli::stderrProgress;
 
     SweepRunner runner(opts);
     if (!quiet)
