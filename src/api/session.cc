@@ -15,6 +15,8 @@ SessionOptions::fromEnv()
     SessionOptions opts;
     if (const char *cache = std::getenv("FLYWHEEL_CACHE"))
         opts.cachePath = cache;
+    if (const char *ckpt = std::getenv("FLYWHEEL_CHECKPOINTS"))
+        opts.checkpointDir = ckpt;
     return opts;
 }
 
@@ -65,6 +67,7 @@ Session::Session(SessionOptions options)
           SweepOptions sweep;
           sweep.jobs = options.jobs;
           sweep.cachePath = options.cachePath;
+          sweep.checkpointDir = options.checkpointDir;
           sweep.progress = options.progress;
           return sweep;
       }())

@@ -30,12 +30,20 @@ struct SessionOptions
     unsigned jobs = 0;
     /** Persist the result cache at this path (empty = memory only). */
     std::string cachePath;
+    /**
+     * Warm checkpoint store shared by every run of the session (see
+     * SweepOptions::checkpointDir): "" disables checkpointing, a
+     * directory persists warmup checkpoints across invocations,
+     * ":memory:" shares them within this process only.
+     */
+    std::string checkpointDir;
     /** Per-point progress callback (see SweepOptions::progress). */
     decltype(SweepOptions::progress) progress;
 
     /**
-     * Standard environment wiring: cachePath from FLYWHEEL_CACHE if
-     * set (jobs stay 0, i.e. FLYWHEEL_JOBS / hardware concurrency).
+     * Standard environment wiring: cachePath from FLYWHEEL_CACHE and
+     * checkpointDir from FLYWHEEL_CHECKPOINTS if set (jobs stay 0,
+     * i.e. FLYWHEEL_JOBS / hardware concurrency).
      */
     static SessionOptions fromEnv();
 };

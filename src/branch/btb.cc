@@ -1,6 +1,7 @@
 #include "branch/btb.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -64,6 +65,43 @@ Btb::regStats(StatGroup &group) const
 {
     group.add("btb.lookups", lookups_);
     group.add("btb.hits", hits_);
+}
+
+void
+Btb::save(Json &out) const
+{
+    out = Json::object();
+    // One packed [pc, target, valid, lastUse] tuple per entry.
+    std::vector<std::uint64_t> entries;
+    entries.reserve(entries_.size() * 4);
+    for (const Entry &e : entries_) {
+        entries.push_back(e.pc);
+        entries.push_back(e.target);
+        entries.push_back(e.valid ? 1 : 0);
+        entries.push_back(e.lastUse);
+    }
+    out.add("entries", packedU64Json(entries));
+    out.add("useClock", useClock_);
+    out.add("lookups", lookups_.value());
+    out.add("hits", hits_.value());
+}
+
+void
+Btb::restore(const Json &in)
+{
+    std::vector<std::uint64_t> entries;
+    packedU64From(in["entries"], &entries);
+    FW_ASSERT(entries.size() == entries_.size() * 4,
+              "BTB snapshot geometry mismatch");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].pc = entries[i * 4];
+        entries_[i].target = entries[i * 4 + 1];
+        entries_[i].valid = entries[i * 4 + 2] != 0;
+        entries_[i].lastUse = entries[i * 4 + 3];
+    }
+    useClock_ = in["useClock"].asU64();
+    lookups_.set(in["lookups"].asU64());
+    hits_.set(in["hits"].asU64());
 }
 
 } // namespace flywheel

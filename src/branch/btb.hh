@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -37,6 +38,11 @@ class Btb
     void update(Addr pc, Addr target);
 
     void regStats(StatGroup &group) const;
+
+    /** Serialize entries, LRU clock and counters. */
+    void save(Json &out) const;
+    /** Restore state saved by save() (geometry must match). */
+    void restore(const Json &in);
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "branch/gshare.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -55,6 +56,29 @@ Gshare::regStats(StatGroup &group) const
 {
     group.add("gshare.lookups", lookups_);
     group.add("gshare.updates", updates_);
+}
+
+void
+Gshare::save(Json &out) const
+{
+    out = Json::object();
+    out.add("history", std::uint64_t(history_));
+    out.add("table", packedU64Json(table_));
+    out.add("lookups", lookups_.value());
+    out.add("updates", updates_.value());
+}
+
+void
+Gshare::restore(const Json &in)
+{
+    history_ = static_cast<std::uint16_t>(in["history"].asU64());
+    std::vector<std::uint8_t> table;
+    packedU64From(in["table"], &table);
+    FW_ASSERT(table.size() == table_.size(),
+              "gshare snapshot geometry mismatch");
+    table_ = std::move(table);
+    lookups_.set(in["lookups"].asU64());
+    updates_.set(in["updates"].asU64());
 }
 
 } // namespace flywheel

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -53,6 +54,11 @@ class Gshare
     std::uint64_t lookups() const { return lookups_.value(); }
 
     void regStats(StatGroup &group) const;
+
+    /** Serialize history register, pattern table and counters. */
+    void save(Json &out) const;
+    /** Restore state saved by save() (geometry must match). */
+    void restore(const Json &in);
 
   private:
     std::uint32_t index(Addr pc, std::uint16_t history) const;

@@ -95,6 +95,21 @@ class Pcg32
         return n;
     }
 
+    /** Raw generator state (simulator snapshots). */
+    struct State
+    {
+        std::uint64_t state = 0;
+        std::uint64_t inc = 0;
+    };
+
+    State getState() const { return State{state_, inc_}; }
+    void
+    setState(const State &s)
+    {
+        state_ = s.state;
+        inc_ = s.inc;
+    }
+
   private:
     std::uint64_t state_;
     std::uint64_t inc_;

@@ -28,6 +28,8 @@ class Counter
 
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Overwrite the count (snapshot restore only). */
+    void set(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;

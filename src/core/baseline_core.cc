@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/log.hh"
+#include "snapshot/snapshot.hh"
+
 namespace flywheel {
 
 BaselineCore::BaselineCore(const CoreParams &params,
@@ -42,6 +45,31 @@ BaselineCore::onRetire(InFlightInst &inst, Tick)
 {
     if (inst.oldDestPhys != kNoPhysReg)
         renameMap_.release(inst.oldDestPhys);
+}
+
+void
+BaselineCore::save(Snapshot &snap) const
+{
+    CoreBase::save(snap);
+    Json core = Json::object();
+    core.add("type", "baseline");
+    Json rename;
+    renameMap_.save(rename);
+    core.add("renameMap", std::move(rename));
+    core.add("cycle", cycle_);
+    snap.state().add("core", std::move(core));
+}
+
+void
+BaselineCore::restore(const Snapshot &snap)
+{
+    CoreBase::restore(snap);
+    const Json &core = snap.state()["core"];
+    FW_ASSERT(core["type"].asString() == "baseline",
+              "restoring a %s snapshot into a baseline core",
+              core["type"].asString().c_str());
+    renameMap_.restore(core["renameMap"]);
+    cycle_ = core["cycle"].asU64();
 }
 
 void

@@ -24,6 +24,9 @@ class BaselineCore : public CoreBase
 
     void run(std::uint64_t n) override;
 
+    void save(Snapshot &snap) const override;
+    void restore(const Snapshot &snap) override;
+
   protected:
     bool canRenameDest(const InFlightInst &inst) override;
     void renameSrcs(InFlightInst &inst) override;

@@ -3,8 +3,94 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "core/report.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
+
+namespace {
+
+/**
+ * Snapshot codec for one in-flight instruction: the architectural
+ * DynInst array followed by every microarchitectural field, in fixed
+ * positional order (the snapshot format version gates changes).
+ */
+Json
+inflightToJson(const InFlightInst &i)
+{
+    Json arr = Json::array();
+    arr.push(dynInstToJson(i.arch));
+    arr.push(std::uint64_t(i.destPhys));
+    arr.push(std::uint64_t(i.oldDestPhys));
+    arr.push(std::uint64_t(i.src1Phys));
+    arr.push(std::uint64_t(i.src2Phys));
+    arr.push(std::uint64_t(i.poolPrevSlot));
+    arr.push(i.dispatchReady);
+    arr.push(i.iwVisible);
+    arr.push(i.issueTick);
+    arr.push(i.completeTick);
+    arr.push(std::uint64_t(i.inIw ? 1 : 0));
+    arr.push(std::uint64_t(i.iwPos));
+    arr.push(std::uint64_t(i.issued ? 1 : 0));
+    arr.push(std::uint64_t(i.completed ? 1 : 0));
+    arr.push(std::uint64_t(i.squashed ? 1 : 0));
+    arr.push(std::uint64_t(i.mispredicted ? 1 : 0));
+    arr.push(std::uint64_t(i.predictedTaken ? 1 : 0));
+    arr.push(std::uint64_t(i.btbMissBubble ? 1 : 0));
+    arr.push(std::uint64_t(i.historyAtPredict));
+    arr.push(std::uint64_t(i.fromEc ? 1 : 0));
+    arr.push(std::uint64_t(i.traceRank));
+    return arr;
+}
+
+InFlightInst
+inflightFromJson(const Json &j)
+{
+    FW_ASSERT(j.isArray() && j.size() == 21,
+              "malformed in-flight-instruction snapshot record");
+    InFlightInst i;
+    i.arch = dynInstFromJson(j.at(0));
+    i.destPhys = static_cast<PhysReg>(j.at(1).asU64());
+    i.oldDestPhys = static_cast<PhysReg>(j.at(2).asU64());
+    i.src1Phys = static_cast<PhysReg>(j.at(3).asU64());
+    i.src2Phys = static_cast<PhysReg>(j.at(4).asU64());
+    i.poolPrevSlot = static_cast<std::uint16_t>(j.at(5).asU64());
+    i.dispatchReady = j.at(6).asU64();
+    i.iwVisible = j.at(7).asU64();
+    i.issueTick = j.at(8).asU64();
+    i.completeTick = j.at(9).asU64();
+    i.inIw = j.at(10).asU64() != 0;
+    i.iwPos = static_cast<std::uint32_t>(j.at(11).asU64());
+    i.issued = j.at(12).asU64() != 0;
+    i.completed = j.at(13).asU64() != 0;
+    i.squashed = j.at(14).asU64() != 0;
+    i.mispredicted = j.at(15).asU64() != 0;
+    i.predictedTaken = j.at(16).asU64() != 0;
+    i.btbMissBubble = j.at(17).asU64() != 0;
+    i.historyAtPredict = static_cast<std::uint16_t>(j.at(18).asU64());
+    i.fromEc = j.at(19).asU64() != 0;
+    i.traceRank = static_cast<std::uint32_t>(j.at(20).asU64());
+    return i;
+}
+
+Json
+instDequeToJson(const std::deque<InFlightInst> &q)
+{
+    Json arr = Json::array();
+    for (const InFlightInst &i : q)
+        arr.push(inflightToJson(i));
+    return arr;
+}
+
+void
+instDequeFromJson(const Json &j, std::deque<InFlightInst> *out)
+{
+    out->clear();
+    for (const Json &i : j.items())
+        out->push_back(inflightFromJson(i));
+}
+
+} // namespace
 
 CoreBase::CoreBase(const CoreParams &params, WorkloadStream &stream,
                    unsigned phys_regs)
@@ -390,6 +476,117 @@ CoreBase::stepRetire(Tick now, Tick be_period)
             ++stats_.ecRetired;
         rob_.pop_front();
     }
+}
+
+std::uint64_t
+CoreBase::robIndexOf(const InFlightInst *inst) const
+{
+    if (inst == nullptr)
+        return kNoRobIndex;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        if (&rob_[i] == inst)
+            return i;
+    }
+    FW_PANIC("snapshot save: tracked instruction not in the ROB");
+}
+
+InFlightInst *
+CoreBase::robAt(std::uint64_t index)
+{
+    if (index == kNoRobIndex)
+        return nullptr;
+    FW_ASSERT(index < rob_.size(),
+              "snapshot ROB index %llu out of range (%zu entries)",
+              static_cast<unsigned long long>(index), rob_.size());
+    return &rob_[index];
+}
+
+void
+CoreBase::save(Snapshot &snap) const
+{
+    Json &st = snap.state();
+    st = Json::object();
+
+    Json section;
+    stream_.save(section);
+    st.add("stream", std::move(section));
+    hier_.save(section);
+    st.add("mem", std::move(section));
+    gshare_.save(section);
+    st.add("gshare", std::move(section));
+    btb_.save(section);
+    st.add("btb", std::move(section));
+    fus_.save(section);
+    st.add("fus", std::move(section));
+    lsq_.save(section);
+    st.add("lsq", std::move(section));
+
+    st.add("rob", instDequeToJson(rob_));
+    st.add("feq", instDequeToJson(feQueue_));
+    st.add("regReady", packedU64Json(regReady_));
+
+    iw_.save(section,
+             [this](const InFlightInst *p) { return robIndexOf(p); });
+    st.add("iw", std::move(section));
+
+    Json pending = Json::array();
+    for (const InFlightInst *p : issuedPending_)
+        pending.push(robIndexOf(p));
+    st.add("issuedPending", std::move(pending));
+    st.add("minCompleteTick", minCompleteTick_);
+
+    st.add("events", toJson(events_));
+    st.add("stats", toJson(stats_));
+    st.add("fetchStallUntil", fetchStallUntil_);
+    st.add("waitingOnMispredict",
+           std::uint64_t(waitingOnMispredict_ ? 1 : 0));
+    st.add("lastProgressRetired", lastProgressRetired_);
+    st.add("lastProgressTick", lastProgressTick_);
+}
+
+void
+CoreBase::restore(const Snapshot &snap)
+{
+    const Json &st = snap.state();
+    FW_ASSERT(st.isObject() && st.has("rob") && st.has("stream"),
+              "malformed core snapshot");
+
+    stream_.restore(st["stream"]);
+    hier_.restore(st["mem"]);
+    gshare_.restore(st["gshare"]);
+    btb_.restore(st["btb"]);
+    fus_.restore(st["fus"]);
+    lsq_.restore(st["lsq"]);
+
+    instDequeFromJson(st["rob"], &rob_);
+    instDequeFromJson(st["feq"], &feQueue_);
+    FW_ASSERT(rob_.size() <= params_.robEntries &&
+                  feQueue_.size() <= feQueueCap_,
+              "core snapshot exceeds configured structure sizes");
+    std::vector<Tick> reg_ready;
+    packedU64From(st["regReady"], &reg_ready);
+    FW_ASSERT(reg_ready.size() == regReady_.size(),
+              "core snapshot register-file size mismatch");
+    regReady_ = std::move(reg_ready);
+
+    iw_.restore(st["iw"],
+                [this](std::uint64_t idx) { return robAt(idx); });
+
+    issuedPending_.clear();
+    for (const Json &idx : st["issuedPending"].items()) {
+        InFlightInst *p = robAt(idx.asU64());
+        FW_ASSERT(p != nullptr && p->issued && !p->completed,
+                  "issued-pending snapshot inconsistent with the ROB");
+        issuedPending_.push_back(p);
+    }
+    minCompleteTick_ = st["minCompleteTick"].asU64();
+
+    events_ = energyEventsFromJson(st["events"]);
+    stats_ = coreStatsFromJson(st["stats"]);
+    fetchStallUntil_ = st["fetchStallUntil"].asU64();
+    waitingOnMispredict_ = st["waitingOnMispredict"].asU64() != 0;
+    lastProgressRetired_ = st["lastProgressRetired"].asU64();
+    lastProgressTick_ = st["lastProgressTick"].asU64();
 }
 
 void

@@ -44,6 +44,8 @@
 
 namespace flywheel {
 
+class Snapshot;
+
 /** Aggregate behavioural statistics exposed by every core. */
 struct CoreStats
 {
@@ -67,6 +69,49 @@ struct CoreStats
     std::uint64_t redistributions = 0;
     std::uint64_t checkpointStallCycles = 0;
 };
+
+/**
+ * X-macro over every CoreStats field.  The JSON serialization
+ * (core/report.cc), the window-delta operators below and the field
+ * count all expand from this one list, so a newly added field is
+ * either carried everywhere or trips the static_assert below.
+ */
+#define FW_CORE_STATS_FIELDS(X) \
+    X(retired) X(condBranches) X(mispredicts) X(btbMissBubbles) \
+    X(icacheMissStalls) X(robFullStalls) X(iwFullStalls) \
+    X(lsqFullStalls) X(renameStalls) X(ecRetired) X(ecLookups) \
+    X(ecHits) X(tracesBuilt) X(traceChanges) X(traceDivergences) \
+    X(redistributions) X(checkpointStallCycles)
+
+#define X(f) +1
+constexpr std::size_t kCoreStatsFieldCount = 0 FW_CORE_STATS_FIELDS(X);
+#undef X
+static_assert(sizeof(CoreStats) ==
+                  kCoreStatsFieldCount * sizeof(std::uint64_t),
+              "CoreStats gained a field: add it to "
+              "FW_CORE_STATS_FIELDS so the warm-up subtraction and "
+              "serialization carry it");
+
+/** Element-wise difference (warm-up window subtraction). */
+inline CoreStats
+operator-(const CoreStats &a, const CoreStats &b)
+{
+    CoreStats d;
+#define X(f) d.f = a.f - b.f;
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+    return d;
+}
+
+/** Element-wise accumulate (sampling-window aggregation). */
+inline CoreStats &
+operator+=(CoreStats &a, const CoreStats &b)
+{
+#define X(f) a.f += b.f;
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+    return a;
+}
 
 /**
  * Common machinery of both cores; subclasses provide renaming and
@@ -97,6 +142,25 @@ class CoreBase
      */
     using RetireHook = std::function<void(const InFlightInst &, Tick)>;
     void setRetireHook(RetireHook hook) { retireHook_ = std::move(hook); }
+
+    // ---- state snapshots -------------------------------------------------
+    /**
+     * Serialize the complete dynamic simulator state — including the
+     * workload stream the core is attached to — into @p snap.
+     * Subclasses extend the document with their own "core" section.
+     * Only legal between run() calls (an instruction-retirement
+     * boundary); the per-cycle issue scratch is empty there.
+     */
+    virtual void save(Snapshot &snap) const;
+
+    /**
+     * Restore state saved by save().  The core must be freshly
+     * constructed with identical CoreParams over a stream of the
+     * identical program; afterwards, run() continues bit-identically
+     * to the simulation the snapshot was taken from.  The retire hook
+     * is not part of the state and survives untouched.
+     */
+    virtual void restore(const Snapshot &snap);
 
   protected:
     // ---- renaming hooks -------------------------------------------------
@@ -149,6 +213,14 @@ class CoreBase
 
     /** Extra state dumped by the watchdog (mode machines etc.). */
     virtual std::string progressDebug() const { return {}; }
+
+    // ---- snapshot plumbing ----------------------------------------------
+    /** Sentinel for "no instruction" in serialized pointer slots. */
+    static constexpr std::uint64_t kNoRobIndex = ~std::uint64_t(0);
+    /** ROB index of @p inst (kNoRobIndex for nullptr). */
+    std::uint64_t robIndexOf(const InFlightInst *inst) const;
+    /** ROB entry at @p index (nullptr for kNoRobIndex). */
+    InFlightInst *robAt(std::uint64_t index);
 
     Tick memTicks() const { return memTicks_; }
 

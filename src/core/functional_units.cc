@@ -1,6 +1,7 @@
 #include "core/functional_units.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -90,6 +91,38 @@ FunctionalUnits::restore(const State &s)
         p->usedThisCycle = s.used[i];
         p->busyUntil = s.busy[i];
         ++i;
+    }
+}
+
+void
+FunctionalUnits::save(Json &out) const
+{
+    out = Json::object();
+    Json pools = Json::array();
+    for (const Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
+                          &fpMulDiv_}) {
+        Json pj = Json::object();
+        pj.add("used", p->usedThisCycle);
+        pj.add("busyUntil", numArrayJson(p->busyUntil));
+        pools.push(std::move(pj));
+    }
+    out.add("pools", std::move(pools));
+}
+
+void
+FunctionalUnits::restore(const Json &in)
+{
+    const Json &pools = in["pools"];
+    FW_ASSERT(pools.isArray() && pools.size() == 5,
+              "functional-unit snapshot shape mismatch");
+    unsigned i = 0;
+    for (Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
+                    &fpMulDiv_}) {
+        const Json &pj = pools.at(i++);
+        FW_ASSERT(pj["busyUntil"].size() == p->count,
+                  "functional-unit snapshot geometry mismatch");
+        p->usedThisCycle = unsigned(pj["used"].asU64());
+        numArrayFrom(pj["busyUntil"], &p->busyUntil);
     }
 }
 

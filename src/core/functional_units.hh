@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 #include "core/params.hh"
 #include "isa/instruction.hh"
@@ -60,6 +61,11 @@ class FunctionalUnits
      */
     void save(State &out) const;
     void restore(const State &state);
+
+    /** Serialize all per-unit busy state (simulator snapshots). */
+    void save(Json &out) const;
+    /** Restore state saved by save(Json&) (geometry must match). */
+    void restore(const Json &in);
 
   private:
     struct Pool

@@ -66,6 +66,49 @@ IssueWindow::compact()
 }
 
 void
+IssueWindow::save(Json &out,
+                  const std::function<std::uint64_t(const InFlightInst *)>
+                      &index_of) const
+{
+    out = Json::object();
+    // Tombstones are kept (as -1 sentinels encoded via kNone) so the
+    // restored array matches slot for slot: every entry's recorded
+    // iwPos remains valid without re-deriving anything.
+    constexpr std::uint64_t kNone = ~std::uint64_t(0);
+    Json order = Json::array();
+    for (const InFlightInst *p : order_)
+        order.push(p == nullptr ? kNone : index_of(p));
+    out.add("order", std::move(order));
+    out.add("lastSeq", lastSeq_);
+}
+
+void
+IssueWindow::restore(const Json &in,
+                     const std::function<InFlightInst *(std::uint64_t)>
+                         &at)
+{
+    constexpr std::uint64_t kNone = ~std::uint64_t(0);
+    order_.clear();
+    order_.reserve(static_cast<std::size_t>(capacity_) * 2);
+    used_ = 0;
+    for (const Json &slot : in["order"].items()) {
+        const std::uint64_t idx = slot.asU64();
+        if (idx == kNone) {
+            order_.push_back(nullptr);
+            continue;
+        }
+        InFlightInst *p = at(idx);
+        FW_ASSERT(p != nullptr && p->inIw &&
+                      p->iwPos == order_.size(),
+                  "issue-window snapshot inconsistent with the ROB");
+        order_.push_back(p);
+        ++used_;
+    }
+    FW_ASSERT(used_ <= capacity_, "issue-window snapshot overflows");
+    lastSeq_ = in["lastSeq"].asU64();
+}
+
+void
 IssueWindow::visibleOldestFirst(Tick now,
                                 std::vector<InFlightInst *> &out) const
 {

@@ -26,8 +26,10 @@
 #define FLYWHEEL_CORE_ISSUE_WINDOW_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 #include "core/inflight.hh"
 
@@ -60,6 +62,20 @@ class IssueWindow
      */
     void visibleOldestFirst(Tick now,
                             std::vector<InFlightInst *> &out) const;
+
+    /**
+     * Serialize the window (simulator snapshots).  The window stores
+     * ROB pointers, so @p index_of maps each live entry to its ROB
+     * index; tombstone positions are preserved exactly (each entry's
+     * recorded iwPos stays valid).
+     */
+    void save(Json &out,
+              const std::function<std::uint64_t(const InFlightInst *)>
+                  &index_of) const;
+
+    /** Restore state saved by save(); @p at resolves ROB indices. */
+    void restore(const Json &in,
+                 const std::function<InFlightInst *(std::uint64_t)> &at);
 
   private:
     void compact();

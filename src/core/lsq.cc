@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -140,6 +141,49 @@ Lsq::squashFrom(InstSeqNum seq)
     }
     if (count_ == 0)
         head_ = 0;
+}
+
+void
+Lsq::save(Json &out) const
+{
+    out = Json::object();
+    // Entries oldest-first as positional [seq, word, isStore,
+    // addrKnown] tuples; the ring phase (head_) is not behaviour and
+    // restore() re-bases at zero.
+    std::vector<std::uint64_t> entries;
+    entries.reserve(count_ * 4);
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Entry &e = buf_[at(i)];
+        entries.push_back(e.seq);
+        entries.push_back(e.word);
+        entries.push_back(e.isStore ? 1 : 0);
+        entries.push_back(e.addrKnown ? 1 : 0);
+    }
+    out.add("entries", packedU64Json(entries));
+    out.add("unknownStores", std::uint64_t(unknownStores_));
+    out.add("knownStores", std::uint64_t(knownStores_));
+    out.add("minUnknownSeq", minUnknownSeq_);
+}
+
+void
+Lsq::restore(const Json &in)
+{
+    std::vector<std::uint64_t> entries;
+    packedU64From(in["entries"], &entries);
+    FW_ASSERT(entries.size() % 4 == 0 &&
+                  entries.size() / 4 <= capacity_,
+              "LSQ snapshot does not fit the configured capacity");
+    head_ = 0;
+    count_ = entries.size() / 4;
+    for (std::size_t i = 0; i < count_; ++i) {
+        buf_[i].seq = entries[i * 4];
+        buf_[i].word = entries[i * 4 + 1];
+        buf_[i].isStore = entries[i * 4 + 2] != 0;
+        buf_[i].addrKnown = entries[i * 4 + 3] != 0;
+    }
+    unknownStores_ = unsigned(in["unknownStores"].asU64());
+    knownStores_ = unsigned(in["knownStores"].asU64());
+    minUnknownSeq_ = in["minUnknownSeq"].asU64();
 }
 
 std::string

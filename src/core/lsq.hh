@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace flywheel {
@@ -69,6 +70,11 @@ class Lsq
 
     /** Debug string: "seq:S/L:known ..." for every entry. */
     std::string debugDump() const;
+
+    /** Serialize the queue contents and disambiguation counters. */
+    void save(Json &out) const;
+    /** Restore state saved by save() (capacity must match). */
+    void restore(const Json &in);
 
   private:
     struct Entry

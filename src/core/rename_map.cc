@@ -1,6 +1,7 @@
 #include "core/rename_map.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -30,6 +31,26 @@ void
 RenameMap::release(PhysReg phys_reg)
 {
     freeList_.push_back(phys_reg);
+}
+
+void
+RenameMap::save(Json &out) const
+{
+    out = Json::object();
+    // The free list is a LIFO stack: its exact order decides which
+    // physical register the next allocation hands out, so it is
+    // preserved element for element.
+    out.add("map", numArrayJson(map_));
+    out.add("freeList", numArrayJson(freeList_));
+}
+
+void
+RenameMap::restore(const Json &in)
+{
+    FW_ASSERT(in["map"].size() == map_.size(),
+              "rename-map snapshot geometry mismatch");
+    numArrayFrom(in["map"], &map_);
+    numArrayFrom(in["freeList"], &freeList_);
 }
 
 } // namespace flywheel

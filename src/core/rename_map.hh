@@ -10,8 +10,10 @@
 #ifndef FLYWHEEL_CORE_RENAME_MAP_HH
 #define FLYWHEEL_CORE_RENAME_MAP_HH
 
+#include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace flywheel {
@@ -42,6 +44,11 @@ class RenameMap
     {
         return static_cast<unsigned>(freeList_.size());
     }
+
+    /** Serialize map table + free list (order is allocation order). */
+    void save(Json &out) const;
+    /** Restore state saved by save(). */
+    void restore(const Json &in);
 
   private:
     std::vector<PhysReg> map_;

@@ -78,17 +78,12 @@ writeComparison(std::ostream &os, const std::string &title_a,
 
 // X-macro field lists keep toJson and fromJson in lock-step: every
 // serialized struct member is named exactly once.
+// (FW_CORE_STATS_FIELDS lives in core/core_base.hh, shared with the
+// warm-up window-delta operators.)
 
 #define FW_ENERGY_BREAKDOWN_FIELDS(X) \
     X(frontEndPj) X(issuePj) X(execPj) X(memoryPj) X(ecPj) \
     X(clockPj) X(leakagePj)
-
-#define FW_CORE_STATS_FIELDS(X) \
-    X(retired) X(condBranches) X(mispredicts) X(btbMissBubbles) \
-    X(icacheMissStalls) X(robFullStalls) X(iwFullStalls) \
-    X(lsqFullStalls) X(renameStalls) X(ecRetired) X(ecLookups) \
-    X(ecHits) X(tracesBuilt) X(traceChanges) X(traceDivergences) \
-    X(redistributions) X(checkpointStallCycles)
 
 #define FW_ENERGY_EVENTS_FIELDS(X) \
     X(icacheAccesses) X(bpredLookups) X(btbLookups) X(decodedOps) \

@@ -3,8 +3,10 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/log.hh"
 #include "core/baseline_core.hh"
 #include "flywheel/flywheel_core.hh"
+#include "snapshot/checkpointer.hh"
 #include "workload/generator.hh"
 
 namespace flywheel {
@@ -35,62 +37,140 @@ defaultWarmupInstrs()
     return 100000;
 }
 
-RunResult
-runSim(const RunConfig &config)
+std::unique_ptr<CoreBase>
+makeCore(const RunConfig &config, WorkloadStream &stream)
 {
-    StaticProgram program(config.profile);
-    WorkloadStream stream(program);
-
     CoreParams params = config.params;
-    std::unique_ptr<CoreBase> core;
-    bool flywheel_kind = config.kind != CoreKind::Baseline;
     if (config.kind == CoreKind::RegisterAllocation)
         params.execCacheEnabled = false;
-    if (flywheel_kind)
-        core = std::make_unique<FlywheelCore>(params, stream);
-    else
-        core = std::make_unique<BaselineCore>(params, stream);
+    if (config.kind == CoreKind::Baseline)
+        return std::make_unique<BaselineCore>(params, stream);
+    return std::make_unique<FlywheelCore>(params, stream);
+}
 
-    core->run(config.warmupInstrs);
-    const EnergyEvents warm_events = core->events();
-    const CoreStats warm_stats = core->stats();
+SampleSchedule
+deriveSampleSchedule(const SnapshotPolicy &policy,
+                     std::uint64_t measure_instrs)
+{
+    SampleSchedule s;
+    if (policy.mode != SnapshotPolicy::Mode::Sample ||
+        policy.sampleWindows <= 1 ||
+        measure_instrs < policy.sampleWindows) {
+        s.window = measure_instrs;
+        s.lastWindow = measure_instrs;
+        return s;
+    }
+    s.windows = policy.sampleWindows;
+    s.window = measure_instrs / s.windows;
+    s.lastWindow = measure_instrs - s.window * (s.windows - 1);
+    s.gap = policy.sampleFastForward ? policy.sampleFastForward
+                                     : s.window;
+    s.rewarm = policy.sampleWarmup ? policy.sampleWarmup
+                                   : s.window / 4;
+    return s;
+}
 
-    core->run(config.measureInstrs);
+/**
+ * Phase 1: bring the simulator to its post-warmup state — by
+ * simulating, or through the checkpoint store per the policy.
+ */
+void
+runSimWarmup(const RunConfig &config, CoreBase &core,
+             Checkpointer *checkpoints)
+{
+    const SnapshotPolicy &policy = config.snapshot;
+    const bool checkpointed = checkpoints != nullptr &&
+                              policy.mode != SnapshotPolicy::Mode::Off &&
+                              config.warmupInstrs > 0;
+    if (!checkpointed) {
+        core.run(config.warmupInstrs);
+        return;
+    }
 
+    const std::string key = checkpointKey(config);
+    bool created = false;
+    std::shared_ptr<const Snapshot> snap = checkpoints->acquire(
+        key,
+        [&] {
+            core.run(config.warmupInstrs);
+            auto s = std::make_shared<Snapshot>();
+            s->setKey(key);
+            core.save(*s);
+            return std::shared_ptr<const Snapshot>(std::move(s));
+        },
+        /*refresh=*/policy.mode == SnapshotPolicy::Mode::Save,
+        &created);
+    // The creator's core already holds the warm state (an
+    // uninterrupted simulation); everyone else restores, which is
+    // bit-identical by the snapshot contract.
+    if (!created)
+        core.restore(*snap);
+}
+
+void
+forEachMeasureWindow(
+    const RunConfig &config, WorkloadStream &stream,
+    std::unique_ptr<CoreBase> &core,
+    const std::function<void(CoreBase &, std::uint64_t)> &window)
+{
+    // SMARTS-style interval sampling: N detailed windows, each
+    // preceded (after the first) by a stream-only fast-forward and a
+    // short detailed re-warm on a fresh core.  Only the windows are
+    // measured; a sampled result estimates a workload sampleWindows
+    // times longer than the detailed budget.  A contiguous schedule
+    // is the one-window special case.
+    const SampleSchedule sched =
+        deriveSampleSchedule(config.snapshot, config.measureInstrs);
+    for (unsigned w = 0; w < sched.windows; ++w) {
+        if (w > 0) {
+            stream.skip(sched.gap);
+            core = makeCore(config, stream);
+            core->run(sched.rewarm);
+        }
+        window(*core, w + 1 == sched.windows ? sched.lastWindow
+                                             : sched.window);
+    }
+}
+
+namespace {
+
+/**
+ * Phase 2: measure.  Returns the measurement-window deltas in
+ * @p events and @p stats; may replace @p core (sampling re-warms a
+ * fresh core after each fast-forward).
+ */
+void
+runMeasurePhase(const RunConfig &config, WorkloadStream &stream,
+                std::unique_ptr<CoreBase> &core, EnergyEvents *events,
+                CoreStats *stats)
+{
+    *events = EnergyEvents{};
+    *stats = CoreStats{};
+    forEachMeasureWindow(
+        config, stream, core,
+        [&](CoreBase &c, std::uint64_t instrs) {
+            const EnergyEvents before_events = c.events();
+            const CoreStats before_stats = c.stats();
+            c.run(instrs);
+            *events += c.events() - before_events;
+            *stats += c.stats() - before_stats;
+        });
+}
+
+/** Phase 3: reduce the window deltas to a RunResult. */
+RunResult
+reduceToResult(const RunConfig &config, const EnergyEvents &events,
+               const CoreStats &stats)
+{
     RunResult r;
-    r.events = core->events() - warm_events;
-    r.instructions = core->stats().retired - warm_stats.retired;
-    r.timePs = r.events.totalTicks;
+    r.events = events;
+    r.stats = stats;
+    r.instructions = stats.retired;
+    r.timePs = events.totalTicks;
     r.ipc = r.timePs
         ? double(r.instructions) /
-              (double(r.timePs) / params.basePeriodPs)
+              (double(r.timePs) / config.params.basePeriodPs)
         : 0.0;
-
-    // Window deltas of the behavioural statistics.
-    const CoreStats &s = core->stats();
-    r.stats.retired = r.instructions;
-    r.stats.condBranches = s.condBranches - warm_stats.condBranches;
-    r.stats.mispredicts = s.mispredicts - warm_stats.mispredicts;
-    r.stats.btbMissBubbles =
-        s.btbMissBubbles - warm_stats.btbMissBubbles;
-    r.stats.icacheMissStalls =
-        s.icacheMissStalls - warm_stats.icacheMissStalls;
-    r.stats.robFullStalls = s.robFullStalls - warm_stats.robFullStalls;
-    r.stats.iwFullStalls = s.iwFullStalls - warm_stats.iwFullStalls;
-    r.stats.lsqFullStalls = s.lsqFullStalls - warm_stats.lsqFullStalls;
-    r.stats.renameStalls = s.renameStalls - warm_stats.renameStalls;
-    r.stats.ecRetired = s.ecRetired - warm_stats.ecRetired;
-    r.stats.ecLookups = s.ecLookups - warm_stats.ecLookups;
-    r.stats.ecHits = s.ecHits - warm_stats.ecHits;
-    r.stats.tracesBuilt = s.tracesBuilt - warm_stats.tracesBuilt;
-    r.stats.traceChanges = s.traceChanges - warm_stats.traceChanges;
-    r.stats.traceDivergences =
-        s.traceDivergences - warm_stats.traceDivergences;
-    r.stats.redistributions =
-        s.redistributions - warm_stats.redistributions;
-    r.stats.checkpointStallCycles =
-        s.checkpointStallCycles - warm_stats.checkpointStallCycles;
-
     r.ecResidency = r.instructions
         ? double(r.stats.ecRetired) / double(r.instructions)
         : 0.0;
@@ -100,11 +180,45 @@ runSim(const RunConfig &config)
 
     LeakageConfig leak;
     leak.hasExecCache = config.kind == CoreKind::Flywheel;
-    leak.bigRegfile = flywheel_kind;
+    leak.bigRegfile = config.kind != CoreKind::Baseline;
     leak.frontEndPowerGating = config.frontEndPowerGating;
     r.energy = computeEnergy(r.events, config.node, leak);
     r.averageWatts = r.energy.averageWatts(r.timePs);
     return r;
+}
+
+} // namespace
+
+RunResult
+runSim(const RunConfig &config, Checkpointer *checkpoints)
+{
+    // A run with a checkpointing policy but no engine-provided store
+    // gets a transient one over its configured directory, so single
+    // CLI runs still share warmups across processes.
+    if (checkpoints == nullptr &&
+        config.snapshot.mode != SnapshotPolicy::Mode::Off &&
+        !config.snapshot.dir.empty()) {
+        Checkpointer local(config.snapshot.dir);
+        return runSim(config, &local);
+    }
+
+    StaticProgram program(config.profile);
+    WorkloadStream stream(program);
+    std::unique_ptr<CoreBase> core = makeCore(config, stream);
+
+    runSimWarmup(config, *core, checkpoints);
+
+    EnergyEvents events;
+    CoreStats stats;
+    runMeasurePhase(config, stream, core, &events, &stats);
+
+    return reduceToResult(config, events, stats);
+}
+
+RunResult
+runSim(const RunConfig &config)
+{
+    return runSim(config, nullptr);
 }
 
 } // namespace flywheel

@@ -11,6 +11,8 @@
 #define FLYWHEEL_CORE_SIM_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "core/core_base.hh"
@@ -21,12 +23,54 @@
 
 namespace flywheel {
 
+class Checkpointer;
+
 /** Which core to simulate. */
 enum class CoreKind
 {
     Baseline,           ///< fully synchronous out-of-order (Table 2)
     RegisterAllocation, ///< Flywheel without the Execution Cache
     Flywheel,           ///< full dual-clock + pre-scheduled execution
+};
+
+/**
+ * How a run uses the state snapshot subsystem (src/snapshot/).
+ *
+ * Save and Reuse affect only wall-clock time: restoring a post-warmup
+ * checkpoint is bit-identical to simulating the warmup (enforced by
+ * tests/test_snapshot.cc, the save/restore fuzz mode and ultimately
+ * the golden figures).  Sample changes what is measured — N detailed
+ * windows separated by fast-forwarded gaps — so sampling parameters
+ * are part of the ResultCache key while Save/Reuse are not.
+ */
+struct SnapshotPolicy
+{
+    enum class Mode
+    {
+        Off,     ///< simulate the warmup every run (historical behaviour)
+        Save,    ///< simulate the warmup and (re)write the checkpoint
+        Reuse,   ///< restore the checkpoint if present, else Save
+        Sample,  ///< interval sampling over the measurement window
+    };
+
+    Mode mode = Mode::Off;
+    /**
+     * On-disk checkpoint store for runs driven without an external
+     * Checkpointer ("" = none).  SweepRunner/Session-driven runs use
+     * the engine's shared store instead (SweepOptions::checkpointDir).
+     */
+    std::string dir;
+
+    // Interval sampling (mode == Sample).  The measurement window is
+    // split into sampleWindows detailed windows; between windows the
+    // workload stream fast-forwards sampleFastForward instructions
+    // without detailed simulation and a fresh core re-warms for
+    // sampleWarmup detailed (unmeasured) instructions.  Zero means
+    // "derive from the window length" (gap = one window, re-warm =
+    // a quarter window).
+    unsigned sampleWindows = 0;
+    std::uint64_t sampleFastForward = 0;
+    std::uint64_t sampleWarmup = 0;
 };
 
 /** One simulation run description. */
@@ -40,6 +84,7 @@ struct RunConfig
     bool frontEndPowerGating = false;
     std::uint64_t warmupInstrs = 100000;
     std::uint64_t measureInstrs = 300000;
+    SnapshotPolicy snapshot;        ///< checkpoint/sampling policy
 };
 
 /** Results over the measurement window. */
@@ -64,8 +109,71 @@ struct RunResult
  */
 CoreParams clockedParams(double fe_boost, double be_boost);
 
-/** Execute one run. */
+/**
+ * Build the core @p config describes over @p stream (the factory
+ * runSim uses; exposed for tests and the verification subsystem).
+ */
+std::unique_ptr<CoreBase> makeCore(const RunConfig &config,
+                                   WorkloadStream &stream);
+
+/**
+ * Resolved interval-sampling schedule.  One derivation shared by
+ * runSim's measurement phase and the perf harness, so what the
+ * harness times is by construction the schedule runSim executes.
+ */
+struct SampleSchedule
+{
+    unsigned windows = 1;          ///< 1 = contiguous measurement
+    std::uint64_t window = 0;      ///< detailed instructions per window
+    std::uint64_t lastWindow = 0;  ///< last window absorbs the remainder
+    std::uint64_t gap = 0;         ///< fast-forward between windows
+    std::uint64_t rewarm = 0;      ///< detailed re-warm per window
+
+    bool sampled() const { return windows > 1; }
+};
+
+/** Derive the schedule @p policy implies for @p measure_instrs. */
+SampleSchedule deriveSampleSchedule(const SnapshotPolicy &policy,
+                                    std::uint64_t measure_instrs);
+
+/**
+ * Phase 1 of runSim, exposed for other drivers (the perf harness):
+ * bring @p core to its post-warmup state — simulating, or restoring
+ * from / publishing to @p checkpoints per config.snapshot.
+ */
+void runSimWarmup(const RunConfig &config, CoreBase &core,
+                  Checkpointer *checkpoints);
+
+/**
+ * Phase 2 of runSim, exposed for other drivers: execute the
+ * measurement schedule config.snapshot implies — contiguous, or N
+ * detailed windows with stream fast-forwards and fresh-core re-warms
+ * between them — invoking @p window(core, instrs) for each measured
+ * window.  The callback runs the core for exactly @p instrs retired
+ * instructions and owns any bookkeeping around it (delta capture,
+ * wall-clock timing).  One loop serves runSim and the perf harness,
+ * so what the harness times cannot drift from what runSim executes.
+ */
+void forEachMeasureWindow(
+    const RunConfig &config, WorkloadStream &stream,
+    std::unique_ptr<CoreBase> &core,
+    const std::function<void(CoreBase &, std::uint64_t)> &window);
+
+/**
+ * Execute one run.  Honours config.snapshot: with a non-Off mode and
+ * a configured store, the warmup phase is restored from / saved to a
+ * checkpoint, and Sample mode measures N detailed windows separated
+ * by fast-forwards instead of one contiguous window.
+ */
 RunResult runSim(const RunConfig &config);
+
+/**
+ * Same, sharing @p checkpoints across runs (the sweep engine's warm
+ * checkpoint store; may be null).  The run phases are: warm-up
+ * (simulate / restore / save per the policy), measurement (contiguous
+ * or sampled), reduction to a RunResult.
+ */
+RunResult runSim(const RunConfig &config, Checkpointer *checkpoints);
 
 /** Measurement length override from FLYWHEEL_SIM_INSTRS, if set. */
 std::uint64_t defaultMeasureInstrs();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -23,6 +24,13 @@ ExecCache::lookup(Addr pc)
         return nullptr;
     it->second.lastUse = ++useClock_;
     return it->second.trace.get();
+}
+
+Trace *
+ExecCache::find(Addr pc)
+{
+    auto it = traces_.find(pc);
+    return it == traces_.end() ? nullptr : it->second.trace.get();
 }
 
 bool
@@ -126,6 +134,146 @@ ExecCache::tracePcs() const
         pcs.push_back(e.first);
     std::sort(pcs.begin(), pcs.end());
     return pcs;
+}
+
+Json
+traceSlotsToJson(const std::vector<TraceSlot> &slots)
+{
+    // Packed 8-tuples: a warm Execution Cache holds up to the full
+    // DA block budget of slots, the bulkiest Flywheel component.
+    std::vector<std::uint64_t> flat;
+    flat.reserve(slots.size() * 8);
+    for (const TraceSlot &s : slots) {
+        flat.push_back(s.pc);
+        flat.push_back(std::uint64_t(s.op));
+        flat.push_back(s.dest);
+        flat.push_back(s.src1);
+        flat.push_back(s.src2);
+        flat.push_back(s.recordedEffAddr);
+        flat.push_back(s.isCondBranch ? 1 : 0);
+        flat.push_back(s.rank);
+    }
+    return packedU64Json(flat);
+}
+
+void
+traceSlotsFromJson(const Json &j, std::vector<TraceSlot> *out)
+{
+    std::vector<std::uint64_t> flat;
+    packedU64From(j, &flat);
+    FW_ASSERT(flat.size() % 8 == 0,
+              "malformed trace-slot snapshot array");
+    out->clear();
+    out->reserve(flat.size() / 8);
+    for (std::size_t i = 0; i < flat.size(); i += 8) {
+        TraceSlot s;
+        s.pc = flat[i];
+        s.op = static_cast<OpClass>(flat[i + 1]);
+        s.dest = static_cast<ArchReg>(flat[i + 2]);
+        s.src1 = static_cast<ArchReg>(flat[i + 3]);
+        s.src2 = static_cast<ArchReg>(flat[i + 4]);
+        s.recordedEffAddr = flat[i + 5];
+        s.isCondBranch = flat[i + 6] != 0;
+        s.rank = static_cast<std::uint32_t>(flat[i + 7]);
+        out->push_back(s);
+    }
+}
+
+Json
+issueUnitsToJson(const std::vector<IssueUnit> &units)
+{
+    std::vector<std::uint64_t> flat;
+    flat.reserve(units.size() * 2);
+    for (const IssueUnit &u : units) {
+        flat.push_back(u.firstSlot);
+        flat.push_back(u.count);
+    }
+    return packedU64Json(flat);
+}
+
+void
+issueUnitsFromJson(const Json &j, std::vector<IssueUnit> *out)
+{
+    std::vector<std::uint64_t> flat;
+    packedU64From(j, &flat);
+    FW_ASSERT(flat.size() % 2 == 0,
+              "malformed issue-unit snapshot array");
+    out->clear();
+    out->reserve(flat.size() / 2);
+    for (std::size_t i = 0; i < flat.size(); i += 2) {
+        IssueUnit u;
+        u.firstSlot = static_cast<std::uint32_t>(flat[i]);
+        u.count = static_cast<std::uint32_t>(flat[i + 1]);
+        out->push_back(u);
+    }
+}
+
+Json
+traceToJson(const Trace &t)
+{
+    Json j = Json::object();
+    j.add("startPc", t.startPc);
+    j.add("slots", traceSlotsToJson(t.slots));
+    j.add("units", issueUnitsToJson(t.units));
+    return j;
+}
+
+std::unique_ptr<Trace>
+traceFromJson(const Json &j)
+{
+    auto t = std::make_unique<Trace>();
+    t->startPc = j["startPc"].asU64();
+    traceSlotsFromJson(j["slots"], &t->slots);
+    issueUnitsFromJson(j["units"], &t->units);
+    t->rankToSlot.assign(t->slots.size(), 0);
+    for (std::uint32_t i = 0; i < t->slots.size(); ++i) {
+        FW_ASSERT(t->slots[i].rank < t->rankToSlot.size(),
+                  "trace snapshot rank out of range");
+        t->rankToSlot[t->slots[i].rank] = i;
+    }
+    return t;
+}
+
+void
+ExecCache::save(Json &out) const
+{
+    out = Json::object();
+    // Traces in ascending start-PC order so serialization is
+    // deterministic regardless of hash-map iteration order.
+    Json entries = Json::array();
+    for (Addr pc : tracePcs()) {
+        const Entry &e = traces_.at(pc);
+        Json ej = traceToJson(*e.trace);
+        ej.add("lastUse", e.lastUse);
+        entries.push(std::move(ej));
+    }
+    out.add("traces", std::move(entries));
+    out.add("pinned", numArrayJson(pinned_));
+    out.add("usedBlocks", std::uint64_t(usedBlocks_));
+    out.add("useClock", useClock_);
+    out.add("evictions", evictions_.value());
+}
+
+void
+ExecCache::restore(const Json &in)
+{
+    traces_.clear();
+    usedBlocks_ = 0;
+    for (const Json &ej : in["traces"].items()) {
+        std::unique_ptr<Trace> t = traceFromJson(ej);
+        usedBlocks_ += t->numBlocks(blockSlots_);
+        const Addr pc = t->startPc;
+        FW_ASSERT(traces_.count(pc) == 0,
+                  "duplicate trace in Execution Cache snapshot");
+        traces_[pc] = Entry{std::move(t), ej["lastUse"].asU64()};
+    }
+    FW_ASSERT(usedBlocks_ == in["usedBlocks"].asU64() &&
+                  usedBlocks_ <= totalBlocks_ &&
+                  traces_.size() <= taEntries_,
+              "Execution Cache snapshot exceeds configured capacity");
+    numArrayFrom(in["pinned"], &pinned_);
+    useClock_ = in["useClock"].asU64();
+    evictions_.set(in["evictions"].asU64());
 }
 
 } // namespace flywheel

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -74,6 +75,21 @@ struct Trace
 };
 
 /**
+ * Snapshot serialization of a trace: slots as positional [pc, op,
+ * dest, src1, src2, effAddr, isCondBranch, rank] tuples, units as
+ * [firstSlot, count] pairs; rankToSlot is rebuilt on read.  Shared by
+ * the Execution Cache and the Flywheel trace builders.
+ */
+Json traceToJson(const Trace &t);
+std::unique_ptr<Trace> traceFromJson(const Json &j);
+
+/** Slot/unit array codecs (also used for in-progress trace builders). */
+Json traceSlotsToJson(const std::vector<TraceSlot> &slots);
+void traceSlotsFromJson(const Json &j, std::vector<TraceSlot> *out);
+Json issueUnitsToJson(const std::vector<IssueUnit> &units);
+void issueUnitsFromJson(const Json &j, std::vector<IssueUnit> *out);
+
+/**
  * Trace store with a block budget (DA capacity) and an entry budget
  * (TA capacity); trace-granular LRU replacement.
  */
@@ -90,6 +106,13 @@ class ExecCache
 
     /** Search the TA for a trace starting at @p pc (LRU touch). */
     Trace *lookup(Addr pc);
+
+    /**
+     * Find without touching the LRU state (snapshot restore rebinds
+     * live replay pointers through this; a lookup() here would skew
+     * replacement behaviour against an uninterrupted run).
+     */
+    Trace *find(Addr pc);
 
     /** True if a trace starting at @p pc exists (no LRU update). */
     bool contains(Addr pc) const;
@@ -128,6 +151,11 @@ class ExecCache
     unsigned totalBlocks() const { return totalBlocks_; }
     std::size_t traceCount() const { return traces_.size(); }
     std::uint64_t evictions() const { return evictions_.value(); }
+
+    /** Serialize every resident trace plus LRU/pin/budget state. */
+    void save(Json &out) const;
+    /** Restore state saved by save() (geometry must match). */
+    void restore(const Json &in);
 
   private:
     struct Entry

@@ -71,21 +71,14 @@ class FlywheelCore : public CoreBase
      */
     ExecCache &mutableExecCache() { return ec_; }
 
-  protected:
-    bool canRenameDest(const InFlightInst &inst) override;
-    void renameSrcs(InFlightInst &inst) override;
-    void renameDest(InFlightInst &inst) override;
-    void onIssueGroup(const std::vector<InFlightInst *> &group,
-                      Tick now) override;
-    void onMispredictResolved(InFlightInst &inst, Tick now) override;
-    void onRetire(InFlightInst &inst, Tick now) override;
-    bool fetchGate(Addr pc, Tick now) override;
-    std::string progressDebug() const override;
+    void save(Snapshot &snap) const override;
+    void restore(const Snapshot &snap) override;
 
-  private:
-    enum class Mode { Create, Exec };
-
-    /** Trace under construction (instructions append as they issue). */
+    /**
+     * Trace under construction (instructions append as they issue).
+     * Public only for the snapshot codec; simulation code treats it
+     * as internal.
+     */
     struct Builder
     {
         bool active = false;
@@ -103,6 +96,20 @@ class FlywheelCore : public CoreBase
             return endSeq - startSeq + 1;
         }
     };
+
+  protected:
+    bool canRenameDest(const InFlightInst &inst) override;
+    void renameSrcs(InFlightInst &inst) override;
+    void renameDest(InFlightInst &inst) override;
+    void onIssueGroup(const std::vector<InFlightInst *> &group,
+                      Tick now) override;
+    void onMispredictResolved(InFlightInst &inst, Tick now) override;
+    void onRetire(InFlightInst &inst, Tick now) override;
+    bool fetchGate(Addr pc, Tick now) override;
+    std::string progressDebug() const override;
+
+  private:
+    enum class Mode { Create, Exec };
 
     /** Live replay of one trace. */
     struct Replay

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -152,6 +153,49 @@ PoolRenameUnit::resetWindow()
         p.stalls = 0;
     }
     stallsSinceCheck_ = 0;
+}
+
+void
+PoolRenameUnit::save(Json &out) const
+{
+    out = Json::object();
+    // Positional [base, size, lastSlot, inflight, writes, stalls]
+    // per architected register.
+    std::vector<std::uint64_t> pools;
+    pools.reserve(pools_.size() * 6);
+    for (const Pool &p : pools_) {
+        pools.push_back(p.base);
+        pools.push_back(p.size);
+        pools.push_back(p.lastSlot);
+        pools.push_back(p.inflight);
+        pools.push_back(p.writes);
+        pools.push_back(p.stalls);
+    }
+    out.add("pools", packedU64Json(pools));
+    out.add("stallsSinceCheck", stallsSinceCheck_);
+}
+
+void
+PoolRenameUnit::restore(const Json &in)
+{
+    std::vector<std::uint64_t> pools;
+    packedU64From(in["pools"], &pools);
+    FW_ASSERT(pools.size() == pools_.size() * 6,
+              "rename-pool snapshot geometry mismatch");
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r < pools_.size(); ++r) {
+        Pool &p = pools_[r];
+        p.base = static_cast<std::uint32_t>(pools[r * 6]);
+        p.size = static_cast<std::uint32_t>(pools[r * 6 + 1]);
+        p.lastSlot = static_cast<std::uint16_t>(pools[r * 6 + 2]);
+        p.inflight = static_cast<std::uint32_t>(pools[r * 6 + 3]);
+        p.writes = pools[r * 6 + 4];
+        p.stalls = pools[r * 6 + 5];
+        total += p.size;
+    }
+    FW_ASSERT(total <= physRegs_,
+              "rename-pool snapshot exceeds the register file");
+    stallsSinceCheck_ = in["stallsSinceCheck"].asU64();
 }
 
 unsigned

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace flywheel {
@@ -83,6 +84,11 @@ class PoolRenameUnit
 
     /** Start a fresh observation window without redistributing. */
     void resetWindow();
+
+    /** Serialize every pool's layout, cursors and counters. */
+    void save(Json &out) const;
+    /** Restore state saved by save() (total size must match). */
+    void restore(const Json &in);
 
   private:
     struct Pool

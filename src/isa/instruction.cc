@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/json.hh"
+#include "common/log.hh"
+
 namespace flywheel {
 
 const char *
@@ -40,6 +43,42 @@ DynInst::toString() const
     if (op == OpClass::Load || op == OpClass::Store)
         os << " @0x" << std::hex << effAddr << std::dec;
     return os.str();
+}
+
+Json
+dynInstToJson(const DynInst &d)
+{
+    Json arr = Json::array();
+    arr.push(d.seq);
+    arr.push(d.pc);
+    arr.push(std::uint64_t(d.op));
+    arr.push(std::uint64_t(d.dest));
+    arr.push(std::uint64_t(d.src1));
+    arr.push(std::uint64_t(d.src2));
+    arr.push(std::uint64_t(d.isCondBranch ? 1 : 0));
+    arr.push(std::uint64_t(d.taken ? 1 : 0));
+    arr.push(d.target);
+    arr.push(d.effAddr);
+    return arr;
+}
+
+DynInst
+dynInstFromJson(const Json &j)
+{
+    FW_ASSERT(j.isArray() && j.size() == 10,
+              "malformed DynInst snapshot record");
+    DynInst d;
+    d.seq = j.at(0).asU64();
+    d.pc = j.at(1).asU64();
+    d.op = static_cast<OpClass>(j.at(2).asU64());
+    d.dest = static_cast<ArchReg>(j.at(3).asU64());
+    d.src1 = static_cast<ArchReg>(j.at(4).asU64());
+    d.src2 = static_cast<ArchReg>(j.at(5).asU64());
+    d.isCondBranch = j.at(6).asU64() != 0;
+    d.taken = j.at(7).asU64() != 0;
+    d.target = j.at(8).asU64();
+    d.effAddr = j.at(9).asU64();
+    return d;
 }
 
 } // namespace flywheel

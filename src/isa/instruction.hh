@@ -101,6 +101,17 @@ struct DynInst
     std::string toString() const;
 };
 
+class Json;
+
+/**
+ * Snapshot serialization of one DynInst as a compact positional
+ * number array: [seq, pc, op, dest, src1, src2, isCondBranch, taken,
+ * target, effAddr].  The pair below must stay in lock-step; the
+ * snapshot format version gates layout changes.
+ */
+Json dynInstToJson(const DynInst &d);
+DynInst dynInstFromJson(const Json &j);
+
 } // namespace flywheel
 
 #endif // FLYWHEEL_ISA_INSTRUCTION_HH

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -92,6 +93,46 @@ Cache::regStats(StatGroup &group) const
 {
     group.add(params_.name + ".accesses", accesses_);
     group.add(params_.name + ".misses", misses_);
+}
+
+void
+Cache::save(Json &out) const
+{
+    out = Json::object();
+    // One packed [tag, valid, lastUse] triple per line: the cache
+    // arrays are the largest single snapshot component, so they use
+    // the single-node packed codec.
+    std::vector<std::uint64_t> lines;
+    lines.reserve(lines_.size() * 3);
+    for (const Line &l : lines_) {
+        lines.push_back(l.tag);
+        lines.push_back(l.valid ? 1 : 0);
+        lines.push_back(l.lastUse);
+    }
+    out.add("lines", packedU64Json(lines));
+    out.add("useClock", useClock_);
+    out.add("accesses", accesses_.value());
+    out.add("misses", misses_.value());
+    out.add("writes", writes_.value());
+}
+
+void
+Cache::restore(const Json &in)
+{
+    std::vector<std::uint64_t> lines;
+    packedU64From(in["lines"], &lines);
+    FW_ASSERT(lines.size() == lines_.size() * 3,
+              "cache snapshot geometry mismatch (%s: %zu vs %zu lines)",
+              params_.name.c_str(), lines.size() / 3, lines_.size());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        lines_[i].tag = lines[i * 3];
+        lines_[i].valid = lines[i * 3 + 1] != 0;
+        lines_[i].lastUse = lines[i * 3 + 2];
+    }
+    useClock_ = in["useClock"].asU64();
+    accesses_.set(in["accesses"].asU64());
+    misses_.set(in["misses"].asU64());
+    writes_.set(in["writes"].asU64());
 }
 
 } // namespace flywheel

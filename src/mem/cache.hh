@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -61,6 +62,11 @@ class Cache
 
     /** Register accesses/misses with @p group. */
     void regStats(StatGroup &group) const;
+
+    /** Serialize the complete array state (tags, LRU, counters). */
+    void save(Json &out) const;
+    /** Restore state saved by save() (geometry must match). */
+    void restore(const Json &in);
 
   private:
     struct Line

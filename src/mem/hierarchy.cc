@@ -32,6 +32,29 @@ MemoryHierarchy::data(Addr addr, bool is_write)
 }
 
 void
+MemoryHierarchy::save(Json &out) const
+{
+    out = Json::object();
+    Json ic, dc, l2;
+    icache_.save(ic);
+    dcache_.save(dc);
+    l2_.save(l2);
+    out.add("icache", std::move(ic));
+    out.add("dcache", std::move(dc));
+    out.add("l2", std::move(l2));
+    out.add("memAccesses", memAccesses_.value());
+}
+
+void
+MemoryHierarchy::restore(const Json &in)
+{
+    icache_.restore(in["icache"]);
+    dcache_.restore(in["dcache"]);
+    l2_.restore(in["l2"]);
+    memAccesses_.set(in["memAccesses"].asU64());
+}
+
+void
 MemoryHierarchy::regStats(StatGroup &group) const
 {
     icache_.regStats(group);

@@ -55,6 +55,11 @@ class MemoryHierarchy
 
     void regStats(StatGroup &group) const;
 
+    /** Serialize all three cache arrays plus the memory counter. */
+    void save(Json &out) const;
+    /** Restore state saved by save(). */
+    void restore(const Json &in);
+
   private:
     HierarchyParams params_;
     Cache icache_;

@@ -120,6 +120,7 @@ BenchReport::toJson() const
     config.add("measure_instrs", measureInstrs);
     config.add("repeats", repeats);
     config.add("jobs", jobs);
+    config.add("sample_windows", sampleWindows);
     j.add("config", std::move(config));
 
     Json arr = Json::array();
@@ -193,6 +194,12 @@ BenchReport::fromJson(const Json &j, BenchReport *out,
     r.measureInstrs = config["measure_instrs"].asU64();
     r.repeats = unsigned(config["repeats"].asU64());
     r.jobs = unsigned(config["jobs"].asU64());
+    // Absent in pre-sampling reports (the committed baseline): 0.
+    if (config.has("sample_windows")) {
+        if (!config["sample_windows"].isNumber())
+            return fail(error, "bench report: malformed config member");
+        r.sampleWindows = unsigned(config["sample_windows"].asU64());
+    }
 
     for (const Json &entry : arr.items()) {
         if (!entry.isObject() || !entry["bench"].isString() ||

@@ -71,6 +71,10 @@ struct BenchReport
     std::uint64_t measureInstrs = 0;
     unsigned repeats = 0;
     unsigned jobs = 0;
+    /** Interval-sampling windows (0 = contiguous measurement).  Part
+     *  of the config block so sampled and full-detail reports are
+     *  never silently compared against each other. */
+    unsigned sampleWindows = 0;
     std::vector<PerfEntry> entries;
 
     /** Geomean of minstrPerSec over every entry. */

@@ -6,6 +6,7 @@
 
 #include "core/baseline_core.hh"
 #include "flywheel/flywheel_core.hh"
+#include "snapshot/checkpointer.hh"
 #include "sweep/sweep.hh"
 #include "sweep/thread_pool.hh"
 #include "workload/generator.hh"
@@ -15,32 +16,52 @@ namespace flywheel::perf {
 
 TimedRun
 timeOneRun(const std::string &bench_name, CoreKind kind,
-           std::uint64_t warmup_instrs, std::uint64_t measure_instrs)
+           std::uint64_t warmup_instrs, std::uint64_t measure_instrs,
+           Checkpointer *checkpoints, unsigned sample_windows)
 {
-    const BenchProfile &profile = benchmarkByName(bench_name);
-    StaticProgram program(profile);
-    WorkloadStream stream(program);
-
-    CoreParams params;  // default clock plan (FE0/BE0, Table 2 sizes)
-    std::unique_ptr<CoreBase> core;
-    if (kind == CoreKind::Baseline) {
-        core = std::make_unique<BaselineCore>(params, stream);
-    } else {
-        if (kind == CoreKind::RegisterAllocation)
-            params.execCacheEnabled = false;
-        core = std::make_unique<FlywheelCore>(params, stream);
+    // The config runSim would build for this cell: default clock plan
+    // (FE0/BE0, Table 2 sizes); only the warmup checkpointing and
+    // sampling policy vary.
+    RunConfig config;
+    config.profile = benchmarkByName(bench_name);
+    config.kind = kind;
+    config.warmupInstrs = warmup_instrs;
+    config.measureInstrs = measure_instrs;
+    if (sample_windows > 0) {
+        config.snapshot.mode = SnapshotPolicy::Mode::Sample;
+        config.snapshot.sampleWindows = sample_windows;
     }
 
-    core->run(warmup_instrs);
-    const std::uint64_t before = core->stats().retired;
+    StaticProgram program(config.profile);
+    WorkloadStream stream(program);
+    std::unique_ptr<CoreBase> core = makeCore(config, stream);
 
+    // The untimed warmup goes through runSim's own phase-1 helper, so
+    // checkpoint restore semantics cannot drift from the simulator's
+    // (Sample mode already checkpoints its warmup when a store is
+    // supplied; a non-sampled cell opts into Reuse the same way).
+    if (checkpoints != nullptr &&
+        config.snapshot.mode == SnapshotPolicy::Mode::Off)
+        config.snapshot.mode = SnapshotPolicy::Mode::Reuse;
+    runSimWarmup(config, *core, checkpoints);
+
+    // Likewise the measurement goes through runSim's own phase-2
+    // window driver, so the harness times exactly the (possibly
+    // sampled) schedule runSim executes — gaps and re-warms included.
+    std::uint64_t retired = 0;
     const auto t0 = std::chrono::steady_clock::now();
-    core->run(measure_instrs);
+    forEachMeasureWindow(config, stream, core,
+                         [&](CoreBase &c, std::uint64_t instrs) {
+                             const std::uint64_t at =
+                                 c.stats().retired;
+                             c.run(instrs);
+                             retired += c.stats().retired - at;
+                         });
     const auto t1 = std::chrono::steady_clock::now();
 
     TimedRun r;
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
-    r.instructions = core->stats().retired - before;
+    r.instructions = retired;
     return r;
 }
 
@@ -53,6 +74,7 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
     report.measureInstrs = options.measureInstrs;
     report.repeats = options.repeats;
     report.jobs = options.jobs;
+    report.sampleWindows = options.sampleWindows;
 
     std::vector<std::string> benches = options.benchmarks;
     if (benches.empty())
@@ -70,6 +92,11 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
         }
     }
 
+    std::unique_ptr<Checkpointer> checkpointer;
+    if (!options.checkpointDir.empty())
+        checkpointer =
+            std::make_unique<Checkpointer>(options.checkpointDir);
+
     std::mutex progress_mutex;
     std::size_t done = 0;
     auto run_cell = [&](std::size_t idx) {
@@ -79,7 +106,9 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
         for (unsigned rep = 0; rep < options.repeats; ++rep) {
             TimedRun r = timeOneRun(e.bench, kind,
                                     options.warmupInstrs,
-                                    options.measureInstrs);
+                                    options.measureInstrs,
+                                    checkpointer.get(),
+                                    options.sampleWindows);
             e.repSeconds.push_back(r.seconds);
             e.instructions = r.instructions;
         }

@@ -46,6 +46,20 @@ struct PerfOptions
      * numbers drop.  Instruction counts are unaffected either way.
      */
     unsigned jobs = 1;
+    /**
+     * Warm checkpoint store ("" = none): the untimed warmup of each
+     * cell is restored from a checkpoint instead of simulated after
+     * the first repeat, so long --repeats runs spend their wall clock
+     * on the timed windows.  Timed results are unaffected — restoring
+     * is bit-identical to simulating the warmup.
+     */
+    std::string checkpointDir;
+    /**
+     * Interval sampling (0 = full detail): time the measurement as N
+     * detailed windows separated by fast-forwards, i.e. measure the
+     * throughput of a sampled-mode run (see SnapshotPolicy).
+     */
+    unsigned sampleWindows = 0;
 };
 
 /** One timed repeat of one grid cell. */
@@ -58,7 +72,9 @@ struct TimedRun
 /** Build, warm up and time one (workload, kind) simulation. */
 TimedRun timeOneRun(const std::string &bench_name, CoreKind kind,
                     std::uint64_t warmup_instrs,
-                    std::uint64_t measure_instrs);
+                    std::uint64_t measure_instrs,
+                    Checkpointer *checkpoints = nullptr,
+                    unsigned sample_windows = 0);
 
 /** Called after each grid cell completes (serialized). */
 using PerfProgress = std::function<void(

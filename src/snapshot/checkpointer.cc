@@ -1,0 +1,160 @@
+#include "snapshot/checkpointer.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/log.hh"
+#include "core/sim_driver.hh"
+#include "sweep/result_cache.hh"
+
+namespace flywheel {
+
+std::string
+checkpointKey(const RunConfig &config)
+{
+    // Everything that cannot influence warmed-up simulator state is
+    // canonicalized away so equivalent cells share one checkpoint:
+    //  - tech node and power gating feed only the energy model;
+    //  - the measurement length happens after the warmup;
+    //  - the snapshot policy chooses *whether* to checkpoint, never
+    //    what the warm state is (sampling alters only the measurement
+    //    phase, which follows the warmup);
+    //  - the baseline core never reads the FE/BE clock plan or any
+    //    Flywheel-only mechanism parameter (it clocks everything at
+    //    basePeriodPs; see BaselineCore/CoreBase).
+    RunConfig canon = config;
+    canon.node = TechNode::N130;
+    canon.frontEndPowerGating = false;
+    canon.measureInstrs = 0;
+    canon.snapshot = SnapshotPolicy{};
+    if (canon.kind == CoreKind::Baseline) {
+        const CoreParams defaults;
+        canon.params.fePeriodPs = canon.params.basePeriodPs;
+        canon.params.beFastPeriodPs = canon.params.basePeriodPs;
+        canon.params.execCacheEnabled = defaults.execCacheEnabled;
+        canon.params.srtEnabled = defaults.srtEnabled;
+        canon.params.ecTotalBlocks = defaults.ecTotalBlocks;
+        canon.params.ecBlockSlots = defaults.ecBlockSlots;
+        canon.params.ecTaEntries = defaults.ecTaEntries;
+        canon.params.ecReadCycles = defaults.ecReadCycles;
+        canon.params.maxTraceBlocks = defaults.maxTraceBlocks;
+        canon.params.minTraceUnits = defaults.minTraceUnits;
+        canon.params.minTraceInstrs = defaults.minTraceInstrs;
+        canon.params.traceRebuildPolicy = defaults.traceRebuildPolicy;
+        canon.params.poolPhysRegs = defaults.poolPhysRegs;
+        canon.params.minPoolSize = defaults.minPoolSize;
+        canon.params.redistributionInterval =
+            defaults.redistributionInterval;
+        canon.params.redistributionCost = defaults.redistributionCost;
+        canon.params.redistributionStallFrac =
+            defaults.redistributionStallFrac;
+    }
+    return "ckptv=" + std::to_string(Snapshot::kFormatVersion) + ";" +
+           configKey(canon);
+}
+
+Checkpointer::Checkpointer(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_ == kMemoryOnly)
+        dir_.clear();
+}
+
+std::string
+Checkpointer::pathFor(const std::string &key) const
+{
+    if (dir_.empty())
+        return "";
+    char name[40];
+    std::snprintf(name, sizeof(name), "ckpt-%016llx.json",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir_ + "/" + name;
+}
+
+std::shared_ptr<const Snapshot>
+Checkpointer::acquire(const std::string &key, const Factory &make,
+                      bool refresh, bool *created)
+{
+    if (created)
+        *created = false;
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    std::lock_guard<std::mutex> key_lock(entry->mutex);
+    if (entry->snap && !refresh) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++memoryHits_;
+        return entry->snap;
+    }
+
+    if (!dir_.empty() && !refresh) {
+        const std::string path = pathFor(key);
+        Snapshot snap;
+        std::string error;
+        if (Snapshot::readFile(path, &snap, &error)) {
+            if (snap.key() == key) {
+                entry->snap =
+                    std::make_shared<const Snapshot>(std::move(snap));
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++diskHits_;
+                return entry->snap;
+            }
+            // A hash-collision name clash or a store refreshed by an
+            // incompatible build: never restore the wrong state.
+            FW_WARN("checkpoint %s holds a different key; recomputing",
+                    path.c_str());
+        } else if (error.find("cannot read") == std::string::npos) {
+            // Present but rejected (corrupt/truncated/version).
+            FW_WARN("%s; recomputing", error.c_str());
+        }
+    }
+
+    std::shared_ptr<const Snapshot> snap = make();
+    FW_ASSERT(snap != nullptr, "checkpoint factory returned nothing");
+    FW_ASSERT(snap->key() == key,
+              "checkpoint factory produced a snapshot for another key");
+    entry->snap = snap;
+    if (created)
+        *created = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++computes_;
+    }
+
+    if (!dir_.empty()) {
+        ::mkdir(dir_.c_str(), 0777);  // best-effort, may already exist
+        std::string error;
+        if (!snap->writeFile(pathFor(key), &error))
+            FW_WARN("cannot persist checkpoint: %s", error.c_str());
+    }
+    return snap;
+}
+
+std::uint64_t
+Checkpointer::memoryHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memoryHits_;
+}
+
+std::uint64_t
+Checkpointer::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskHits_;
+}
+
+std::uint64_t
+Checkpointer::computes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return computes_;
+}
+
+} // namespace flywheel

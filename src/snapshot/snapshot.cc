@@ -1,0 +1,145 @@
+#include "snapshot/snapshot.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sweep/result_cache.hh"
+
+namespace flywheel {
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+Json
+exactU64Json(std::uint64_t v)
+{
+    return Json(std::to_string(v));
+}
+
+std::uint64_t
+exactU64From(const Json &j)
+{
+    FW_ASSERT(j.isString(), "expected an exact-u64 string field");
+    return std::strtoull(j.asString().c_str(), nullptr, 10);
+}
+
+std::uint64_t
+Snapshot::contentHash() const
+{
+    return fnv1a64(state_.dump(0));
+}
+
+std::string
+Snapshot::serialize() const
+{
+    // The payload is serialized once and spliced into the document so
+    // the header hash provably covers the exact bytes written.
+    const std::string payload = state_.dump(0);
+    Json doc = Json::object();
+    doc.set("magic", kMagic);
+    doc.set("version", kFormatVersion);
+    doc.set("key", key_);
+    doc.set("hash", hashHex(fnv1a64(payload)));
+    std::string head = doc.dump(0);
+    // Replace the closing brace with the state member.
+    head.pop_back();
+    head += ",\"state\":";
+    head += payload;
+    head += "}";
+    return head;
+}
+
+bool
+Snapshot::deserialize(const std::string &text, Snapshot *out,
+                      std::string *error)
+{
+    Json doc;
+    std::string parse_error;
+    if (!Json::parse(text, doc, &parse_error))
+        return fail(error, "snapshot unreadable (truncated or not "
+                           "JSON): " + parse_error);
+    if (!doc.isObject() || !doc["magic"].isString() ||
+        doc["magic"].asString() != kMagic)
+        return fail(error, "not a flywheel snapshot (bad magic tag)");
+    if (!doc["version"].isNumber() ||
+        doc["version"].asU64() != std::uint64_t(kFormatVersion))
+        return fail(error, "snapshot format version " +
+                    std::to_string(doc["version"].asU64()) +
+                    " unsupported (want " +
+                    std::to_string(kFormatVersion) + ")");
+    if (!doc["state"].isObject())
+        return fail(error, "snapshot has no state payload");
+
+    Snapshot snap;
+    snap.key_ = doc["key"].asString();
+    doc.take("state", &snap.state_);  // move: the payload is large
+    const std::string want = doc["hash"].asString();
+    const std::string got = hashHex(snap.contentHash());
+    if (want != got)
+        return fail(error, "snapshot content hash mismatch (file " +
+                    want + ", payload " + got + "): corrupt snapshot");
+    *out = std::move(snap);
+    return true;
+}
+
+bool
+Snapshot::writeFile(const std::string &path, std::string *error) const
+{
+    // Per-process tmp name: several processes may share one
+    // checkpoint store and cold-start the same key concurrently; a
+    // fixed ".tmp" would let their writes interleave before the
+    // rename and publish a corrupt (hash-rejected) file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(long(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return fail(error, "cannot write " + tmp);
+        out << serialize() << '\n';
+        if (!out.good())
+            return fail(error, "short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return fail(error, "cannot move snapshot into place at " + path);
+    return true;
+}
+
+bool
+Snapshot::readFile(const std::string &path, Snapshot *out,
+                   std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(error, path + ": cannot read");
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string inner_error;
+    if (!deserialize(text.str(), out, &inner_error))
+        return fail(error, path + ": " + inner_error);
+    return true;
+}
+
+} // namespace flywheel

@@ -62,8 +62,9 @@ class ResultCache
     std::uint64_t misses() const { return misses_; }
     const std::string &path() const { return path_; }
 
-    /** On-disk format version (bump when serialization changes). */
-    static constexpr int kFormatVersion = 1;
+    /** On-disk format version (bump when serialization changes).
+     *  v2: keys gained the snapshot-sampling fields. */
+    static constexpr int kFormatVersion = 2;
 
   private:
     void load();

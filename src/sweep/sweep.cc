@@ -69,6 +69,7 @@ SweepAxes::expand() const
                             makePoint(bench, kind, clock, node, gate);
                         pt.config.warmupInstrs = warmupInstrs;
                         pt.config.measureInstrs = measureInstrs;
+                        pt.config.snapshot = snapshot;
                         points.push_back(std::move(pt));
                     }
     return points;
@@ -174,7 +175,11 @@ SweepTable::writeCsv(std::ostream &os) const
 
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(options), cache_(options.cachePath), pool_(options.jobs)
-{}
+{
+    if (!options_.checkpointDir.empty())
+        checkpointer_ =
+            std::make_unique<Checkpointer>(options_.checkpointDir);
+}
 
 RunResult
 SweepRunner::runOne(const RunConfig &config, bool *from_cache)
@@ -186,7 +191,14 @@ SweepRunner::runOne(const RunConfig &config, bool *from_cache)
             *from_cache = true;
         return result;
     }
-    result = runSim(config);
+    RunConfig cfg = config;
+    // A runner with a checkpoint store checkpoints every cell's
+    // warmup by default; an explicit per-config policy wins.  The
+    // cache key is unchanged (Save/Reuse are result-neutral).
+    if (checkpointer_ &&
+        cfg.snapshot.mode == SnapshotPolicy::Mode::Off)
+        cfg.snapshot.mode = SnapshotPolicy::Mode::Reuse;
+    result = runSim(cfg, checkpointer_.get());
     cache_.store(key, result);
     if (from_cache)
         *from_cache = false;

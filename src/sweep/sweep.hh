@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/sim_driver.hh"
+#include "snapshot/checkpointer.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/thread_pool.hh"
 
@@ -85,6 +86,8 @@ struct SweepAxes
     std::vector<bool> gating{false};
     std::uint64_t warmupInstrs;    ///< defaults honour FLYWHEEL_* env vars
     std::uint64_t measureInstrs;
+    /** Snapshot/sampling policy stamped onto every point. */
+    SnapshotPolicy snapshot;
 
     SweepAxes();
 
@@ -127,6 +130,15 @@ struct SweepOptions
     /** Persist the result cache at this path (empty = memory only). */
     std::string cachePath;
     /**
+     * Warm checkpoint store shared by every grid cell: "" disables
+     * checkpointing entirely (historical behaviour), a directory
+     * persists checkpoints on disk across invocations, and
+     * Checkpointer::kMemoryOnly (":memory:") shares warmups across
+     * cells of this process only.  Cells whose checkpoint keys match
+     * pay the detailed warmup once.
+     */
+    std::string checkpointDir;
+    /**
      * Progress callback, invoked after each point completes (in
      * completion order, serialized — never concurrently).
      */
@@ -156,12 +168,15 @@ class SweepRunner
     RunResult runOne(const RunConfig &config, bool *from_cache = nullptr);
 
     ResultCache &cache() { return cache_; }
+    /** Shared warm checkpoint store (null when disabled). */
+    Checkpointer *checkpointer() { return checkpointer_.get(); }
     ThreadPool &pool() { return pool_; }
     unsigned jobs() const { return pool_.threadCount(); }
 
   private:
     SweepOptions options_;
     ResultCache cache_;
+    std::unique_ptr<Checkpointer> checkpointer_;
     ThreadPool pool_;
 };
 

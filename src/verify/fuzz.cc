@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+
+#include "core/report.hh"
+#include "snapshot/snapshot.hh"
+#include "workload/generator.hh"
 
 namespace flywheel {
 
@@ -143,6 +148,108 @@ DiffReport
 runFuzzCase(const FuzzCase &c)
 {
     return runDifferential(c.profile, c.options);
+}
+
+DiffReport
+runSnapshotFuzzCase(const FuzzCase &c)
+{
+    DiffReport report;
+    report.reproHint = c.options.reproHint + " --snapshots";
+
+    RunConfig config;
+    config.profile = c.profile;
+    config.kind = c.options.kind;
+    config.params = c.options.params;
+
+    const std::uint64_t total = c.options.instructions;
+    // Seed-derived split point, drawn from a stream distinct from
+    // both the case expansion and the workload generator.
+    Pcg32 rng(c.seed ^ 0x5ca1ab1edeadbeefULL, 0x51a95e1f);
+    const std::uint64_t split =
+        1 + rng.below(static_cast<std::uint32_t>(total - 1));
+
+    auto tap = [](std::vector<RetireRecord> *tail) {
+        return [tail](const InFlightInst &inst, Tick) {
+            tail->push_back(RetireRecord::from(inst));
+        };
+    };
+
+    // Straight-through oracle; records retired after the split point.
+    StaticProgram program(c.profile);
+    WorkloadStream stream_a(program, c.options.streamSeed);
+    std::unique_ptr<CoreBase> core_a = makeCore(config, stream_a);
+    core_a->run(split);
+    std::vector<RetireRecord> tail_a;
+    core_a->setRetireHook(tap(&tail_a));
+    core_a->run(total - split);
+
+    // Twin: snapshot at the split, round-trip the serialized bytes,
+    // restore into a freshly built program/stream/core, continue.
+    WorkloadStream stream_b(program, c.options.streamSeed);
+    std::unique_ptr<CoreBase> core_b = makeCore(config, stream_b);
+    core_b->run(split);
+    Snapshot snap;
+    core_b->save(snap);
+    Snapshot back;
+    std::string error;
+    if (!Snapshot::deserialize(snap.serialize(), &back, &error)) {
+        report.failures.push_back(
+            DiffFailure{"snapshot-codec", 0, error});
+        return report;
+    }
+
+    StaticProgram program_c(c.profile);
+    WorkloadStream stream_c(program_c, c.options.streamSeed);
+    std::unique_ptr<CoreBase> core_c = makeCore(config, stream_c);
+    core_c->restore(back);
+    std::vector<RetireRecord> tail_c;
+    core_c->setRetireHook(tap(&tail_c));
+    core_c->run(total - split);
+
+    if (tail_a.size() != tail_c.size()) {
+        report.failures.push_back(DiffFailure{
+            "snapshot-retire-count", 0,
+            "straight-through retired " +
+                std::to_string(tail_a.size()) +
+                " after the split, restored run retired " +
+                std::to_string(tail_c.size())});
+    }
+    const std::size_t n = std::min(tail_a.size(), tail_c.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (tail_a[i].archEquals(tail_c[i]) &&
+            tail_a[i].fromEc == tail_c[i].fromEc)
+            continue;
+        report.failures.push_back(DiffFailure{
+            "snapshot-retire", tail_a[i].seq,
+            "straight " + tail_a[i].toString() + " vs restored " +
+                tail_c[i].toString()});
+        if (report.failures.size() >= c.options.maxFailures)
+            break;
+    }
+
+    // Final behavioural statistics and energy counters must agree to
+    // the last bit; the serialized JSON doubles as the comparator.
+    if (toJson(core_a->stats()).dump() !=
+        toJson(core_c->stats()).dump()) {
+        report.failures.push_back(DiffFailure{
+            "snapshot-stats", 0,
+            "final CoreStats diverged after restore"});
+    }
+    if (toJson(core_a->events()).dump() !=
+        toJson(core_c->events()).dump()) {
+        report.failures.push_back(DiffFailure{
+            "snapshot-events", 0,
+            "final EnergyEvents diverged after restore (includes the "
+            "simulated clock)"});
+    }
+
+    report.instructionsChecked = n;
+    report.ecRetired = core_c->stats().ecRetired;
+    report.ecResidency = core_c->stats().retired
+        ? double(core_c->stats().ecRetired) /
+              double(core_c->stats().retired)
+        : 0.0;
+    return report;
 }
 
 } // namespace flywheel

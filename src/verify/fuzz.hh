@@ -46,6 +46,18 @@ FuzzCase makeFuzzCase(std::uint64_t seed);
 /** Run one case through the differential checker. */
 DiffReport runFuzzCase(const FuzzCase &c);
 
+/**
+ * Save/restore-mid-run differential: simulate the case straight
+ * through, and against a twin that snapshots at a seed-derived
+ * retire count, round-trips the snapshot bytes, restores into a
+ * fresh program/stream/core (a stand-in for a new process image)
+ * and continues.  Any divergence in the post-restore retired stream
+ * or the final statistics/energy counters is a failure — the
+ * machine-checked form of the snapshot subsystem's bit-identity
+ * contract, over the fuzzer's randomized workloads and configs.
+ */
+DiffReport runSnapshotFuzzCase(const FuzzCase &c);
+
 } // namespace flywheel
 
 #endif // FLYWHEEL_VERIFY_FUZZ_HH

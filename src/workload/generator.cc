@@ -1,6 +1,7 @@
 #include "workload/generator.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace flywheel {
 
@@ -103,6 +104,72 @@ WorkloadStream::produce()
     opIdx_ = 0;
     curBlock_ = taken ? blk.term.target : blk.fallthrough;
     lookahead_.push_back(inst);
+}
+
+void
+WorkloadStream::skip(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        next();
+}
+
+void
+WorkloadStream::save(Json &out) const
+{
+    out = Json::object();
+    // Program identity guard: a snapshot restored over a different
+    // program would silently desynchronize everything downstream.
+    out.add("profile", std::string(prog_.profile().name));
+    // Full-entropy 64-bit values: exact string codec, never doubles.
+    out.add("profileSeed", exactU64Json(prog_.profile().seed));
+    const Pcg32::State rng = rng_.getState();
+    out.add("rngState", exactU64Json(rng.state));
+    out.add("rngInc", exactU64Json(rng.inc));
+    out.add("curBlock", std::uint64_t(curBlock_));
+    out.add("opIdx", std::uint64_t(opIdx_));
+    out.add("tripsLeft", packedU64Json(tripsLeft_));
+    out.add("baseTrips", packedU64Json(baseTrips_));
+    out.add("cursors", packedU64Json(cursors_));
+    Json pending = Json::array();
+    for (std::size_t i = head_; i < lookahead_.size(); ++i)
+        pending.push(dynInstToJson(lookahead_[i]));
+    out.add("lookahead", std::move(pending));
+    out.add("current", dynInstToJson(current_));
+    out.add("consumed", consumed_);
+    out.add("nextSeq", nextSeq_);
+}
+
+void
+WorkloadStream::restore(const Json &in)
+{
+    FW_ASSERT(in.isObject() && in.has("nextSeq"),
+              "malformed workload-stream snapshot");
+    FW_ASSERT(in["profile"].asString() == prog_.profile().name &&
+                  exactU64From(in["profileSeed"]) ==
+                      prog_.profile().seed,
+              "stream snapshot belongs to a different program (%s/%s)",
+              in["profile"].asString().c_str(),
+              in["profileSeed"].asString().c_str());
+    Pcg32::State rng;
+    rng.state = exactU64From(in["rngState"]);
+    rng.inc = exactU64From(in["rngInc"]);
+    rng_.setState(rng);
+    curBlock_ = static_cast<std::uint32_t>(in["curBlock"].asU64());
+    opIdx_ = static_cast<std::uint32_t>(in["opIdx"].asU64());
+    packedU64From(in["tripsLeft"], &tripsLeft_);
+    packedU64From(in["baseTrips"], &baseTrips_);
+    packedU64From(in["cursors"], &cursors_);
+    FW_ASSERT(tripsLeft_.size() == prog_.blocks().size() &&
+                  baseTrips_.size() == prog_.blocks().size() &&
+                  cursors_.size() == prog_.objects().size(),
+              "stream snapshot geometry mismatch");
+    lookahead_.clear();
+    head_ = 0;
+    for (const Json &d : in["lookahead"].items())
+        lookahead_.push_back(dynInstFromJson(d));
+    current_ = dynInstFromJson(in["current"]);
+    consumed_ = in["consumed"].asU64();
+    nextSeq_ = in["nextSeq"].asU64();
 }
 
 } // namespace flywheel

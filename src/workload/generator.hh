@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -69,6 +70,26 @@ class WorkloadStream
 
     /** Instructions consumed so far. */
     std::uint64_t consumed() const { return consumed_; }
+
+    /**
+     * Fast-forward: consume @p n instructions without simulating them
+     * (interval sampling's gap between detailed windows).  The stream
+     * advances exactly as if next() had been called n times.
+     */
+    void skip(std::uint64_t n);
+
+    /**
+     * Serialize the complete dynamic stream state (RNG, control-flow
+     * cursors, pending lookahead) into @p out.
+     */
+    void save(Json &out) const;
+
+    /**
+     * Restore state saved by save().  The stream must have been
+     * constructed over an identical program (same profile knobs and
+     * seed); a mismatch is a panic, not a silent divergence.
+     */
+    void restore(const Json &in);
 
     const StaticProgram &program() const { return prog_; }
 

@@ -185,6 +185,15 @@ TEST(ExperimentSpec, RejectsMalformedDocuments)
     expectRejected(head + ", \"repeat\": 0}", "repeat");
     expectRejected(head + ", \"warmupInstrs\": -5}",
                    "non-negative integer");
+
+    // Sampling block: degenerate window counts, unknown members, and
+    // parameters that would be silently inert without windows.
+    expectRejected(head + ", \"sampling\": {\"windows\": 1}}",
+                   "0 or 2..10000");
+    expectRejected(head + ", \"sampling\": {\"slices\": 4}}",
+                   "unknown field 'slices'");
+    expectRejected(head + ", \"sampling\": {\"fastForward\": 1000}}",
+                   "require windows >= 2");
     expectRejected(head + ", \"measureInstrs\": 1.5}",
                    "non-negative integer");
     expectRejected(head + ", \"verify\": \"yes\"}", "expected a bool");

@@ -158,3 +158,56 @@ TEST(StderrProgress, MatchesSweepProgressSignature)
     opts.progress = cli::stderrProgress;
     EXPECT_TRUE(static_cast<bool>(opts.progress));
 }
+
+TEST(UnknownFlag, MessageNamesTheFlag)
+{
+    // Every CLI funnels unrecognized options through this one
+    // message, so no tool can silently ignore a typo'd flag.
+    EXPECT_EQ(cli::unknownFlagMessage("--frobnicate"),
+              "unknown option: --frobnicate");
+}
+
+TEST(UnknownFlagDeathTest, RejectExitsWithUsageStatus)
+{
+    static auto usage = [](const char *) {
+        std::fprintf(stderr, "usage: prog\n");
+    };
+    EXPECT_EXIT(cli::rejectUnknownFlag("prog", "--zorp", usage),
+                ::testing::ExitedWithCode(2), "unknown option: --zorp");
+}
+
+TEST(SnapshotFlags, ParsesTheSharedFlagSet)
+{
+    const char *argv_c[] = {"prog", "--checkpoint-dir", "/tmp/ck",
+                            "--sample", "8", "--no-checkpoints"};
+    char **argv = const_cast<char **>(argv_c);
+
+    cli::SnapshotFlags flags;
+    flags.dir.clear();  // isolate from FLYWHEEL_CHECKPOINTS
+    int i = 1;
+    EXPECT_TRUE(flags.tryParse(argv[i], 6, argv, &i));
+    EXPECT_EQ(flags.dir, "/tmp/ck");
+    EXPECT_EQ(flags.checkpointDir(), "/tmp/ck");
+    ++i;
+    EXPECT_TRUE(flags.tryParse(argv[i], 6, argv, &i));
+    EXPECT_EQ(flags.sampleWindows, 8u);
+    ++i;
+    EXPECT_TRUE(flags.tryParse(argv[i], 6, argv, &i));
+    // --no-checkpoints wins over any configured directory.
+    EXPECT_EQ(flags.checkpointDir(), "");
+
+    int j = 0;
+    cli::SnapshotFlags other;
+    EXPECT_FALSE(other.tryParse("--jobs", 6, argv, &j));
+    EXPECT_EQ(j, 0);
+}
+
+TEST(SnapshotFlagsDeathTest, RejectsDegenerateSampleCounts)
+{
+    const char *argv_c[] = {"prog", "--sample", "1"};
+    char **argv = const_cast<char **>(argv_c);
+    cli::SnapshotFlags flags;
+    int i = 1;
+    EXPECT_EXIT(flags.tryParse("--sample", 3, argv, &i),
+                ::testing::ExitedWithCode(1), "--sample");
+}

@@ -143,6 +143,97 @@ requireValue(int argc, char **argv, int *i, const std::string &flag)
     return argv[++*i];
 }
 
+/**
+ * Message printed for an unrecognized option — one string shared by
+ * every CLI (and pinned by tests) so no tool silently ignores or
+ * inconsistently reports a typo'd flag.
+ */
+inline std::string
+unknownFlagMessage(const std::string &flag)
+{
+    return "unknown option: " + flag;
+}
+
+/**
+ * The uniform unknown-flag exit path: report the flag, print the
+ * tool's usage, exit 2 (the CLIs' shared usage-error status).
+ */
+[[noreturn]] inline void
+rejectUnknownFlag(const char *argv0, const std::string &flag,
+                  void (*usage)(const char *))
+{
+    std::fprintf(stderr, "%s\n\n", unknownFlagMessage(flag).c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+/**
+ * The snapshot/checkpoint flag set shared by the grid-running CLIs
+ * (flywheel_bench, flywheel_sweep, flywheel_perf):
+ *
+ *   --checkpoint-dir DIR  warm checkpoint store (default: the
+ *                         FLYWHEEL_CHECKPOINTS environment variable)
+ *   --no-checkpoints      disable checkpoint reuse entirely
+ *   --sample N            interval sampling with N detailed windows
+ */
+struct SnapshotFlags
+{
+    std::string dir;
+    bool disabled = false;
+    unsigned sampleWindows = 0;
+
+    SnapshotFlags()
+    {
+        if (const char *env = std::getenv("FLYWHEEL_CHECKPOINTS"))
+            dir = env;
+    }
+
+    /** Consume one argv flag; true if it was one of ours. */
+    bool
+    tryParse(const std::string &flag, int argc, char **argv, int *i)
+    {
+        if (flag == "--checkpoint-dir") {
+            dir = requireValue(argc, argv, i, flag);
+            return true;
+        }
+        if (flag == "--no-checkpoints") {
+            disabled = true;
+            return true;
+        }
+        if (flag == "--sample") {
+            std::uint64_t n = parseU64(
+                requireValue(argc, argv, i, flag), "--sample");
+            if (n == 1 || n > 10000)
+                FW_FATAL("--sample: expected 0 (full detail) or "
+                         "2..10000 windows");
+            sampleWindows = unsigned(n);
+            return true;
+        }
+        return false;
+    }
+
+    /** Effective store directory ("" when disabled or unset). */
+    std::string
+    checkpointDir() const
+    {
+        return disabled ? std::string() : dir;
+    }
+
+    /** Shared --help block for these flags. */
+    static const char *
+    usageText()
+    {
+        return
+            "checkpoints & sampling:\n"
+            "  --checkpoint-dir DIR  reuse warmup checkpoints from "
+            "DIR\n"
+            "                        (default: FLYWHEEL_CHECKPOINTS)\n"
+            "  --no-checkpoints      always simulate the warmup\n"
+            "  --sample N            interval sampling: N detailed "
+            "windows\n";
+    }
+};
+
 } // namespace flywheel::cli
 
 #endif // FLYWHEEL_TOOLS_CLI_UTIL_HH

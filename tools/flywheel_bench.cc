@@ -61,6 +61,8 @@ usage(const char *argv0)
         "FLYWHEEL_CACHE)\n"
         "  --progress           per-point progress on stderr\n"
         "\n"
+        "%s"
+        "\n"
         "output:\n"
         "  --json FILE          export executed grid(s) as JSON "
         "('-' = stdout)\n"
@@ -72,7 +74,7 @@ usage(const char *argv0)
         "DIR\n"
         "  --refresh-golden DIR  rebuild and overwrite the snapshots "
         "in DIR\n",
-        argv0);
+        argv0, cli::SnapshotFlags::usageText());
 }
 
 void
@@ -111,9 +113,11 @@ struct MergedExport
  * @return false on verification failure.
  */
 bool
-runSpec(Session &session, const ExperimentSpec &spec,
+runSpec(Session &session, ExperimentSpec spec, unsigned sample_override,
         MergedExport *merged)
 {
+    if (sample_override)
+        spec.sampleWindows = sample_override;
     SweepTable table = session.run(spec);
 
     if (!spec.render.empty()) {
@@ -156,6 +160,7 @@ main(int argc, char **argv)
     bool list_only = false;
     bool run_all = false;
     bool progress = false;
+    cli::SnapshotFlags snapshot;
 
     SessionOptions opts = SessionOptions::fromEnv();
 
@@ -164,7 +169,9 @@ main(int argc, char **argv)
         auto value = [&] {
             return cli::requireValue(argc, argv, &i, flag);
         };
-        if (flag == "--list") {
+        if (snapshot.tryParse(flag, argc, argv, &i)) {
+            // handled
+        } else if (flag == "--list") {
             list_only = true;
         } else if (flag == "--figure") {
             figure_names.push_back(value());
@@ -194,11 +201,10 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 0;
         } else {
-            std::fprintf(stderr, "unknown option: %s\n\n", flag.c_str());
-            usage(argv[0]);
-            return 2;
+            cli::rejectUnknownFlag(argv[0], flag, usage);
         }
     }
+    opts.checkpointDir = snapshot.checkpointDir();
 
     // One mode per invocation: silently dropping a requested figure
     // run because --list/--validate-spec/... also appeared would let
@@ -223,10 +229,11 @@ main(int argc, char **argv)
     // Run-only flags must not be silently ignored by other modes.
     const bool run_mode =
         run_all || !figure_names.empty() || !spec_paths.empty();
-    if (!run_mode &&
-        (!json_path.empty() || !csv_path.empty() || progress)) {
-        std::fprintf(stderr, "--json/--csv/--progress only apply to a "
-                             "--figure/--all/--spec run\n");
+    if (!run_mode && (!json_path.empty() || !csv_path.empty() ||
+                      progress || snapshot.sampleWindows)) {
+        std::fprintf(stderr,
+                     "--json/--csv/--progress/--sample only apply to "
+                     "a --figure/--all/--spec run\n");
         return 2;
     }
 
@@ -324,8 +331,9 @@ main(int argc, char **argv)
         if (!first)
             std::printf("\n");
         first = false;
-        ok = runSpec(session, def->spec, need_merged ? &merged : nullptr)
-             && ok;
+        ok = runSpec(session, def->spec, snapshot.sampleWindows,
+                     need_merged ? &merged : nullptr) &&
+             ok;
     }
     for (const std::string &path : spec_paths) {
         ExperimentSpec spec;
@@ -337,8 +345,9 @@ main(int argc, char **argv)
         if (!first)
             std::printf("\n");
         first = false;
-        ok = runSpec(session, spec, need_merged ? &merged : nullptr)
-             && ok;
+        ok = runSpec(session, spec, snapshot.sampleWindows,
+                     need_merged ? &merged : nullptr) &&
+             ok;
     }
 
     if (!json_path.empty()) {

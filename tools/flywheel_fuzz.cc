@@ -43,6 +43,12 @@ usage(const char *argv0)
         "  --seed-start S     first seed of a --seeds batch "
         "(default: 0)\n"
         "  --instrs N         override instructions per case\n"
+        "  --snapshots        save/restore-mid-run mode: snapshot at "
+        "a\n"
+        "                     seed-derived retire count, restore into "
+        "a\n"
+        "                     fresh image, diff against the "
+        "straight-through run\n"
         "  --jobs N           worker threads (default: FLYWHEEL_JOBS "
         "or all cores)\n"
         "  --list             print each case instead of running it\n"
@@ -66,6 +72,7 @@ main(int argc, char **argv)
     std::uint64_t seed_start = 0;
     std::uint64_t instr_override = 0;
     unsigned jobs = 0;
+    bool snapshots = false;
     bool list_only = false;
     bool quiet = false;
     std::string check_golden_dir;
@@ -84,6 +91,8 @@ main(int argc, char **argv)
             seed_start = cli::parseU64(value(), "--seed-start");
         } else if (flag == "--instrs") {
             instr_override = cli::parseU64(value(), "--instrs");
+        } else if (flag == "--snapshots") {
+            snapshots = true;
         } else if (flag == "--jobs") {
             jobs = cli::parseJobs(value(), "--jobs");
         } else if (flag == "--list") {
@@ -98,9 +107,7 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 0;
         } else {
-            std::fprintf(stderr, "unknown option: %s\n\n", flag.c_str());
-            usage(argv[0]);
-            return 2;
+            cli::rejectUnknownFlag(argv[0], flag, usage);
         }
     }
 
@@ -174,7 +181,8 @@ main(int argc, char **argv)
         FuzzCase c = makeFuzzCase(seeds[i]);
         if (instr_override)
             c.options.instructions = instr_override;
-        DiffReport report = runFuzzCase(c);
+        DiffReport report =
+            snapshots ? runSnapshotFuzzCase(c) : runFuzzCase(c);
         Outcome &out = outcomes[i];
         out.failed = !report.ok();
         if (out.failed) {

@@ -60,6 +60,8 @@ usage(const char *argv0)
         "  --jobs N          worker threads over cells (default: 1;\n"
         "                    >1 distorts per-cell throughput)\n"
         "\n"
+        "%s"
+        "\n"
         "output:\n"
         "  --json FILE       write BENCH_flywheel.json "
         "('-' = stdout)\n"
@@ -73,7 +75,7 @@ usage(const char *argv0)
         "                    first (shape comparison; use when the\n"
         "                    baseline came from a different machine\n"
         "                    class, e.g. CI)\n",
-        argv0);
+        argv0, cli::SnapshotFlags::usageText());
 }
 
 void
@@ -122,6 +124,7 @@ int
 main(int argc, char **argv)
 {
     perf::PerfOptions options;
+    cli::SnapshotFlags snapshot;
     std::string json_path;
     std::string compare_path;
     double threshold = 0.30;
@@ -133,7 +136,9 @@ main(int argc, char **argv)
         auto value = [&] {
             return cli::requireValue(argc, argv, &i, flag);
         };
-        if (flag == "--bench") {
+        if (snapshot.tryParse(flag, argc, argv, &i)) {
+            // handled
+        } else if (flag == "--bench") {
             options.benchmarks = cli::splitList(value());
             for (const auto &b : options.benchmarks)
                 benchmarkByName(b);  // validate early (fatal)
@@ -180,11 +185,14 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 0;
         } else {
-            std::fprintf(stderr, "unknown option: %s\n\n", flag.c_str());
-            usage(argv[0]);
-            return 2;
+            cli::rejectUnknownFlag(argv[0], flag, usage);
         }
     }
+    // Checkpoints only shorten the *untimed* warmups (restores are
+    // bit-identical), so the timed windows measure the same work
+    // either way.
+    options.checkpointDir = snapshot.checkpointDir();
+    options.sampleWindows = snapshot.sampleWindows;
 
     perf::BenchReport baseline;
     if (!compare_path.empty() && !loadReport(compare_path, &baseline))
@@ -216,6 +224,15 @@ main(int argc, char **argv)
         return 0;
 
     // ---- regression gate -------------------------------------------
+    if (report.sampleWindows != baseline.sampleWindows) {
+        std::fprintf(stderr,
+                     "cannot compare: this run measured %u sampling "
+                     "windows, baseline %s measured %u — sampled and "
+                     "contiguous throughput are different quantities\n",
+                     report.sampleWindows, compare_path.c_str(),
+                     baseline.sampleWindows);
+        return 2;
+    }
     bool ok = true;
     if (relative)
         std::printf("relative (geomean-normalized) comparison\n");

@@ -53,11 +53,13 @@ usage(const char *argv0)
         "  --instrs N        measured instructions per point\n"
         "  --cache FILE      persistent result cache (JSON)\n"
         "\n"
+        "%s"
+        "\n"
         "output:\n"
         "  --out FILE        write full results as JSON ('-' = stdout)\n"
         "  --csv FILE        write summary CSV ('-' = stdout)\n"
         "  --quiet           suppress per-point progress\n",
-        argv0);
+        argv0, cli::SnapshotFlags::usageText());
 }
 
 } // namespace
@@ -67,6 +69,7 @@ main(int argc, char **argv)
 {
     SweepAxes axes;
     SweepOptions opts;
+    cli::SnapshotFlags snapshot;
     std::string out_path;
     std::string csv_path;
     bool quiet = false;
@@ -76,7 +79,9 @@ main(int argc, char **argv)
         auto value = [&] {
             return cli::requireValue(argc, argv, &i, flag);
         };
-        if (flag == "--bench") {
+        if (snapshot.tryParse(flag, argc, argv, &i)) {
+            // handled
+        } else if (flag == "--bench") {
             axes.benchmarks = cli::splitList(value());
             for (const auto &b : axes.benchmarks)
                 benchmarkByName(b); // validate early (fatal if unknown)
@@ -141,10 +146,14 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 0;
         } else {
-            std::fprintf(stderr, "unknown option: %s\n\n", flag.c_str());
-            usage(argv[0]);
-            return 2;
+            cli::rejectUnknownFlag(argv[0], flag, usage);
         }
+    }
+
+    opts.checkpointDir = snapshot.checkpointDir();
+    if (snapshot.sampleWindows) {
+        axes.snapshot.mode = SnapshotPolicy::Mode::Sample;
+        axes.snapshot.sampleWindows = snapshot.sampleWindows;
     }
 
     std::vector<SweepPoint> points = axes.expand();
