@@ -16,6 +16,8 @@
 #include "flywheel/exec_cache.hh"
 #include "flywheel/flywheel_core.hh"
 #include "mem/cache.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
 
@@ -173,6 +175,70 @@ BM_FlywheelSimulation(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_FlywheelSimulation)->Unit(benchmark::kMillisecond);
+
+// ---- observability layer ------------------------------------------
+// The emit-site contract is that a masked-out (or absent) tracer
+// costs one branch; these pin the enabled, masked and null-pointer
+// emit costs plus the price of a registry dump so regressions in the
+// hot-path guard show up as ns/op deltas.
+
+void
+BM_TracerEmitEnabled(benchmark::State &state)
+{
+    obs::Tracer t(obs::kTraceCatAll, 1 << 12);
+    Tick ts = 0;
+    for (auto _ : state)
+        t.instant(obs::TraceCat::Retire, "retire", ++ts, 4);
+    benchmark::DoNotOptimize(t.recorded());
+}
+BENCHMARK(BM_TracerEmitEnabled);
+
+void
+BM_TracerEmitMasked(benchmark::State &state)
+{
+    obs::Tracer t(/*mask=*/0u, 1 << 12);
+    Tick ts = 0;
+    for (auto _ : state)
+        t.instant(obs::TraceCat::Retire, "retire", ++ts, 4);
+    benchmark::DoNotOptimize(t.recorded());
+}
+BENCHMARK(BM_TracerEmitMasked);
+
+void
+BM_TracerEmitNull(benchmark::State &state)
+{
+    // The disabled-by-default shape every core pays: a null tracer
+    // pointer guarding the emit call.
+    obs::Tracer *t = nullptr;
+    benchmark::DoNotOptimize(t);
+    Tick ts = 0;
+    std::uint64_t emitted = 0;
+    for (auto _ : state) {
+        ++ts;
+        if (t) {
+            t->instant(obs::TraceCat::Retire, "retire", ts, 4);
+            ++emitted;
+        }
+        benchmark::DoNotOptimize(ts);
+    }
+    benchmark::DoNotOptimize(emitted);
+}
+BENCHMARK(BM_TracerEmitNull);
+
+void
+BM_StatsRegistryDump(benchmark::State &state)
+{
+    // Dump cost of a real component tree (a FlywheelCore registers
+    // every cache/predictor/queue/EC/pool group).
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    core.run(1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.statsRegistry().dump().size());
+}
+BENCHMARK(BM_StatsRegistryDump);
 
 } // namespace
 } // namespace flywheel

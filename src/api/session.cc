@@ -69,6 +69,7 @@ Session::Session(SessionOptions options)
           sweep.cachePath = options.cachePath;
           sweep.checkpointDir = options.checkpointDir;
           sweep.progress = options.progress;
+          sweep.obs = options.obs;
           return sweep;
       }())
 {}

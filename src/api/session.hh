@@ -39,6 +39,12 @@ struct SessionOptions
     std::string checkpointDir;
     /** Per-point progress callback (see SweepOptions::progress). */
     decltype(SweepOptions::progress) progress;
+    /**
+     * Observability attachments stamped onto every run of the session
+     * (see SweepOptions::obs): stats collection and/or pipeline
+     * tracing.  Observed runs bypass the result-cache lookup.
+     */
+    ObsConfig obs;
 
     /**
      * Standard environment wiring: cachePath from FLYWHEEL_CACHE and

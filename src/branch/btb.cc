@@ -1,6 +1,7 @@
 #include "branch/btb.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -65,6 +66,18 @@ Btb::regStats(StatGroup &group) const
 {
     group.add("btb.lookups", lookups_);
     group.add("btb.hits", hits_);
+}
+
+void
+Btb::registerStats(obs::StatsGroup &group) const
+{
+    group.counter("lookups", lookups_);
+    group.counter("hits", hits_);
+    group.formula("hitRate", [this] {
+        return lookups_.value()
+                   ? double(hits_.value()) / double(lookups_.value())
+                   : 0.0;
+    });
 }
 
 void

@@ -18,6 +18,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** BTB geometry. */
 struct BtbParams
 {
@@ -38,6 +40,9 @@ class Btb
     void update(Addr pc, Addr target);
 
     void regStats(StatGroup &group) const;
+
+    /** Register lookup/hit counters with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize entries, LRU clock and counters. */
     void save(Json &out) const;

@@ -1,6 +1,7 @@
 #include "branch/gshare.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -56,6 +57,13 @@ Gshare::regStats(StatGroup &group) const
 {
     group.add("gshare.lookups", lookups_);
     group.add("gshare.updates", updates_);
+}
+
+void
+Gshare::registerStats(obs::StatsGroup &group) const
+{
+    group.counter("lookups", lookups_);
+    group.counter("updates", updates_);
 }
 
 void

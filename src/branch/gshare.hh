@@ -20,6 +20,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** Configuration of the direction predictor. */
 struct GshareParams
 {
@@ -54,6 +56,9 @@ class Gshare
     std::uint64_t lookups() const { return lookups_.value(); }
 
     void regStats(StatGroup &group) const;
+
+    /** Register lookup/update counters with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize history register, pattern table and counters. */
     void save(Json &out) const;

@@ -115,6 +115,24 @@ CoreBase::CoreBase(const CoreParams &params, WorkloadStream &stream,
     progressHorizonTicks_ =
         static_cast<Tick>(500000.0 * params_.basePeriodPs);
     issuedPending_.reserve(params_.robEntries);
+
+    // One stat per CoreStats field, expanded from the same X-macro
+    // that guards serialization, so new fields surface automatically.
+    obs::StatsGroup &core = statsRegistry_.group("core");
+#define X(f) core.counter(#f, &stats_.f);
+    FW_CORE_STATS_FIELDS(X)
+#undef X
+    core.formula("mispredictRate", [this] {
+        return stats_.condBranches
+                   ? double(stats_.mispredicts) /
+                         double(stats_.condBranches)
+                   : 0.0;
+    });
+    hier_.registerStats(statsRegistry_, "core");
+    gshare_.registerStats(statsRegistry_.group("core.gshare"));
+    btb_.registerStats(statsRegistry_.group("core.btb"));
+    lsq_.registerStats(statsRegistry_.group("core.lsq"));
+    iw_.registerStats(statsRegistry_.group("core.iw"));
 }
 
 bool
@@ -148,6 +166,8 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
     if (feQueue_.size() + params_.fetchWidth > feQueueCap_)
         return;
 
+    unsigned fetched = 0;
+    Addr group_pc = 0;
     for (unsigned w = 0; w < params_.fetchWidth; ++w) {
         const DynInst &next = stream_.peek(0);
         const Addr pc = next.pc;
@@ -155,6 +175,7 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
         if (w == 0) {
             if (!fetchGate(pc, now))
                 return;
+            group_pc = pc;
             ++events_.icacheAccesses;
             MemLevel lvl = hier_.fetch(pc);
             if (lvl != MemLevel::L1) {
@@ -165,6 +186,12 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
                     stall += memTicks_;
                 fetchStallUntil_ = now + stall;
                 ++stats_.icacheMissStalls;
+                if (tracer_)
+                    tracer_->span(obs::TraceCat::CacheMiss,
+                                  lvl == MemLevel::Memory
+                                      ? "icache_miss_mem"
+                                      : "icache_miss_l2",
+                                  now, stall, pc);
                 return;
             }
         }
@@ -210,6 +237,7 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
         }
 
         feQueue_.push_back(ifi);
+        ++fetched;
 
         if (stall_decode_redirect)
             fetchStallUntil_ = now + 3 * fe_period;
@@ -219,6 +247,9 @@ CoreBase::stepFetch(Tick now, Tick fe_period)
         if ((pc & 0xF) == 0xC)
             break;
     }
+    if (tracer_ && fetched)
+        tracer_->instant(obs::TraceCat::Fetch, "fetch", now, fetched,
+                         group_pc);
 }
 
 void
@@ -304,6 +335,13 @@ CoreBase::issueOne(InFlightInst *p, Tick now, Tick be_period)
                     ++events_.memAccesses;
                     mem_extra = memTicks_;
                 }
+                if (tracer_)
+                    tracer_->instant(obs::TraceCat::CacheMiss,
+                                     lvl == MemLevel::Memory
+                                         ? "dcache_miss_mem"
+                                         : "dcache_miss_l2",
+                                     now, p->arch.effAddr,
+                                     p->arch.seq);
             }
         }
         ++events_.lsqOps;
@@ -378,8 +416,13 @@ CoreBase::stepIssue(Tick now, Tick be_period)
         issuedGroup_.push_back(p);
     }
 
-    if (!issuedGroup_.empty())
+    if (!issuedGroup_.empty()) {
+        if (tracer_)
+            tracer_->instant(obs::TraceCat::Issue, "issue", now,
+                             issuedGroup_.size(),
+                             issuedGroup_.front()->arch.seq);
         onIssueGroup(issuedGroup_, now);
+    }
 }
 
 void
@@ -412,6 +455,7 @@ CoreBase::stepComplete(Tick now, Tick)
     // reorders this list arbitrarily — restart the pass after any
     // callback; completion marking is idempotent within the cycle.
     std::size_t i = 0;
+    std::uint64_t completed_n = 0;
     while (i < issuedPending_.size()) {
         InFlightInst *p = issuedPending_[i];
         if (p->completeTick > now) {
@@ -421,11 +465,15 @@ CoreBase::stepComplete(Tick now, Tick)
         issuedPending_[i] = issuedPending_.back();
         issuedPending_.pop_back();
         p->completed = true;
+        ++completed_n;
         if (p->mispredicted && !p->squashed) {
             onMispredictResolved(*p, now);
             i = 0;
         }
     }
+    if (tracer_ && completed_n)
+        tracer_->instant(obs::TraceCat::Complete, "complete", now,
+                         completed_n);
 
     minCompleteTick_ = kTickMax;
     for (const InFlightInst *p : issuedPending_) {
@@ -437,12 +485,14 @@ CoreBase::stepComplete(Tick now, Tick)
 void
 CoreBase::stepRetire(Tick now, Tick be_period)
 {
+    std::uint64_t retired_n = 0;
+    std::uint64_t group_seq = 0;
     for (unsigned n = 0; n < params_.commitWidth && !rob_.empty(); ++n) {
         InFlightInst &h = rob_.front();
         FW_ASSERT(!h.squashed, "squashed instruction at ROB head");
         // WriteBack precedes Retire by one stage.
         if (!h.completed || h.completeTick + be_period > now)
-            return;
+            break;
 
         if (h.isStore()) {
             ++events_.dcacheAccesses;
@@ -451,6 +501,12 @@ CoreBase::stepRetire(Tick now, Tick be_period)
                 ++events_.l2Accesses;
                 if (lvl == MemLevel::Memory)
                     ++events_.memAccesses;
+                if (tracer_)
+                    tracer_->instant(obs::TraceCat::CacheMiss,
+                                     lvl == MemLevel::Memory
+                                         ? "store_miss_mem"
+                                         : "store_miss_l2",
+                                     now, h.arch.effAddr, h.arch.seq);
             }
         }
         // Branches replayed from the Execution Cache never consulted
@@ -474,8 +530,14 @@ CoreBase::stepRetire(Tick now, Tick be_period)
         ++stats_.retired;
         if (h.fromEc)
             ++stats_.ecRetired;
+        if (retired_n == 0)
+            group_seq = h.arch.seq;
+        ++retired_n;
         rob_.pop_front();
     }
+    if (tracer_ && retired_n)
+        tracer_->instant(obs::TraceCat::Retire, "retire", now,
+                         retired_n, group_seq);
 }
 
 std::uint64_t

@@ -39,6 +39,8 @@
 #include "core/lsq.hh"
 #include "core/params.hh"
 #include "mem/hierarchy.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "power/events.hh"
 #include "workload/generator.hh"
 
@@ -131,6 +133,25 @@ class CoreBase
     const CoreStats &stats() const { return stats_; }
     const EnergyEvents &events() const { return events_; }
     const MemoryHierarchy &memory() const { return hier_; }
+
+    /**
+     * Hierarchical stats registry: every component registered its
+     * live counters at construction, so a dump at any retirement
+     * boundary reads consistent values.
+     */
+    const obs::StatsRegistry &statsRegistry() const
+    {
+        return statsRegistry_;
+    }
+
+    /**
+     * Attach (or detach with nullptr) a pipeline event tracer.  The
+     * core does not own it; the caller keeps it alive across run().
+     * Null tracer = tracing off; every emit site guards with one
+     * pointer compare, so the disabled path costs a single branch.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+    obs::Tracer *tracer() const { return tracer_; }
 
     /** Simulated wall-clock time elapsed so far (ps). */
     Tick elapsedPs() const { return events_.totalTicks; }
@@ -244,6 +265,9 @@ class CoreBase
 
     EnergyEvents events_;
     CoreStats stats_;
+
+    obs::StatsRegistry statsRegistry_;
+    obs::Tracer *tracer_ = nullptr;
 
     Tick fetchStallUntil_ = 0;
     bool waitingOnMispredict_ = false;

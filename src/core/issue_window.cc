@@ -1,6 +1,7 @@
 #include "core/issue_window.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace flywheel {
 
@@ -119,6 +120,13 @@ IssueWindow::visibleOldestFirst(Tick now,
         if (slot != nullptr && !slot->issued && slot->iwVisible <= now)
             out.push_back(slot);
     }
+}
+
+void
+IssueWindow::registerStats(obs::StatsGroup &group) const
+{
+    group.formula("occupancy", [this] { return double(used_); });
+    group.formula("capacity", [this] { return double(capacity_); });
 }
 
 } // namespace flywheel

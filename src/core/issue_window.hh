@@ -35,6 +35,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** Monolithic issue window holding pointers to ROB-resident state. */
 class IssueWindow
 {
@@ -76,6 +78,9 @@ class IssueWindow
     /** Restore state saved by save(); @p at resolves ROB indices. */
     void restore(const Json &in,
                  const std::function<InFlightInst *(std::uint64_t)> &at);
+
+    /** Register occupancy/capacity gauges with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
   private:
     void compact();

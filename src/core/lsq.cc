@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -199,6 +200,13 @@ Lsq::debugDump() const
         out += buf;
     }
     return out;
+}
+
+void
+Lsq::registerStats(obs::StatsGroup &group) const
+{
+    group.formula("occupancy", [this] { return double(count_); });
+    group.formula("capacity", [this] { return double(capacity_); });
 }
 
 } // namespace flywheel

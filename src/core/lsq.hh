@@ -24,6 +24,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** Load/store queue with conservative disambiguation. */
 class Lsq
 {
@@ -70,6 +72,9 @@ class Lsq
 
     /** Debug string: "seq:S/L:known ..." for every entry. */
     std::string debugDump() const;
+
+    /** Register occupancy/capacity gauges with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize the queue contents and disambiguation counters. */
     void save(Json &out) const;

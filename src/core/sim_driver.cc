@@ -1,5 +1,6 @@
 #include "core/sim_driver.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -74,7 +75,7 @@ deriveSampleSchedule(const SnapshotPolicy &policy,
  * Phase 1: bring the simulator to its post-warmup state — by
  * simulating, or through the checkpoint store per the policy.
  */
-void
+bool
 runSimWarmup(const RunConfig &config, CoreBase &core,
              Checkpointer *checkpoints)
 {
@@ -84,7 +85,7 @@ runSimWarmup(const RunConfig &config, CoreBase &core,
                               config.warmupInstrs > 0;
     if (!checkpointed) {
         core.run(config.warmupInstrs);
-        return;
+        return false;
     }
 
     const std::string key = checkpointKey(config);
@@ -105,6 +106,7 @@ runSimWarmup(const RunConfig &config, CoreBase &core,
     // bit-identical by the snapshot contract.
     if (!created)
         core.restore(*snap);
+    return !created;
 }
 
 void
@@ -141,14 +143,18 @@ namespace {
  */
 void
 runMeasurePhase(const RunConfig &config, WorkloadStream &stream,
-                std::unique_ptr<CoreBase> &core, EnergyEvents *events,
-                CoreStats *stats)
+                std::unique_ptr<CoreBase> &core, obs::Tracer *tracer,
+                EnergyEvents *events, CoreStats *stats)
 {
     *events = EnergyEvents{};
     *stats = CoreStats{};
     forEachMeasureWindow(
         config, stream, core,
         [&](CoreBase &c, std::uint64_t instrs) {
+            // Sampling replaces the core between windows, so the
+            // tracer is (re)attached here rather than once up front;
+            // the inter-window re-warms run untraced by design.
+            c.setTracer(tracer);
             const EnergyEvents before_events = c.events();
             const CoreStats before_stats = c.stats();
             c.run(instrs);
@@ -206,13 +212,43 @@ runSim(const RunConfig &config, Checkpointer *checkpoints)
     WorkloadStream stream(program);
     std::unique_ptr<CoreBase> core = makeCore(config, stream);
 
-    runSimWarmup(config, *core, checkpoints);
+    std::unique_ptr<obs::Tracer> tracer;
+    if (config.obs.traceSink != nullptr) {
+        tracer = std::make_unique<obs::Tracer>(config.obs.traceMask,
+                                               config.obs.traceCapacity);
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto seconds = [](Clock::time_point a, Clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    RunTelemetry telemetry;
+    const auto t0 = Clock::now();
+    telemetry.warmupRestored = runSimWarmup(config, *core, checkpoints);
+    const auto t1 = Clock::now();
+    telemetry.warmupSeconds = seconds(t0, t1);
 
     EnergyEvents events;
     CoreStats stats;
-    runMeasurePhase(config, stream, core, &events, &stats);
+    runMeasurePhase(config, stream, core, tracer.get(), &events, &stats);
+    const auto t2 = Clock::now();
+    telemetry.measureSeconds = seconds(t1, t2);
 
-    return reduceToResult(config, events, stats);
+    RunResult r = reduceToResult(config, events, stats);
+    if (config.obs.collectStats) {
+        r.statsDoc =
+            std::make_shared<const Json>(core->statsRegistry().dump());
+    }
+    if (tracer) {
+        config.obs.traceSink->add(config.obs.traceLabel.empty()
+                                      ? config.profile.name
+                                      : config.obs.traceLabel,
+                                  *tracer);
+    }
+    telemetry.reduceSeconds = seconds(t2, Clock::now());
+    r.telemetry = telemetry;
+    return r;
 }
 
 RunResult

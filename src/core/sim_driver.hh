@@ -73,6 +73,29 @@ struct SnapshotPolicy
     std::uint64_t sampleWarmup = 0;
 };
 
+/**
+ * Observability attachments for one run.  None of this enters the
+ * result-cache key or the serialized RunResult: stats/trace documents
+ * describe *how* a run executed, while the cached result is *what* it
+ * computed — the golden figures and the sweep determinism contract
+ * stay byte-identical whether or not observation is on.
+ */
+struct ObsConfig
+{
+    /** Attach a flywheel.stats.v1 registry dump to the RunResult. */
+    bool collectStats = false;
+    /** Non-null = pipeline tracing on; the run merges its events
+     *  here when it finishes.  Caller owns the sink. */
+    obs::TraceSink *traceSink = nullptr;
+    std::uint32_t traceMask = obs::kTraceCatAll;
+    std::size_t traceCapacity = obs::Tracer::kDefaultCapacity;
+    /** Chrome trace thread name ("" = the benchmark name). */
+    std::string traceLabel;
+
+    /** True if the run must actually execute (no cache short-cut). */
+    bool active() const { return collectStats || traceSink != nullptr; }
+};
+
 /** One simulation run description. */
 struct RunConfig
 {
@@ -85,6 +108,20 @@ struct RunConfig
     std::uint64_t warmupInstrs = 100000;
     std::uint64_t measureInstrs = 300000;
     SnapshotPolicy snapshot;        ///< checkpoint/sampling policy
+    ObsConfig obs;                  ///< stats/trace attachments
+};
+
+/**
+ * Host-side execution telemetry for one run: wall-clock per phase and
+ * warmup provenance.  Never serialized (toJson(RunResult) excludes
+ * it) — host timing must not leak into deterministic artifacts.
+ */
+struct RunTelemetry
+{
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+    double reduceSeconds = 0.0;
+    bool warmupRestored = false;  ///< warm state came from a checkpoint
 };
 
 /** Results over the measurement window. */
@@ -99,6 +136,16 @@ struct RunResult
     EnergyEvents events;           ///< window deltas
     EnergyBreakdown energy;        ///< from the window events
     double averageWatts = 0.0;
+
+    /**
+     * flywheel.stats.v1 registry dump of the run's final core state
+     * (only when ObsConfig::collectStats; shared so copying results
+     * around the sweep engine stays cheap).  Excluded from
+     * toJson(RunResult).
+     */
+    std::shared_ptr<const Json> statsDoc;
+    /** Host-side phase timers.  Excluded from toJson(RunResult). */
+    RunTelemetry telemetry;
 };
 
 /**
@@ -140,8 +187,9 @@ SampleSchedule deriveSampleSchedule(const SnapshotPolicy &policy,
  * Phase 1 of runSim, exposed for other drivers (the perf harness):
  * bring @p core to its post-warmup state — simulating, or restoring
  * from / publishing to @p checkpoints per config.snapshot.
+ * @return true if the warm state was restored from a checkpoint.
  */
-void runSimWarmup(const RunConfig &config, CoreBase &core,
+bool runSimWarmup(const RunConfig &config, CoreBase &core,
                   Checkpointer *checkpoints);
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -274,6 +275,17 @@ ExecCache::restore(const Json &in)
     numArrayFrom(in["pinned"], &pinned_);
     useClock_ = in["useClock"].asU64();
     evictions_.set(in["evictions"].asU64());
+}
+
+void
+ExecCache::registerStats(obs::StatsGroup &group) const
+{
+    group.counter("evictions", evictions_);
+    group.formula("usedBlocks", [this] { return double(usedBlocks_); });
+    group.formula("totalBlocks",
+                  [this] { return double(totalBlocks_); });
+    group.formula("traceCount",
+                  [this] { return double(traces_.size()); });
 }
 
 } // namespace flywheel

@@ -33,6 +33,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** One recorded instruction slot. */
 struct TraceSlot
 {
@@ -151,6 +153,9 @@ class ExecCache
     unsigned totalBlocks() const { return totalBlocks_; }
     std::size_t traceCount() const { return traces_.size(); }
     std::uint64_t evictions() const { return evictions_.value(); }
+
+    /** Register occupancy gauges and eviction counter. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize every resident trace plus LRU/pin/budget state. */
     void save(Json &out) const;

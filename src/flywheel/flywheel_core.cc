@@ -22,6 +22,9 @@ FlywheelCore::FlywheelCore(const CoreParams &params,
     // both operating modes (Section 3.5: "it requires an additional
     // pipeline stage ... will cost about 2-3% in performance").
     params_.regReadStages = params.regReadStages + 1;
+
+    ec_.registerStats(statsRegistry_.group("core.ec"));
+    pools_.registerStats(statsRegistry_.group("core.pools"));
 }
 
 std::string
@@ -597,6 +600,15 @@ FlywheelCore::enterExec(Tick now)
     fetchStallUntil_ = kTickMax;  // front-end is clock gated
     ++stats_.traceChanges;
     ++events_.checkpointOps;
+
+    if (tracer_) {
+        tracer_->instant(obs::TraceCat::EcMode, "ec_enter", now, len,
+                         v);
+        tracer_->instant(obs::TraceCat::Replay, "replay_start", now,
+                         t->startPc, len);
+        tracer_->instant(obs::TraceCat::ClockPlan, "be_fast", now,
+                         beFast_);
+    }
 }
 
 DynInst
@@ -777,6 +789,7 @@ FlywheelCore::resolveDivergence(InFlightInst &branch, Tick now)
     // Squash the wrong-path tail: allocation is rank-ordered, so all
     // squashed entries sit at the back of the ROB.
     lsq_.squashFrom(replay_.baseSeq + replay_.valid);
+    std::uint64_t squashed_n = 0;
     while (!rob_.empty() && rob_.back().squashed) {
         InFlightInst &b = rob_.back();
         // Completion tracking holds issued-incomplete entries by
@@ -790,7 +803,11 @@ FlywheelCore::resolveDivergence(InFlightInst &branch, Tick now)
             regReady_[b.destPhys] = 0;
         }
         rob_.pop_back();
+        ++squashed_n;
     }
+    if (tracer_)
+        tracer_->instant(obs::TraceCat::Squash, "divergence_squash",
+                         now, squashed_n, replay_.valid);
 
     // Recompute the last unit that still contains live work.
     Trace *t = replay_.trace;
@@ -853,10 +870,13 @@ FlywheelCore::maybeHandleReplayEnd(Tick now)
 }
 
 void
-FlywheelCore::finishReplay(Tick)
+FlywheelCore::finishReplay(Tick now)
 {
     Trace *t = replay_.trace;
     ec_.unpin(t->startPc);
+    if (tracer_)
+        tracer_->instant(obs::TraceCat::Replay, "replay_finish", now,
+                         replay_.valid, replay_.divergent ? 1 : 0);
 
     // Trace quality policy: rebuild stale traces (recorded while the
     // predictor was cold or under different loop bounds) rather than
@@ -877,6 +897,11 @@ FlywheelCore::finishReplay(Tick)
 void
 FlywheelCore::exitToCreate(Tick now, bool resume_fetch)
 {
+    if (tracer_ && mode_ == Mode::Exec) {
+        tracer_->instant(obs::TraceCat::EcMode, "ec_exit", now);
+        tracer_->instant(obs::TraceCat::ClockPlan, "be_base", now,
+                         beBase_);
+    }
     mode_ = Mode::Create;
     beCur_ = beBase_;
     nextFe_ = ((now / feP_) + 1) * feP_;
@@ -931,6 +956,9 @@ FlywheelCore::maybeRedistribute(Tick now)
         needNewTrace_ = true;
         ++stats_.redistributions;
         events_.checkpointOps += 2;
+        if (tracer_)
+            tracer_->instant(obs::TraceCat::ClockPlan, "redistribute",
+                             now, stats_.redistributions);
         Tick stall = Tick(params_.redistributionCost) * beBase_;
         if (fetchStallUntil_ != kTickMax)
             fetchStallUntil_ = std::max(fetchStallUntil_, now + stall);

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -207,6 +208,25 @@ PoolRenameUnit::poolsLargerThan(unsigned n) const
             ++count;
     }
     return count;
+}
+
+void
+PoolRenameUnit::registerStats(obs::StatsGroup &group) const
+{
+    group.formula("writes", [this] {
+        double total = 0;
+        for (const Pool &p : pools_)
+            total += double(p.writes);
+        return total;
+    });
+    group.formula("stalls", [this] {
+        double total = 0;
+        for (const Pool &p : pools_)
+            total += double(p.stalls);
+        return total;
+    });
+    group.formula("stallsSinceCheck",
+                  [this] { return double(stallsSinceCheck_); });
 }
 
 } // namespace flywheel

@@ -33,6 +33,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** Per-architected-register circular rename pools. */
 class PoolRenameUnit
 {
@@ -84,6 +86,9 @@ class PoolRenameUnit
 
     /** Start a fresh observation window without redistributing. */
     void resetWindow();
+
+    /** Register aggregate write/stall counts with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize every pool's layout, cursors and counters. */
     void save(Json &out) const;

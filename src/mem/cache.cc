@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -93,6 +94,15 @@ Cache::regStats(StatGroup &group) const
 {
     group.add(params_.name + ".accesses", accesses_);
     group.add(params_.name + ".misses", misses_);
+}
+
+void
+Cache::registerStats(obs::StatsGroup &group) const
+{
+    group.counter("accesses", accesses_);
+    group.counter("misses", misses_);
+    group.counter("writes", writes_);
+    group.formula("missRate", [this] { return missRate(); });
 }
 
 void

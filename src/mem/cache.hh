@@ -20,6 +20,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 /** Static configuration of one cache level. */
 struct CacheParams
 {
@@ -62,6 +64,9 @@ class Cache
 
     /** Register accesses/misses with @p group. */
     void regStats(StatGroup &group) const;
+
+    /** Register live counters and miss rate with the obs registry. */
+    void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize the complete array state (tags, LRU, counters). */
     void save(Json &out) const;

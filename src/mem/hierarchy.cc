@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace flywheel {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
@@ -61,6 +63,16 @@ MemoryHierarchy::regStats(StatGroup &group) const
     dcache_.regStats(group);
     l2_.regStats(group);
     group.add("mem.accesses", memAccesses_);
+}
+
+void
+MemoryHierarchy::registerStats(obs::StatsRegistry &registry,
+                               const std::string &prefix) const
+{
+    icache_.registerStats(registry.group(prefix + ".icache"));
+    dcache_.registerStats(registry.group(prefix + ".dcache"));
+    l2_.registerStats(registry.group(prefix + ".l2"));
+    registry.group(prefix + ".mem").counter("accesses", memAccesses_);
 }
 
 } // namespace flywheel

@@ -18,6 +18,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsRegistry; }
+
 /** Which level of the hierarchy served an access. */
 enum class MemLevel : std::uint8_t { L1, L2, Memory };
 
@@ -54,6 +56,13 @@ class MemoryHierarchy
     std::uint64_t memAccesses() const { return memAccesses_.value(); }
 
     void regStats(StatGroup &group) const;
+
+    /**
+     * Register all three cache levels plus the memory access counter
+     * as "<prefix>.icache" / ".dcache" / ".l2" / ".mem" groups.
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
     /** Serialize all three cache arrays plus the memory counter. */
     void save(Json &out) const;

@@ -121,6 +121,7 @@ BenchReport::toJson() const
     config.add("repeats", repeats);
     config.add("jobs", jobs);
     config.add("sample_windows", sampleWindows);
+    config.add("obs_attached", obsAttached);
     j.add("config", std::move(config));
 
     Json arr = Json::array();
@@ -139,6 +140,17 @@ BenchReport::toJson() const
     }
     j.add("entries", std::move(arr));
     j.add("geomean_minstr_per_sec", geomeanMinstrPerSec());
+    if (telemetry.present) {
+        Json t = Json::object();
+        t.add("wall_seconds", telemetry.wallSeconds);
+        t.add("checkpoint_memory_hits", telemetry.checkpointMemoryHits);
+        t.add("checkpoint_disk_hits", telemetry.checkpointDiskHits);
+        t.add("checkpoint_computes", telemetry.checkpointComputes);
+        t.add("checkpoint_bytes_written",
+              telemetry.checkpointBytesWritten);
+        t.add("checkpoint_bytes_read", telemetry.checkpointBytesRead);
+        j.add("telemetry", std::move(t));
+    }
     return j;
 }
 
@@ -199,6 +211,27 @@ BenchReport::fromJson(const Json &j, BenchReport *out,
         if (!config["sample_windows"].isNumber())
             return fail(error, "bench report: malformed config member");
         r.sampleWindows = unsigned(config["sample_windows"].asU64());
+    }
+    // Absent in pre-observability reports: false.
+    if (config.has("obs_attached"))
+        r.obsAttached = config["obs_attached"].asBool();
+    // Telemetry is optional by design (older baselines lack it).
+    if (j.has("telemetry")) {
+        const Json &t = j["telemetry"];
+        if (!t.isObject())
+            return fail(error, "bench report: malformed telemetry");
+        r.telemetry.present = true;
+        r.telemetry.wallSeconds = t["wall_seconds"].asDouble();
+        r.telemetry.checkpointMemoryHits =
+            t["checkpoint_memory_hits"].asU64();
+        r.telemetry.checkpointDiskHits =
+            t["checkpoint_disk_hits"].asU64();
+        r.telemetry.checkpointComputes =
+            t["checkpoint_computes"].asU64();
+        r.telemetry.checkpointBytesWritten =
+            t["checkpoint_bytes_written"].asU64();
+        r.telemetry.checkpointBytesRead =
+            t["checkpoint_bytes_read"].asU64();
     }
 
     for (const Json &entry : arr.items()) {

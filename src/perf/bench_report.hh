@@ -63,6 +63,23 @@ struct PerfEntry
     double minstrPerSec = 0.0;       ///< millions of sim-instrs / s
 };
 
+/**
+ * Host-side telemetry for one harness run: total wall-clock and the
+ * warm-checkpoint-store traffic behind the timed cells.  Optional in
+ * the serialized report — pre-observability baselines lack the block
+ * and still parse — and never read by comparePerf().
+ */
+struct BenchTelemetry
+{
+    bool present = false;
+    double wallSeconds = 0.0;
+    std::uint64_t checkpointMemoryHits = 0;
+    std::uint64_t checkpointDiskHits = 0;
+    std::uint64_t checkpointComputes = 0;
+    std::uint64_t checkpointBytesWritten = 0;
+    std::uint64_t checkpointBytesRead = 0;
+};
+
 /** A full BENCH_flywheel.json document. */
 struct BenchReport
 {
@@ -75,7 +92,12 @@ struct BenchReport
      *  of the config block so sampled and full-detail reports are
      *  never silently compared against each other. */
     unsigned sampleWindows = 0;
+    /** Grid timed with an observability sink attached (masked
+     *  tracer + stats registry dump): measures the emit-site cost.
+     *  Part of the config block for the same reason as sampling. */
+    bool obsAttached = false;
     std::vector<PerfEntry> entries;
+    BenchTelemetry telemetry;
 
     /** Geomean of minstrPerSec over every entry. */
     double geomeanMinstrPerSec() const;

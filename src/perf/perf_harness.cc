@@ -17,7 +17,8 @@ namespace flywheel::perf {
 TimedRun
 timeOneRun(const std::string &bench_name, CoreKind kind,
            std::uint64_t warmup_instrs, std::uint64_t measure_instrs,
-           Checkpointer *checkpoints, unsigned sample_windows)
+           Checkpointer *checkpoints, unsigned sample_windows,
+           bool obs_attached)
 {
     // The config runSim would build for this cell: default clock plan
     // (FE0/BE0, Table 2 sizes); only the warmup checkpointing and
@@ -45,6 +46,14 @@ timeOneRun(const std::string &bench_name, CoreKind kind,
         config.snapshot.mode = SnapshotPolicy::Mode::Reuse;
     runSimWarmup(config, *core, checkpoints);
 
+    // Obs-attached timing: a live tracer with every category masked
+    // off, so each emit site takes its branch and drops the event —
+    // the steady-state cost of an attached-but-filtered observer.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (obs_attached)
+        tracer = std::make_unique<obs::Tracer>(
+            /*mask=*/0u, obs::Tracer::kDefaultCapacity);
+
     // Likewise the measurement goes through runSim's own phase-2
     // window driver, so the harness times exactly the (possibly
     // sampled) schedule runSim executes — gaps and re-warms included.
@@ -52,11 +61,14 @@ timeOneRun(const std::string &bench_name, CoreKind kind,
     const auto t0 = std::chrono::steady_clock::now();
     forEachMeasureWindow(config, stream, core,
                          [&](CoreBase &c, std::uint64_t instrs) {
+                             c.setTracer(tracer.get());
                              const std::uint64_t at =
                                  c.stats().retired;
                              c.run(instrs);
                              retired += c.stats().retired - at;
                          });
+    if (obs_attached)
+        core->statsRegistry().dump();
     const auto t1 = std::chrono::steady_clock::now();
 
     TimedRun r;
@@ -68,6 +80,8 @@ timeOneRun(const std::string &bench_name, CoreKind kind,
 BenchReport
 runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
 {
+    const auto grid_start = std::chrono::steady_clock::now();
+
     BenchReport report;
     report.host = collectHostInfo();
     report.warmupInstrs = options.warmupInstrs;
@@ -75,6 +89,7 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
     report.repeats = options.repeats;
     report.jobs = options.jobs;
     report.sampleWindows = options.sampleWindows;
+    report.obsAttached = options.obsAttached;
 
     std::vector<std::string> benches = options.benchmarks;
     if (benches.empty())
@@ -108,7 +123,8 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
                                     options.warmupInstrs,
                                     options.measureInstrs,
                                     checkpointer.get(),
-                                    options.sampleWindows);
+                                    options.sampleWindows,
+                                    options.obsAttached);
             e.repSeconds.push_back(r.seconds);
             e.instructions = r.instructions;
         }
@@ -128,6 +144,22 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
     } else {
         ThreadPool pool(options.jobs);
         pool.parallelFor(report.entries.size(), run_cell);
+    }
+
+    report.telemetry.present = true;
+    report.telemetry.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      grid_start)
+            .count();
+    if (checkpointer) {
+        report.telemetry.checkpointMemoryHits =
+            checkpointer->memoryHits();
+        report.telemetry.checkpointDiskHits = checkpointer->diskHits();
+        report.telemetry.checkpointComputes = checkpointer->computes();
+        report.telemetry.checkpointBytesWritten =
+            checkpointer->diskBytesWritten();
+        report.telemetry.checkpointBytesRead =
+            checkpointer->diskBytesRead();
     }
     return report;
 }

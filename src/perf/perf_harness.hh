@@ -60,6 +60,16 @@ struct PerfOptions
      * throughput of a sampled-mode run (see SnapshotPolicy).
      */
     unsigned sampleWindows = 0;
+    /**
+     * Time every cell with an observability sink attached: a tracer
+     * whose category mask is fully closed (every emit site takes its
+     * branch and filters the event) plus a stats-registry dump at the
+     * end of the cell.  Against a plain run of the same grid this
+     * bounds the cost observability adds to an *observed* run; the
+     * cost when nothing is attached is gated separately against the
+     * committed baseline.
+     */
+    bool obsAttached = false;
 };
 
 /** One timed repeat of one grid cell. */
@@ -74,7 +84,8 @@ TimedRun timeOneRun(const std::string &bench_name, CoreKind kind,
                     std::uint64_t warmup_instrs,
                     std::uint64_t measure_instrs,
                     Checkpointer *checkpoints = nullptr,
-                    unsigned sample_windows = 0);
+                    unsigned sample_windows = 0,
+                    bool obs_attached = false);
 
 /** Called after each grid cell completes (serialized). */
 using PerfProgress = std::function<void(

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "core/sim_driver.hh"
+#include "obs/stats_registry.hh"
 #include "sweep/result_cache.hh"
 
 namespace flywheel {
@@ -52,6 +53,20 @@ checkpointKey(const RunConfig &config)
     return "ckptv=" + std::to_string(Snapshot::kFormatVersion) + ";" +
            configKey(canon);
 }
+
+namespace {
+
+/** Size of @p path in bytes, 0 if it cannot be stat'ed. */
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+} // namespace
 
 Checkpointer::Checkpointer(std::string dir) : dir_(std::move(dir))
 {
@@ -103,6 +118,7 @@ Checkpointer::acquire(const std::string &key, const Factory &make,
                     std::make_shared<const Snapshot>(std::move(snap));
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++diskHits_;
+                diskBytesRead_ += fileBytes(path);
                 return entry->snap;
             }
             // A hash-collision name clash or a store refreshed by an
@@ -119,19 +135,27 @@ Checkpointer::acquire(const std::string &key, const Factory &make,
     FW_ASSERT(snap != nullptr, "checkpoint factory returned nothing");
     FW_ASSERT(snap->key() == key,
               "checkpoint factory produced a snapshot for another key");
+    const bool replaced = entry->snap != nullptr;
     entry->snap = snap;
     if (created)
         *created = true;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++computes_;
+        if (replaced)
+            ++evictions_;
     }
 
     if (!dir_.empty()) {
         ::mkdir(dir_.c_str(), 0777);  // best-effort, may already exist
+        const std::string path = pathFor(key);
         std::string error;
-        if (!snap->writeFile(pathFor(key), &error))
+        if (!snap->writeFile(path, &error)) {
             FW_WARN("cannot persist checkpoint: %s", error.c_str());
+        } else {
+            std::lock_guard<std::mutex> lock(mutex_);
+            diskBytesWritten_ += fileBytes(path);
+        }
     }
     return snap;
 }
@@ -155,6 +179,59 @@ Checkpointer::computes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return computes_;
+}
+
+std::uint64_t
+Checkpointer::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::uint64_t
+Checkpointer::diskBytesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskBytesWritten_;
+}
+
+std::uint64_t
+Checkpointer::diskBytesRead() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskBytesRead_;
+}
+
+void
+Checkpointer::registerStats(obs::StatsGroup &group) const
+{
+    // Formulas, not counter pointers: the accessors take the store
+    // mutex, so a dump concurrent with sweep workers stays safe.
+    group.formula("memoryHits", [this] { return double(memoryHits()); });
+    group.formula("diskHits", [this] { return double(diskHits()); });
+    group.formula("computes", [this] { return double(computes()); });
+    group.formula("evictions", [this] { return double(evictions()); });
+    group.formula("diskBytesWritten",
+                  [this] { return double(diskBytesWritten()); });
+    group.formula("diskBytesRead",
+                  [this] { return double(diskBytesRead()); });
+}
+
+std::string
+Checkpointer::summaryLine() const
+{
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "checkpoints: %llu memory hits, %llu disk hits, "
+                  "%llu computed, %llu evicted, %llu B written, "
+                  "%llu B read",
+                  (unsigned long long)memoryHits(),
+                  (unsigned long long)diskHits(),
+                  (unsigned long long)computes(),
+                  (unsigned long long)evictions(),
+                  (unsigned long long)diskBytesWritten(),
+                  (unsigned long long)diskBytesRead());
+    return line;
 }
 
 } // namespace flywheel

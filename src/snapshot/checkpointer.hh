@@ -37,6 +37,8 @@
 
 namespace flywheel {
 
+namespace obs { class StatsGroup; }
+
 struct RunConfig;
 
 /**
@@ -91,6 +93,16 @@ class Checkpointer
     std::uint64_t memoryHits() const;
     std::uint64_t diskHits() const;
     std::uint64_t computes() const;
+    /** Refresh recomputes that replaced an already-published snapshot. */
+    std::uint64_t evictions() const;
+    std::uint64_t diskBytesWritten() const;
+    std::uint64_t diskBytesRead() const;
+
+    /** Register the store's counters with @p group (live values). */
+    void registerStats(obs::StatsGroup &group) const;
+
+    /** One-line store summary for end-of-session reporting. */
+    std::string summaryLine() const;
 
   private:
     struct Entry
@@ -105,6 +117,9 @@ class Checkpointer
     std::uint64_t memoryHits_ = 0;
     std::uint64_t diskHits_ = 0;
     std::uint64_t computes_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t diskBytesWritten_ = 0;
+    std::uint64_t diskBytesRead_ = 0;
 };
 
 } // namespace flywheel

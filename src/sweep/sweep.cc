@@ -1,5 +1,6 @@
 #include "sweep/sweep.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -118,6 +119,26 @@ pointJson(const SweepPoint &pt)
 
 } // namespace
 
+Json
+SweepTelemetry::toJson() const
+{
+    Json j = Json::object();
+    j.set("wallSeconds", wallSeconds);
+    j.set("cells", std::uint64_t(cells));
+    j.set("cacheHits", std::uint64_t(cacheHits));
+    j.set("cacheHitRate", cacheHitRate());
+    j.set("jobs", std::uint64_t(jobs));
+    j.set("poolTasks", poolTasks);
+    j.set("poolBusySeconds", poolBusySeconds);
+    j.set("poolUtilization", poolUtilization());
+    j.set("checkpointMemoryHits", checkpointMemoryHits);
+    j.set("checkpointDiskHits", checkpointDiskHits);
+    j.set("checkpointComputes", checkpointComputes);
+    j.set("checkpointBytesWritten", checkpointBytesWritten);
+    j.set("checkpointBytesRead", checkpointBytesRead);
+    return j;
+}
+
 void
 SweepTable::writeJson(std::ostream &os, int indent) const
 {
@@ -181,17 +202,29 @@ SweepRunner::SweepRunner(SweepOptions options)
             std::make_unique<Checkpointer>(options_.checkpointDir);
 }
 
+SweepRunner::~SweepRunner()
+{
+    if (checkpointer_)
+        FW_INFORM("%s", checkpointer_->summaryLine().c_str());
+}
+
 RunResult
 SweepRunner::runOne(const RunConfig &config, bool *from_cache)
 {
-    const std::string key = configKey(config);
+    RunConfig cfg = config;
+    if (!cfg.obs.active() && options_.obs.active())
+        cfg.obs = options_.obs;
+    const std::string key = configKey(cfg);
     RunResult result;
-    if (cache_.lookup(key, &result)) {
+    // An observed run must actually execute: a cache hit would skip
+    // the simulation its stats/trace documents are meant to describe.
+    // Storing the result back is still sound — the cached payload
+    // excludes everything ObsConfig adds.
+    if (!cfg.obs.active() && cache_.lookup(key, &result)) {
         if (from_cache)
             *from_cache = true;
         return result;
     }
-    RunConfig cfg = config;
     // A runner with a checkpoint store checkpoints every cell's
     // warmup by default; an explicit per-config policy wins.  The
     // cache key is unchanged (Save/Reuse are result-neutral).
@@ -208,6 +241,22 @@ SweepRunner::runOne(const RunConfig &config, bool *from_cache)
 SweepTable
 SweepRunner::run(const std::vector<SweepPoint> &points)
 {
+    using Clock = std::chrono::steady_clock;
+    const auto sweep_start = Clock::now();
+
+    SweepTelemetry telem;
+    telem.cells = points.size();
+    telem.jobs = pool_.threadCount();
+    const std::uint64_t tasks_before = pool_.tasksExecuted();
+    const double busy_before = pool_.busySeconds();
+    if (checkpointer_) {
+        telem.checkpointMemoryHits = checkpointer_->memoryHits();
+        telem.checkpointDiskHits = checkpointer_->diskHits();
+        telem.checkpointComputes = checkpointer_->computes();
+        telem.checkpointBytesWritten = checkpointer_->diskBytesWritten();
+        telem.checkpointBytesRead = checkpointer_->diskBytesRead();
+    }
+
     std::vector<SweepRecord> records(points.size());
 
     std::mutex progress_mutex; // serializes the progress callback
@@ -216,7 +265,11 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
     pool_.parallelFor(points.size(), [&](std::size_t i) {
         SweepRecord &rec = records[i];
         rec.point = points[i];
+        const auto cell_start = Clock::now();
         rec.result = runOne(rec.point.config, &rec.fromCache);
+        rec.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - cell_start)
+                .count();
         if (options_.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             ++done;
@@ -229,8 +282,29 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
         cache_.save();
 
     SweepTable table;
-    for (auto &rec : records)
+    for (auto &rec : records) {
+        if (rec.fromCache)
+            ++telem.cacheHits;
         table.add(std::move(rec));
+    }
+    telem.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - sweep_start).count();
+    telem.poolTasks = pool_.tasksExecuted() - tasks_before;
+    telem.poolBusySeconds = pool_.busySeconds() - busy_before;
+    if (checkpointer_) {
+        telem.checkpointMemoryHits =
+            checkpointer_->memoryHits() - telem.checkpointMemoryHits;
+        telem.checkpointDiskHits =
+            checkpointer_->diskHits() - telem.checkpointDiskHits;
+        telem.checkpointComputes =
+            checkpointer_->computes() - telem.checkpointComputes;
+        telem.checkpointBytesWritten =
+            checkpointer_->diskBytesWritten() -
+            telem.checkpointBytesWritten;
+        telem.checkpointBytesRead =
+            checkpointer_->diskBytesRead() - telem.checkpointBytesRead;
+    }
+    table.setTelemetry(std::move(telem));
     return table;
 }
 

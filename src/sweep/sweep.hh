@@ -100,6 +100,50 @@ struct SweepRecord
     SweepPoint point;
     RunResult result;
     bool fromCache = false;
+    /**
+     * Host wall-clock spent producing this cell (near zero on a cache
+     * hit).  Telemetry only: never serialized by writeJson/writeCsv,
+     * which must stay byte-identical for any worker count.
+     */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Host-side telemetry for one sweep: wall-clock, cache effectiveness,
+ * checkpoint-store traffic and worker-pool utilization.  Everything a
+ * progress bar or a bench report wants to say about *how* the grid
+ * ran; none of it enters writeJson/writeCsv, whose bytes describe only
+ * *what* the grid computed.
+ */
+struct SweepTelemetry
+{
+    double wallSeconds = 0.0;       ///< whole-grid elapsed time
+    std::size_t cells = 0;
+    std::size_t cacheHits = 0;
+    unsigned jobs = 0;
+    std::uint64_t poolTasks = 0;
+    double poolBusySeconds = 0.0;   ///< summed across workers
+    // Checkpoint-store deltas over this sweep (all zero when the
+    // runner has no store).
+    std::uint64_t checkpointMemoryHits = 0;
+    std::uint64_t checkpointDiskHits = 0;
+    std::uint64_t checkpointComputes = 0;
+    std::uint64_t checkpointBytesWritten = 0;
+    std::uint64_t checkpointBytesRead = 0;
+
+    double cacheHitRate() const
+    {
+        return cells ? double(cacheHits) / double(cells) : 0.0;
+    }
+    /** Fraction of jobs x wallSeconds spent inside cell tasks. */
+    double poolUtilization() const
+    {
+        const double budget = wallSeconds * double(jobs);
+        return budget > 0.0 ? poolBusySeconds / budget : 0.0;
+    }
+
+    /** Structured dump (for --stats documents and bench reports). */
+    Json toJson() const;
 };
 
 /** Results of a sweep, in submission order, with structured export. */
@@ -118,8 +162,13 @@ class SweepTable
     /** Flat spreadsheet view: one row per point, headline metrics. */
     void writeCsv(std::ostream &os) const;
 
+    /** How the sweep ran (host-side; excluded from both writers). */
+    const SweepTelemetry &telemetry() const { return telemetry_; }
+    void setTelemetry(SweepTelemetry t) { telemetry_ = std::move(t); }
+
   private:
     std::vector<SweepRecord> rows_;
+    SweepTelemetry telemetry_;
 };
 
 /** Knobs for a SweepRunner. */
@@ -146,6 +195,13 @@ struct SweepOptions
                        const SweepPoint &point, const RunResult &result,
                        bool from_cache)>
         progress;
+    /**
+     * Observability attachments stamped onto every cell that does not
+     * bring its own (see ObsConfig).  Observed cells bypass the
+     * result-cache lookup: a cache hit would skip the simulation the
+     * stats/trace documents are supposed to describe.
+     */
+    ObsConfig obs;
 };
 
 /**
@@ -157,6 +213,9 @@ class SweepRunner
 {
   public:
     explicit SweepRunner(SweepOptions options = {});
+
+    /** Logs the checkpoint-store summary line (suppressed by Quiet). */
+    ~SweepRunner();
 
     /** Run every point; results in submission order. */
     SweepTable run(const std::vector<SweepPoint> &points);

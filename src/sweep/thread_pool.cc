@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/log.hh"
@@ -124,14 +125,35 @@ ThreadPool::workerLoop()
             tasks_.pop();
             ++running_;
         }
+        const auto start = std::chrono::steady_clock::now();
         task();
+        const double busy =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
         {
             std::unique_lock<std::mutex> lock(mutex_);
             --running_;
+            ++tasksExecuted_;
+            busySeconds_ += busy;
             if (tasks_.empty() && running_ == 0)
                 allDone_.notify_all();
         }
     }
+}
+
+std::uint64_t
+ThreadPool::tasksExecuted() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return tasksExecuted_;
+}
+
+double
+ThreadPool::busySeconds() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return busySeconds_;
 }
 
 } // namespace flywheel

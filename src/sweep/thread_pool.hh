@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -52,6 +53,16 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** Tasks completed since construction. */
+    std::uint64_t tasksExecuted() const;
+
+    /**
+     * Cumulative wall-clock seconds workers spent inside tasks.
+     * Against elapsed time x threadCount() this yields the pool
+     * utilization a sweep achieved.
+     */
+    double busySeconds() const;
+
     /**
      * Worker count used when none is requested: the FLYWHEEL_JOBS
      * environment variable if it holds a valid count, else the
@@ -74,13 +85,15 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
     std::queue<std::function<void()>> tasks_;
     std::vector<std::thread> workers_;
     std::size_t running_ = 0;   ///< tasks currently executing
     bool stopping_ = false;
+    std::uint64_t tasksExecuted_ = 0;
+    double busySeconds_ = 0.0;
 };
 
 } // namespace flywheel

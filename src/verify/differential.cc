@@ -184,6 +184,7 @@ runDifferential(const BenchProfile &profile, const DiffOptions &opts)
         flyParams.execCacheEnabled = false;
     BaselineCore base(opts.params, baseStream);
     FlywheelCore fly(flyParams, flyStream);
+    fly.setTracer(opts.tracer);
 
     std::deque<RetireRecord> baseQ, flyQ;
     std::uint64_t flyRetires = 0;

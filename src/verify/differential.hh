@@ -105,6 +105,13 @@ struct DiffOptions
     FaultKind injectFault = FaultKind::None;
     /** Flywheel retire index (0-based) at which to apply the fault. */
     std::uint64_t faultIndex = 1000;
+
+    /**
+     * Attach this tracer to the FlywheelCore under test (null = no
+     * tracing) — the fuzz CLI's single-seed repro flow: trace the
+     * pipeline around a detected divergence.
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** One detected violation. */

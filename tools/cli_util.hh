@@ -13,6 +13,7 @@
 #define FLYWHEEL_TOOLS_CLI_UTIL_HH
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "perf/bench_report.hh"
 #include "sweep/sweep.hh"
 #include "sweep/thread_pool.hh"
@@ -37,19 +40,59 @@ using flywheel::perf::median;
 /**
  * The per-point progress printer every grid-running CLI uses
  * (assignable to SweepOptions::progress / SessionOptions::progress).
+ * Honours LogLevel::Quiet and appends an ETA once a completion rate
+ * is observable.  The ETA comes from a moving window over the most
+ * recent completions, so a burst of cache hits or one slow cell
+ * re-steers the estimate instead of poisoning the whole-run average.
  */
 inline void
 stderrProgress(std::size_t done, std::size_t total,
                const SweepPoint &pt, const RunResult &r,
                bool from_cache)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
+
+    // The sweep engine serializes progress callbacks under a mutex,
+    // so this function-local window needs no locking of its own.
+    using Clock = std::chrono::steady_clock;
+    constexpr std::size_t kWindow = 16;
+    static Clock::time_point when[kWindow];
+    static std::size_t doneAt[kWindow];
+    static std::size_t calls = 0;
+
+    if (done <= 1)
+        calls = 0;  // a new grid restarts the rate window
+    const auto now = Clock::now();
+
+    char eta[32] = "";
+    if (calls > 0 && done < total) {
+        const std::size_t oldest =
+            calls < kWindow ? 0 : calls % kWindow;
+        const double dt =
+            std::chrono::duration<double>(now - when[oldest]).count();
+        const double dp = double(done) - double(doneAt[oldest]);
+        if (dt > 0.0 && dp > 0.0) {
+            const double left = double(total - done) * dt / dp;
+            if (left >= 60.0)
+                std::snprintf(eta, sizeof(eta), " eta %dm%02ds",
+                              int(left) / 60, int(left) % 60);
+            else
+                std::snprintf(eta, sizeof(eta), " eta %ds",
+                              int(left + 0.5));
+        }
+    }
+    when[calls % kWindow] = now;
+    doneAt[calls % kWindow] = done;
+    ++calls;
+
     std::fprintf(stderr,
                  "[%3zu/%zu] %-8s %-8s %s FE%.0f%%/BE%.0f%% "
-                 "time %.3f us%s\n",
+                 "time %.3f us%s%s\n",
                  done, total, pt.bench.c_str(), coreKindName(pt.kind),
                  techName(pt.config.node), pt.clock.feBoost * 100.0,
                  pt.clock.beBoost * 100.0, double(r.timePs) / 1e6,
-                 from_cache ? " (cached)" : "");
+                 from_cache ? " (cached)" : "", eta);
 }
 
 /** Split a comma-separated list; empty items are dropped. */
@@ -233,6 +276,147 @@ struct SnapshotFlags
             "windows\n";
     }
 };
+
+/**
+ * The observability flag set shared by the grid-running CLIs:
+ *
+ *   --stats FILE       write a flywheel.stats.v1 document
+ *   --trace FILE       write a Chrome trace-event JSON document
+ *   --trace-cats LIST  restrict tracing to these categories
+ */
+struct ObsFlags
+{
+    std::string statsPath;
+    std::string tracePath;
+    std::uint32_t traceMask = obs::kTraceCatAll;
+
+    /** Consume one argv flag; true if it was one of ours. */
+    bool
+    tryParse(const std::string &flag, int argc, char **argv, int *i)
+    {
+        if (flag == "--stats") {
+            statsPath = requireValue(argc, argv, i, flag);
+            return true;
+        }
+        if (flag == "--trace") {
+            tracePath = requireValue(argc, argv, i, flag);
+            return true;
+        }
+        if (flag == "--trace-cats") {
+            const std::string arg = requireValue(argc, argv, i, flag);
+            if (!obs::parseTraceCats(arg, &traceMask))
+                FW_FATAL("--trace-cats: bad category list '%s' "
+                         "(want a comma-separated subset of %s)",
+                         arg.c_str(), obs::traceCatUsageList().c_str());
+            return true;
+        }
+        return false;
+    }
+
+    bool active() const
+    {
+        return !statsPath.empty() || !tracePath.empty();
+    }
+
+    /**
+     * The ObsConfig these flags describe, recording into @p sink when
+     * tracing was requested (the caller owns the sink and writes it
+     * out after the grid finishes).
+     */
+    ObsConfig
+    makeConfig(obs::TraceSink *sink) const
+    {
+        ObsConfig obs;
+        obs.collectStats = !statsPath.empty();
+        obs.traceSink = tracePath.empty() ? nullptr : sink;
+        obs.traceMask = traceMask;
+        return obs;
+    }
+
+    /** Shared --help block for these flags. */
+    static const char *
+    usageText()
+    {
+        return
+            "observability:\n"
+            "  --stats FILE          write per-point statistics "
+            "(flywheel.stats.v1)\n"
+            "  --trace FILE          write a Chrome trace-event JSON "
+            "(Perfetto)\n"
+            "  --trace-cats LIST     trace only these categories "
+            "(default all)\n";
+    }
+};
+
+/**
+ * Assemble the flywheel.stats.v1 document for a finished grid: the
+ * sweep's session telemetry plus one {point, groups} entry per row
+ * that carries a registry dump.
+ */
+inline Json
+assembleStatsDoc(const SweepTable &table)
+{
+    Json doc = Json::object();
+    doc.add("schema", obs::kStatsSchema);
+    doc.add("session", table.telemetry().toJson());
+    Json points = Json::array();
+    for (const SweepRecord &row : table.rows()) {
+        if (!row.result.statsDoc)
+            continue;
+        Json p = Json::object();
+        Json id = Json::object();
+        id.add("bench", row.point.bench);
+        id.add("kind", coreKindName(row.point.kind));
+        id.add("node", techName(row.point.config.node));
+        id.add("feBoost", row.point.clock.feBoost);
+        id.add("beBoost", row.point.clock.beBoost);
+        id.add("gating", row.point.config.frontEndPowerGating);
+        id.add("label", row.point.label);
+        p.add("point", std::move(id));
+        p.add("groups", (*row.result.statsDoc)["groups"]);
+        points.push(std::move(p));
+    }
+    doc.add("points", std::move(points));
+    return doc;
+}
+
+/**
+ * Write the --stats / --trace documents for a finished grid (no-op
+ * for paths not requested).  Validates both documents before writing
+ * — a CLI must never emit a file its own validator rejects.
+ */
+inline void
+writeObsOutputs(const ObsFlags &flags, const SweepTable &table,
+                const obs::TraceSink &sink)
+{
+    if (!flags.statsPath.empty()) {
+        Json doc = assembleStatsDoc(table);
+        std::string error;
+        if (!obs::validateStatsJson(doc, &error))
+            FW_PANIC("generated stats document is invalid: %s",
+                     error.c_str());
+        std::ofstream file;
+        std::ostream &os = openOut(flags.statsPath, file);
+        doc.write(os, 2);
+        os << '\n';
+    }
+    if (!flags.tracePath.empty()) {
+        Json doc = sink.toChromeJson();
+        std::string error;
+        if (!obs::validateTraceJson(doc, &error))
+            FW_PANIC("generated trace document is invalid: %s",
+                     error.c_str());
+        std::ofstream file;
+        std::ostream &os = openOut(flags.tracePath, file);
+        doc.write(os, 2);
+        os << '\n';
+        if (sink.droppedTotal() > 0)
+            FW_WARN("trace ring overflow: %llu events dropped "
+                    "(oldest-first); narrow --trace-cats or shorten "
+                    "the run",
+                    (unsigned long long)sink.droppedTotal());
+    }
+}
 
 } // namespace flywheel::cli
 

@@ -63,6 +63,8 @@ usage(const char *argv0)
         "\n"
         "%s"
         "\n"
+        "%s"
+        "\n"
         "output:\n"
         "  --json FILE          export executed grid(s) as JSON "
         "('-' = stdout)\n"
@@ -74,7 +76,8 @@ usage(const char *argv0)
         "DIR\n"
         "  --refresh-golden DIR  rebuild and overwrite the snapshots "
         "in DIR\n",
-        argv0, cli::SnapshotFlags::usageText());
+        argv0, cli::SnapshotFlags::usageText(),
+        cli::ObsFlags::usageText());
 }
 
 void
@@ -94,6 +97,7 @@ struct MergedExport
 {
     SweepTable table;
     std::set<std::string> seen;
+    SweepTelemetry telemetry;
 
     /**
      * Figures sharing grid points (fig12/13/14 run one grid) must
@@ -105,6 +109,24 @@ struct MergedExport
         if (seen.insert(configKey(row.point.config) + "|" +
                         row.point.label).second)
             table.add(row);
+    }
+
+    /** Accumulate one executed grid's session telemetry. */
+    void
+    addTelemetry(const SweepTelemetry &t)
+    {
+        telemetry.wallSeconds += t.wallSeconds;
+        telemetry.cells += t.cells;
+        telemetry.cacheHits += t.cacheHits;
+        telemetry.jobs = t.jobs;
+        telemetry.poolTasks += t.poolTasks;
+        telemetry.poolBusySeconds += t.poolBusySeconds;
+        telemetry.checkpointMemoryHits += t.checkpointMemoryHits;
+        telemetry.checkpointDiskHits += t.checkpointDiskHits;
+        telemetry.checkpointComputes += t.checkpointComputes;
+        telemetry.checkpointBytesWritten += t.checkpointBytesWritten;
+        telemetry.checkpointBytesRead += t.checkpointBytesRead;
+        table.setTelemetry(telemetry);
     }
 };
 
@@ -138,9 +160,11 @@ runSpec(Session &session, ExperimentSpec spec, unsigned sample_override,
         ok = report.ok();
     }
 
-    if (merged)
+    if (merged) {
         for (const SweepRecord &row : table.rows())
             merged->add(row);
+        merged->addTelemetry(table.telemetry());
+    }
     return ok;
 }
 
@@ -161,6 +185,7 @@ main(int argc, char **argv)
     bool run_all = false;
     bool progress = false;
     cli::SnapshotFlags snapshot;
+    cli::ObsFlags obs_flags;
 
     SessionOptions opts = SessionOptions::fromEnv();
 
@@ -169,7 +194,8 @@ main(int argc, char **argv)
         auto value = [&] {
             return cli::requireValue(argc, argv, &i, flag);
         };
-        if (snapshot.tryParse(flag, argc, argv, &i)) {
+        if (snapshot.tryParse(flag, argc, argv, &i) ||
+            obs_flags.tryParse(flag, argc, argv, &i)) {
             // handled
         } else if (flag == "--list") {
             list_only = true;
@@ -230,10 +256,11 @@ main(int argc, char **argv)
     const bool run_mode =
         run_all || !figure_names.empty() || !spec_paths.empty();
     if (!run_mode && (!json_path.empty() || !csv_path.empty() ||
-                      progress || snapshot.sampleWindows)) {
+                      progress || snapshot.sampleWindows ||
+                      obs_flags.active())) {
         std::fprintf(stderr,
-                     "--json/--csv/--progress/--sample only apply to "
-                     "a --figure/--all/--spec run\n");
+                     "--json/--csv/--progress/--sample/--stats/--trace "
+                     "only apply to a --figure/--all/--spec run\n");
         return 2;
     }
 
@@ -315,9 +342,13 @@ main(int argc, char **argv)
     if (progress)
         opts.progress = cli::stderrProgress;
 
+    obs::TraceSink trace_sink;
+    opts.obs = obs_flags.makeConfig(&trace_sink);
+
     Session session(opts);
     MergedExport merged;
-    bool need_merged = !json_path.empty() || !csv_path.empty();
+    bool need_merged = !json_path.empty() || !csv_path.empty() ||
+                       obs_flags.active();
     bool ok = true;
     bool first = true;
 
@@ -358,5 +389,6 @@ main(int argc, char **argv)
         std::ofstream file;
         merged.table.writeCsv(cli::openOut(csv_path, file));
     }
+    cli::writeObsOutputs(obs_flags, merged.table, trace_sink);
     return ok ? 0 : 1;
 }

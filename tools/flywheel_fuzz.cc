@@ -16,10 +16,13 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 #include "sweep/thread_pool.hh"
 #include "tools/cli_util.hh"
 #include "verify/fuzz.hh"
@@ -54,12 +57,19 @@ usage(const char *argv0)
         "  --list             print each case instead of running it\n"
         "  --quiet            only print failures and the summary\n"
         "\n"
+        "single-seed repro tracing:\n"
+        "  --trace FILE       write a Chrome trace of the Flywheel\n"
+        "                     pipeline ('-' = stdout); requires exactly\n"
+        "                     one --seed and no --snapshots\n"
+        "  --trace-cats a,b   categories to record (default: all of\n"
+        "                     %s)\n"
+        "\n"
         "golden-figure regression:\n"
         "  --check-golden DIR    rebuild fig12/13/14/table1 docs and "
         "diff against DIR\n"
         "  --refresh-golden DIR  rebuild and overwrite the golden "
         "files in DIR\n",
-        argv0);
+        argv0, obs::traceCatUsageList().c_str());
 }
 
 } // namespace
@@ -77,6 +87,8 @@ main(int argc, char **argv)
     bool quiet = false;
     std::string check_golden_dir;
     std::string refresh_golden_dir;
+    std::string trace_path;
+    std::uint32_t trace_mask = obs::kTraceCatAll;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -99,6 +111,15 @@ main(int argc, char **argv)
             list_only = true;
         } else if (flag == "--quiet") {
             quiet = true;
+        } else if (flag == "--trace") {
+            trace_path = value();
+        } else if (flag == "--trace-cats") {
+            const std::string arg = value();
+            if (!obs::parseTraceCats(arg, &trace_mask))
+                FW_FATAL("--trace-cats: bad category list '%s' (want a "
+                         "comma-separated subset of %s)",
+                         arg.c_str(),
+                         obs::traceCatUsageList().c_str());
         } else if (flag == "--check-golden") {
             check_golden_dir = value();
         } else if (flag == "--refresh-golden") {
@@ -109,6 +130,16 @@ main(int argc, char **argv)
         } else {
             cli::rejectUnknownFlag(argv[0], flag, usage);
         }
+    }
+
+    // Tracing is a focused-repro tool: one seed, one core, one file.
+    if (!trace_path.empty() &&
+        (explicit_seeds.size() != 1 || snapshots || list_only ||
+         !check_golden_dir.empty() || !refresh_golden_dir.empty())) {
+        std::fprintf(stderr, "%s: --trace requires exactly one --seed "
+                             "(and no --snapshots/--list/golden "
+                             "modes)\n", argv[0]);
+        return 2;
     }
 
     // ---- golden-figure modes --------------------------------------
@@ -176,11 +207,16 @@ main(int argc, char **argv)
     };
     std::vector<Outcome> outcomes(seeds.size());
 
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!trace_path.empty())
+        tracer = std::make_unique<obs::Tracer>(trace_mask);
+
     ThreadPool pool(jobs);
     pool.parallelFor(seeds.size(), [&](std::size_t i) {
         FuzzCase c = makeFuzzCase(seeds[i]);
         if (instr_override)
             c.options.instructions = instr_override;
+        c.options.tracer = tracer.get();  // null unless --trace
         DiffReport report =
             snapshots ? runSnapshotFuzzCase(c) : runFuzzCase(c);
         Outcome &out = outcomes[i];
@@ -192,6 +228,22 @@ main(int argc, char **argv)
         }
     });
     pool.wait();
+
+    if (tracer) {
+        obs::TraceSink sink;
+        char label[32];
+        std::snprintf(label, sizeof(label), "seed-%llu",
+                      (unsigned long long)seeds.front());
+        sink.add(label, *tracer);
+        if (sink.droppedTotal() > 0)
+            FW_WARN("trace ring wrapped: kept the last %zu of %llu "
+                    "events (oldest %llu dropped)",
+                    sink.eventCount(),
+                    (unsigned long long)tracer->recorded(),
+                    (unsigned long long)sink.droppedTotal());
+        std::ofstream file;
+        sink.writeChrome(cli::openOut(trace_path, file));
+    }
 
     std::size_t failures = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {

@@ -74,7 +74,14 @@ usage(const char *argv0)
         "  --relative        normalize both sides by their geomean\n"
         "                    first (shape comparison; use when the\n"
         "                    baseline came from a different machine\n"
-        "                    class, e.g. CI)\n",
+        "                    class, e.g. CI)\n"
+        "\n"
+        "observability gate:\n"
+        "  --obs-gate F      re-run the grid with a masked tracer +\n"
+        "                    stats registry attached and fail if the\n"
+        "                    geomean drops more than fraction F\n"
+        "                    (back-to-back on this machine, so the\n"
+        "                    gate is immune to host-speed drift)\n",
         argv0, cli::SnapshotFlags::usageText());
 }
 
@@ -128,6 +135,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string compare_path;
     double threshold = 0.30;
+    double obs_gate = -1.0;  // < 0 = gate off
     bool relative = false;
     bool quiet = false;
 
@@ -177,6 +185,13 @@ main(int argc, char **argv)
                 FW_FATAL("--threshold: expected one fraction in "
                          "[0, 1)");
             threshold = v[0];
+        } else if (flag == "--obs-gate") {
+            std::vector<double> v =
+                cli::parseDoubles(value(), "--obs-gate");
+            if (v.size() != 1 || v[0] < 0.0 || v[0] >= 1.0)
+                FW_FATAL("--obs-gate: expected one fraction in "
+                         "[0, 1)");
+            obs_gate = v[0];
         } else if (flag == "--relative") {
             relative = true;
         } else if (flag == "--quiet") {
@@ -220,8 +235,33 @@ main(int argc, char **argv)
         os << "\n";
     }
 
+    // ---- observability overhead gate -------------------------------
+    // Times the identical grid again with an attached-but-masked
+    // tracer and a stats dump per cell — the cost an observed run
+    // pays over a plain one, measured back to back on this machine.
+    bool obs_ok = true;
+    if (obs_gate >= 0.0) {
+        perf::PerfOptions attached = options;
+        attached.obsAttached = true;
+        perf::BenchReport obs_report =
+            perf::runPerfGrid(attached, progress);
+        const double plain = report.geomeanMinstrPerSec();
+        const double with_obs = obs_report.geomeanMinstrPerSec();
+        const double loss =
+            plain > 0.0 ? 1.0 - with_obs / plain : 0.0;
+        std::printf("obs-attached geomean: %.3f vs %.3f Minstr/s "
+                    "(%+.2f%%)\n",
+                    with_obs, plain, -loss * 100.0);
+        if (loss > obs_gate) {
+            std::printf("observability overhead %.2f%% exceeds the "
+                        "%.2f%% gate\n",
+                        loss * 100.0, obs_gate * 100.0);
+            obs_ok = false;
+        }
+    }
+
     if (compare_path.empty())
-        return 0;
+        return obs_ok ? 0 : 1;
 
     // ---- regression gate -------------------------------------------
     if (report.sampleWindows != baseline.sampleWindows) {
@@ -256,5 +296,5 @@ main(int argc, char **argv)
                     "%s; if intended, refresh the baseline (see "
                     "README \"Performance\")\n",
                     threshold * 100.0, compare_path.c_str());
-    return ok ? 0 : 1;
+    return ok && obs_ok ? 0 : 1;
 }

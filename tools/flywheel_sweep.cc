@@ -55,11 +55,15 @@ usage(const char *argv0)
         "\n"
         "%s"
         "\n"
+        "%s"
+        "\n"
         "output:\n"
         "  --out FILE        write full results as JSON ('-' = stdout)\n"
         "  --csv FILE        write summary CSV ('-' = stdout)\n"
+        "  --telemetry       print session telemetry on stderr\n"
         "  --quiet           suppress per-point progress\n",
-        argv0, cli::SnapshotFlags::usageText());
+        argv0, cli::SnapshotFlags::usageText(),
+        cli::ObsFlags::usageText());
 }
 
 } // namespace
@@ -70,16 +74,19 @@ main(int argc, char **argv)
     SweepAxes axes;
     SweepOptions opts;
     cli::SnapshotFlags snapshot;
+    cli::ObsFlags obs_flags;
     std::string out_path;
     std::string csv_path;
     bool quiet = false;
+    bool telemetry = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         auto value = [&] {
             return cli::requireValue(argc, argv, &i, flag);
         };
-        if (snapshot.tryParse(flag, argc, argv, &i)) {
+        if (snapshot.tryParse(flag, argc, argv, &i) ||
+            obs_flags.tryParse(flag, argc, argv, &i)) {
             // handled
         } else if (flag == "--bench") {
             axes.benchmarks = cli::splitList(value());
@@ -142,6 +149,8 @@ main(int argc, char **argv)
             csv_path = value();
         } else if (flag == "--quiet") {
             quiet = true;
+        } else if (flag == "--telemetry") {
+            telemetry = true;
         } else if (flag == "--help" || flag == "-h") {
             usage(argv[0]);
             return 0;
@@ -149,6 +158,9 @@ main(int argc, char **argv)
             cli::rejectUnknownFlag(argv[0], flag, usage);
         }
     }
+
+    if (quiet)
+        setLogLevel(LogLevel::Quiet);
 
     opts.checkpointDir = snapshot.checkpointDir();
     if (snapshot.sampleWindows) {
@@ -159,6 +171,9 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points = axes.expand();
     if (!quiet)
         opts.progress = cli::stderrProgress;
+
+    obs::TraceSink trace_sink;
+    opts.obs = obs_flags.makeConfig(&trace_sink);
 
     SweepRunner runner(opts);
     if (!quiet)
@@ -171,6 +186,18 @@ main(int argc, char **argv)
                      (unsigned long long)runner.cache().hits(),
                      (unsigned long long)runner.cache().misses(),
                      opts.cachePath.c_str());
+    if (telemetry) {
+        const SweepTelemetry &t = table.telemetry();
+        std::fprintf(stderr,
+                     "telemetry: %.2fs wall, %zu cells (%zu cached), "
+                     "%u workers at %.0f%% utilization, checkpoints "
+                     "%llu/%llu/%llu mem/disk/computed\n",
+                     t.wallSeconds, t.cells, t.cacheHits, t.jobs,
+                     t.poolUtilization() * 100.0,
+                     (unsigned long long)t.checkpointMemoryHits,
+                     (unsigned long long)t.checkpointDiskHits,
+                     (unsigned long long)t.checkpointComputes);
+    }
 
     if (!out_path.empty()) {
         std::ofstream file;
@@ -182,5 +209,6 @@ main(int argc, char **argv)
     }
     if (out_path.empty() && csv_path.empty())
         table.writeCsv(std::cout);
+    cli::writeObsOutputs(obs_flags, table, trace_sink);
     return 0;
 }
