@@ -18,6 +18,7 @@
 #include "mem/cache.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "snapshot/snapshot.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
 
@@ -40,7 +41,8 @@ BM_CacheAccess(benchmark::State &state)
     CacheParams p;
     p.sizeBytes = 64 * 1024;
     p.assoc = 4;
-    Cache c(p);
+    Arena arena;
+    Cache c(arena, p);
     std::uint64_t x = 1;
     for (auto _ : state) {
         x = x * 6364136223846793005ULL + 1;
@@ -52,7 +54,8 @@ BENCHMARK(BM_CacheAccess);
 void
 BM_GsharePredictUpdate(benchmark::State &state)
 {
-    Gshare g;
+    Arena arena;
+    Gshare g(arena);
     Addr pc = 0x1000;
     bool taken = false;
     for (auto _ : state) {
@@ -94,7 +97,8 @@ BM_IssueWindowSelectCycle(benchmark::State &state)
     // the oldest visible entries (one issue group), removes them, and
     // dispatches replacements — the exact per-cycle pattern of
     // CoreBase::stepIssue.
-    IssueWindow iw(128);
+    Arena arena;
+    IssueWindow iw(arena, 128);
     std::deque<InFlightInst> live;   // stable addresses
     InstSeqNum seq = 1;
     auto fill = [&] {
@@ -128,7 +132,8 @@ BM_LsqDisambiguation(benchmark::State &state)
 {
     // Load/store queue at realistic occupancy: insert, query both
     // disambiguation paths, resolve the store address, retire.
-    Lsq lsq(64);
+    Arena arena;
+    Lsq lsq(arena, 64);
     std::deque<InstSeqNum> resident;
     InstSeqNum seq = 1;
     Addr addr = 0x1000;
@@ -175,6 +180,98 @@ BM_FlywheelSimulation(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_FlywheelSimulation)->Unit(benchmark::kMillisecond);
+
+// ---- snapshot codec -----------------------------------------------
+// Save/restore cost of a warmed-up Flywheel core through both
+// containers.  The binary codec is the checkpoint default and must
+// stay near-memcpy; JSON is the debug escape hatch and is expected
+// to be an order of magnitude behind (see README "Checkpoints").
+
+void
+BM_SnapshotSave(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    core.run(20000);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        Snapshot snap;
+        core.save(snap);
+        std::string blob = snap.serialize();
+        bytes = blob.size();
+        benchmark::DoNotOptimize(blob);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations() * bytes));
+}
+BENCHMARK(BM_SnapshotSave);
+
+void
+BM_SnapshotSaveJson(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    core.run(20000);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        Snapshot snap;
+        core.save(snap);
+        std::string blob = snap.serialize(Snapshot::Codec::Json);
+        bytes = blob.size();
+        benchmark::DoNotOptimize(blob);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations() * bytes));
+}
+BENCHMARK(BM_SnapshotSaveJson);
+
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    core.run(20000);
+    Snapshot snap;
+    core.save(snap);
+    const std::string blob = snap.serialize();
+    for (auto _ : state) {
+        Snapshot back;
+        std::string error;
+        if (!Snapshot::deserialize(blob, &back, &error))
+            state.SkipWithError(error.c_str());
+        core.restore(back);
+    }
+    state.SetBytesProcessed(
+        std::int64_t(state.iterations() * blob.size()));
+}
+BENCHMARK(BM_SnapshotRestore);
+
+void
+BM_SnapshotRestoreJson(benchmark::State &state)
+{
+    StaticProgram prog(benchmarkByName("gzip"));
+    WorkloadStream stream(prog);
+    CoreParams p;
+    FlywheelCore core(p, stream);
+    core.run(20000);
+    Snapshot snap;
+    core.save(snap);
+    const std::string blob = snap.serialize(Snapshot::Codec::Json);
+    for (auto _ : state) {
+        Snapshot back;
+        std::string error;
+        if (!Snapshot::deserialize(blob, &back, &error))
+            state.SkipWithError(error.c_str());
+        core.restore(back);
+    }
+    state.SetBytesProcessed(
+        std::int64_t(state.iterations() * blob.size()));
+}
+BENCHMARK(BM_SnapshotRestoreJson);
 
 // ---- observability layer ------------------------------------------
 // The emit-site contract is that a masked-out (or absent) tracer

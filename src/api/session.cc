@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "core/report.hh"
+#include "snapshot/checkpointer.hh"
 #include "sweep/result_cache.hh"
 
 namespace flywheel {
@@ -17,6 +18,15 @@ SessionOptions::fromEnv()
         opts.cachePath = cache;
     if (const char *ckpt = std::getenv("FLYWHEEL_CHECKPOINTS"))
         opts.checkpointDir = ckpt;
+    if (const char *cap = std::getenv("FLYWHEEL_CHECKPOINT_CAP_MB")) {
+        std::uint64_t bytes = 0;
+        if (Checkpointer::parseCapMegabytes(cap, &bytes))
+            opts.checkpointCapBytes = bytes;
+        else
+            FW_WARN("ignoring FLYWHEEL_CHECKPOINT_CAP_MB='%s' (want "
+                    "a decimal megabyte count); store stays uncapped",
+                    cap);
+    }
     return opts;
 }
 
@@ -68,6 +78,8 @@ Session::Session(SessionOptions options)
           sweep.jobs = options.jobs;
           sweep.cachePath = options.cachePath;
           sweep.checkpointDir = options.checkpointDir;
+          sweep.checkpointJson = options.checkpointJson;
+          sweep.checkpointCapBytes = options.checkpointCapBytes;
           sweep.progress = options.progress;
           sweep.obs = options.obs;
           return sweep;

@@ -37,6 +37,10 @@ struct SessionOptions
      * ":memory:" shares them within this process only.
      */
     std::string checkpointDir;
+    /** Persist checkpoints as JSON (see SweepOptions::checkpointJson). */
+    bool checkpointJson = false;
+    /** Store size cap (see SweepOptions::checkpointCapBytes). */
+    std::uint64_t checkpointCapBytes = 0;
     /** Per-point progress callback (see SweepOptions::progress). */
     decltype(SweepOptions::progress) progress;
     /**
@@ -47,9 +51,10 @@ struct SessionOptions
     ObsConfig obs;
 
     /**
-     * Standard environment wiring: cachePath from FLYWHEEL_CACHE and
-     * checkpointDir from FLYWHEEL_CHECKPOINTS if set (jobs stay 0,
-     * i.e. FLYWHEEL_JOBS / hardware concurrency).
+     * Standard environment wiring: cachePath from FLYWHEEL_CACHE,
+     * checkpointDir from FLYWHEEL_CHECKPOINTS and checkpointCapBytes
+     * from FLYWHEEL_CHECKPOINT_CAP_MB if set (jobs stay 0, i.e.
+     * FLYWHEEL_JOBS / hardware concurrency).
      */
     static SessionOptions fromEnv();
 };

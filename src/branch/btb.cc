@@ -2,12 +2,12 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-Btb::Btb(const BtbParams &params)
-    : params_(params)
+Btb::Btb(Arena &arena, const BtbParams &params)
+    : params_(params), entries_(arena)
 {
     FW_ASSERT(params_.entries % params_.assoc == 0,
               "BTB entries must divide evenly into ways");
@@ -81,40 +81,36 @@ Btb::registerStats(obs::StatsGroup &group) const
 }
 
 void
-Btb::save(Json &out) const
+Btb::save(BinWriter &w) const
 {
-    out = Json::object();
-    // One packed [pc, target, valid, lastUse] tuple per entry.
-    std::vector<std::uint64_t> entries;
-    entries.reserve(entries_.size() * 4);
+    // Field-by-field: Entry has padding bytes.
+    w.u64(entries_.size());
     for (const Entry &e : entries_) {
-        entries.push_back(e.pc);
-        entries.push_back(e.target);
-        entries.push_back(e.valid ? 1 : 0);
-        entries.push_back(e.lastUse);
+        w.u64(e.pc);
+        w.u64(e.target);
+        w.b(e.valid);
+        w.u64(e.lastUse);
     }
-    out.add("entries", packedU64Json(entries));
-    out.add("useClock", useClock_);
-    out.add("lookups", lookups_.value());
-    out.add("hits", hits_.value());
+    w.u64(useClock_);
+    w.u64(lookups_.value());
+    w.u64(hits_.value());
 }
 
 void
-Btb::restore(const Json &in)
+Btb::restore(BinReader &r)
 {
-    std::vector<std::uint64_t> entries;
-    packedU64From(in["entries"], &entries);
-    FW_ASSERT(entries.size() == entries_.size() * 4,
+    const std::uint64_t count = r.u64();
+    FW_ASSERT(count == entries_.size(),
               "BTB snapshot geometry mismatch");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        entries_[i].pc = entries[i * 4];
-        entries_[i].target = entries[i * 4 + 1];
-        entries_[i].valid = entries[i * 4 + 2] != 0;
-        entries_[i].lastUse = entries[i * 4 + 3];
+    for (Entry &e : entries_) {
+        e.pc = r.u64();
+        e.target = r.u64();
+        e.valid = r.b();
+        e.lastUse = r.u64();
     }
-    useClock_ = in["useClock"].asU64();
-    lookups_.set(in["lookups"].asU64());
-    hits_.set(in["hits"].asU64());
+    useClock_ = r.u64();
+    lookups_.set(r.u64());
+    hits_.set(r.u64());
 }
 
 } // namespace flywheel

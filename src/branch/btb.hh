@@ -10,15 +10,16 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** BTB geometry. */
 struct BtbParams
@@ -31,7 +32,7 @@ struct BtbParams
 class Btb
 {
   public:
-    explicit Btb(const BtbParams &params = {});
+    explicit Btb(Arena &arena, const BtbParams &params = {});
 
     /** Target of the branch at @p pc, if cached. */
     std::optional<Addr> lookup(Addr pc) const;
@@ -45,9 +46,9 @@ class Btb
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize entries, LRU clock and counters. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (geometry must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     struct Entry
@@ -60,7 +61,7 @@ class Btb
 
     BtbParams params_;
     unsigned numSets_;
-    mutable std::vector<Entry> entries_;  ///< lookup refreshes LRU
+    mutable ArenaVector<Entry> entries_;  ///< lookup refreshes LRU
     mutable std::uint64_t useClock_ = 0;
 
     mutable Counter lookups_;

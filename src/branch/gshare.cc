@@ -2,12 +2,12 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-Gshare::Gshare(const GshareParams &params)
-    : params_(params)
+Gshare::Gshare(Arena &arena, const GshareParams &params)
+    : params_(params), table_(arena)
 {
     FW_ASSERT(params_.historyBits <= 16, "history register is 16 bits");
     FW_ASSERT((params_.tableEntries & (params_.tableEntries - 1)) == 0,
@@ -67,26 +67,21 @@ Gshare::registerStats(obs::StatsGroup &group) const
 }
 
 void
-Gshare::save(Json &out) const
+Gshare::save(BinWriter &w) const
 {
-    out = Json::object();
-    out.add("history", std::uint64_t(history_));
-    out.add("table", packedU64Json(table_));
-    out.add("lookups", lookups_.value());
-    out.add("updates", updates_.value());
+    w.u16(history_);
+    w.podArray(table_.data(), table_.size());
+    w.u64(lookups_.value());
+    w.u64(updates_.value());
 }
 
 void
-Gshare::restore(const Json &in)
+Gshare::restore(BinReader &r)
 {
-    history_ = static_cast<std::uint16_t>(in["history"].asU64());
-    std::vector<std::uint8_t> table;
-    packedU64From(in["table"], &table);
-    FW_ASSERT(table.size() == table_.size(),
-              "gshare snapshot geometry mismatch");
-    table_ = std::move(table);
-    lookups_.set(in["lookups"].asU64());
-    updates_.set(in["updates"].asU64());
+    history_ = r.u16();
+    r.podArray(table_.data(), table_.size());
+    lookups_.set(r.u64());
+    updates_.set(r.u64());
 }
 
 } // namespace flywheel

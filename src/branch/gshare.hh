@@ -12,15 +12,16 @@
 #define FLYWHEEL_BRANCH_GSHARE_HH
 
 #include <cstdint>
-#include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** Configuration of the direction predictor. */
 struct GshareParams
@@ -33,7 +34,7 @@ struct GshareParams
 class Gshare
 {
   public:
-    explicit Gshare(const GshareParams &params = {});
+    explicit Gshare(Arena &arena, const GshareParams &params = {});
 
     /** Predict direction for the conditional branch at @p pc. */
     bool predict(Addr pc) const;
@@ -61,9 +62,9 @@ class Gshare
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize history register, pattern table and counters. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (geometry must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     std::uint32_t index(Addr pc, std::uint16_t history) const;
@@ -72,7 +73,7 @@ class Gshare
     std::uint16_t historyMask_;
     std::uint32_t tableMask_;
     std::uint16_t history_ = 0;
-    std::vector<std::uint8_t> table_;  ///< 2-bit counters
+    ArenaVector<std::uint8_t> table_;  ///< 2-bit counters
 
     mutable Counter lookups_;
     Counter updates_;

@@ -10,7 +10,7 @@ namespace flywheel {
 BaselineCore::BaselineCore(const CoreParams &params,
                            WorkloadStream &stream)
     : CoreBase(params, stream, params.physRegs),
-      renameMap_(params.physRegs),
+      renameMap_(arena_, params.physRegs),
       period_(static_cast<Tick>(std::llround(params.basePeriodPs)))
 {}
 
@@ -51,25 +51,24 @@ void
 BaselineCore::save(Snapshot &snap) const
 {
     CoreBase::save(snap);
-    Json core = Json::object();
-    core.add("type", "baseline");
-    Json rename;
-    renameMap_.save(rename);
-    core.add("renameMap", std::move(rename));
-    core.add("cycle", cycle_);
-    snap.state().add("core", std::move(core));
+    BinWriter w;
+    w.str("baseline");
+    renameMap_.save(w);
+    w.u64(cycle_);
+    snap.addSection("core", w.take());
 }
 
 void
 BaselineCore::restore(const Snapshot &snap)
 {
     CoreBase::restore(snap);
-    const Json &core = snap.state()["core"];
-    FW_ASSERT(core["type"].asString() == "baseline",
+    BinReader r = snap.section("core");
+    const std::string type = r.str();
+    FW_ASSERT(type == "baseline",
               "restoring a %s snapshot into a baseline core",
-              core["type"].asString().c_str());
-    renameMap_.restore(core["renameMap"]);
-    cycle_ = core["cycle"].asU64();
+              type.c_str());
+    renameMap_.restore(r);
+    cycle_ = r.u64();
 }
 
 void

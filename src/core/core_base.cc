@@ -12,82 +12,81 @@ namespace {
 
 /**
  * Snapshot codec for one in-flight instruction: the architectural
- * DynInst array followed by every microarchitectural field, in fixed
+ * DynInst followed by every microarchitectural field, in fixed
  * positional order (the snapshot format version gates changes).
+ * Field-by-field because InFlightInst has padding bytes.
  */
-Json
-inflightToJson(const InFlightInst &i)
+void
+inflightToBin(BinWriter &w, const InFlightInst &i)
 {
-    Json arr = Json::array();
-    arr.push(dynInstToJson(i.arch));
-    arr.push(std::uint64_t(i.destPhys));
-    arr.push(std::uint64_t(i.oldDestPhys));
-    arr.push(std::uint64_t(i.src1Phys));
-    arr.push(std::uint64_t(i.src2Phys));
-    arr.push(std::uint64_t(i.poolPrevSlot));
-    arr.push(i.dispatchReady);
-    arr.push(i.iwVisible);
-    arr.push(i.issueTick);
-    arr.push(i.completeTick);
-    arr.push(std::uint64_t(i.inIw ? 1 : 0));
-    arr.push(std::uint64_t(i.iwPos));
-    arr.push(std::uint64_t(i.issued ? 1 : 0));
-    arr.push(std::uint64_t(i.completed ? 1 : 0));
-    arr.push(std::uint64_t(i.squashed ? 1 : 0));
-    arr.push(std::uint64_t(i.mispredicted ? 1 : 0));
-    arr.push(std::uint64_t(i.predictedTaken ? 1 : 0));
-    arr.push(std::uint64_t(i.btbMissBubble ? 1 : 0));
-    arr.push(std::uint64_t(i.historyAtPredict));
-    arr.push(std::uint64_t(i.fromEc ? 1 : 0));
-    arr.push(std::uint64_t(i.traceRank));
-    return arr;
+    dynInstToBin(w, i.arch);
+    w.u16(i.destPhys);
+    w.u16(i.oldDestPhys);
+    w.u16(i.src1Phys);
+    w.u16(i.src2Phys);
+    w.u16(i.poolPrevSlot);
+    w.u64(i.dispatchReady);
+    w.u64(i.iwVisible);
+    w.u64(i.issueTick);
+    w.u64(i.completeTick);
+    w.b(i.inIw);
+    w.u32(i.iwPos);
+    w.b(i.issued);
+    w.b(i.completed);
+    w.b(i.squashed);
+    w.b(i.mispredicted);
+    w.b(i.predictedTaken);
+    w.b(i.btbMissBubble);
+    w.u16(i.historyAtPredict);
+    w.b(i.fromEc);
+    w.u32(i.traceRank);
 }
 
 InFlightInst
-inflightFromJson(const Json &j)
+inflightFromBin(BinReader &r)
 {
-    FW_ASSERT(j.isArray() && j.size() == 21,
-              "malformed in-flight-instruction snapshot record");
     InFlightInst i;
-    i.arch = dynInstFromJson(j.at(0));
-    i.destPhys = static_cast<PhysReg>(j.at(1).asU64());
-    i.oldDestPhys = static_cast<PhysReg>(j.at(2).asU64());
-    i.src1Phys = static_cast<PhysReg>(j.at(3).asU64());
-    i.src2Phys = static_cast<PhysReg>(j.at(4).asU64());
-    i.poolPrevSlot = static_cast<std::uint16_t>(j.at(5).asU64());
-    i.dispatchReady = j.at(6).asU64();
-    i.iwVisible = j.at(7).asU64();
-    i.issueTick = j.at(8).asU64();
-    i.completeTick = j.at(9).asU64();
-    i.inIw = j.at(10).asU64() != 0;
-    i.iwPos = static_cast<std::uint32_t>(j.at(11).asU64());
-    i.issued = j.at(12).asU64() != 0;
-    i.completed = j.at(13).asU64() != 0;
-    i.squashed = j.at(14).asU64() != 0;
-    i.mispredicted = j.at(15).asU64() != 0;
-    i.predictedTaken = j.at(16).asU64() != 0;
-    i.btbMissBubble = j.at(17).asU64() != 0;
-    i.historyAtPredict = static_cast<std::uint16_t>(j.at(18).asU64());
-    i.fromEc = j.at(19).asU64() != 0;
-    i.traceRank = static_cast<std::uint32_t>(j.at(20).asU64());
+    i.arch = dynInstFromBin(r);
+    i.destPhys = static_cast<PhysReg>(r.u16());
+    i.oldDestPhys = static_cast<PhysReg>(r.u16());
+    i.src1Phys = static_cast<PhysReg>(r.u16());
+    i.src2Phys = static_cast<PhysReg>(r.u16());
+    i.poolPrevSlot = r.u16();
+    i.dispatchReady = r.u64();
+    i.iwVisible = r.u64();
+    i.issueTick = r.u64();
+    i.completeTick = r.u64();
+    i.inIw = r.b();
+    i.iwPos = r.u32();
+    i.issued = r.b();
+    i.completed = r.b();
+    i.squashed = r.b();
+    i.mispredicted = r.b();
+    i.predictedTaken = r.b();
+    i.btbMissBubble = r.b();
+    i.historyAtPredict = r.u16();
+    i.fromEc = r.b();
+    i.traceRank = r.u32();
     return i;
 }
 
-Json
-instDequeToJson(const std::deque<InFlightInst> &q)
+void
+instRingToBin(BinWriter &w, const ArenaRing<InFlightInst> &q)
 {
-    Json arr = Json::array();
+    w.u64(q.size());
     for (const InFlightInst &i : q)
-        arr.push(inflightToJson(i));
-    return arr;
+        inflightToBin(w, i);
 }
 
 void
-instDequeFromJson(const Json &j, std::deque<InFlightInst> *out)
+instRingFromBin(BinReader &r, ArenaRing<InFlightInst> *out)
 {
     out->clear();
-    for (const Json &i : j.items())
-        out->push_back(inflightFromJson(i));
+    const std::uint64_t count = r.u64();
+    FW_ASSERT(count <= out->capacity(),
+              "instruction-queue snapshot exceeds configured capacity");
+    for (std::uint64_t i = 0; i < count; ++i)
+        out->push_back(inflightFromBin(r));
 }
 
 } // namespace
@@ -96,14 +95,21 @@ CoreBase::CoreBase(const CoreParams &params, WorkloadStream &stream,
                    unsigned phys_regs)
     : params_(params),
       stream_(stream),
-      hier_(params.mem),
-      gshare_(params.bpred),
-      btb_(params.btb),
-      fus_(params.fus, params.lat),
-      lsq_(params.lsqEntries),
-      iw_(params.iwEntries),
-      regReady_(phys_regs, 0)
+      hier_(arena_, params.mem),
+      gshare_(arena_, params.bpred),
+      btb_(arena_, params.btb),
+      fus_(arena_, params.fus, params.lat),
+      lsq_(arena_, params.lsqEntries),
+      iw_(arena_, params.iwEntries),
+      rob_(arena_, params.robEntries),
+      feQueue_(arena_,
+               static_cast<std::size_t>(params.feStages - 1 +
+                                        params.extraFrontEndStages + 2) *
+                   params.fetchWidth),
+      regReady_(arena_),
+      issuedPending_(arena_)
 {
+    regReady_.assign(phys_regs, 0);
     feDepth_ = params_.feStages - 1 + params_.extraFrontEndStages;
     feQueueCap_ = static_cast<std::size_t>(feDepth_ + 2) *
                   params_.fetchWidth;
@@ -566,89 +572,99 @@ CoreBase::robAt(std::uint64_t index)
 void
 CoreBase::save(Snapshot &snap) const
 {
-    Json &st = snap.state();
-    st = Json::object();
+    auto put = [&snap](const char *name, auto &&fill) {
+        BinWriter w;
+        fill(w);
+        snap.addSection(name, w.take());
+    };
 
-    Json section;
-    stream_.save(section);
-    st.add("stream", std::move(section));
-    hier_.save(section);
-    st.add("mem", std::move(section));
-    gshare_.save(section);
-    st.add("gshare", std::move(section));
-    btb_.save(section);
-    st.add("btb", std::move(section));
-    fus_.save(section);
-    st.add("fus", std::move(section));
-    lsq_.save(section);
-    st.add("lsq", std::move(section));
+    put("stream", [this](BinWriter &w) { stream_.save(w); });
+    put("mem", [this](BinWriter &w) { hier_.save(w); });
+    put("gshare", [this](BinWriter &w) { gshare_.save(w); });
+    put("btb", [this](BinWriter &w) { btb_.save(w); });
+    put("fus", [this](BinWriter &w) { fus_.save(w); });
+    put("lsq", [this](BinWriter &w) { lsq_.save(w); });
 
-    st.add("rob", instDequeToJson(rob_));
-    st.add("feq", instDequeToJson(feQueue_));
-    st.add("regReady", packedU64Json(regReady_));
-
-    iw_.save(section,
-             [this](const InFlightInst *p) { return robIndexOf(p); });
-    st.add("iw", std::move(section));
-
-    Json pending = Json::array();
-    for (const InFlightInst *p : issuedPending_)
-        pending.push(robIndexOf(p));
-    st.add("issuedPending", std::move(pending));
-    st.add("minCompleteTick", minCompleteTick_);
-
-    st.add("events", toJson(events_));
-    st.add("stats", toJson(stats_));
-    st.add("fetchStallUntil", fetchStallUntil_);
-    st.add("waitingOnMispredict",
-           std::uint64_t(waitingOnMispredict_ ? 1 : 0));
-    st.add("lastProgressRetired", lastProgressRetired_);
-    st.add("lastProgressTick", lastProgressTick_);
+    put("pipe", [this](BinWriter &w) {
+        instRingToBin(w, rob_);
+        instRingToBin(w, feQueue_);
+        w.podArray(regReady_.data(), regReady_.size());
+        iw_.save(w, [this](const InFlightInst *p) {
+            return robIndexOf(p);
+        });
+        w.u64(issuedPending_.size());
+        for (const InFlightInst *p : issuedPending_)
+            w.u64(robIndexOf(p));
+        w.u64(minCompleteTick_);
+        static_assert(sizeof(EnergyEvents) % sizeof(std::uint64_t) == 0,
+                      "EnergyEvents must stay an array of u64 fields");
+        w.podArray(reinterpret_cast<const std::uint64_t *>(&events_),
+                   sizeof(EnergyEvents) / sizeof(std::uint64_t));
+        w.podArray(reinterpret_cast<const std::uint64_t *>(&stats_),
+                   kCoreStatsFieldCount);
+        w.u64(fetchStallUntil_);
+        w.b(waitingOnMispredict_);
+        w.u64(lastProgressRetired_);
+        w.u64(lastProgressTick_);
+    });
 }
 
 void
 CoreBase::restore(const Snapshot &snap)
 {
-    const Json &st = snap.state();
-    FW_ASSERT(st.isObject() && st.has("rob") && st.has("stream"),
-              "malformed core snapshot");
+    {
+        BinReader r = snap.section("stream");
+        stream_.restore(r);
+    }
+    {
+        BinReader r = snap.section("mem");
+        hier_.restore(r);
+    }
+    {
+        BinReader r = snap.section("gshare");
+        gshare_.restore(r);
+    }
+    {
+        BinReader r = snap.section("btb");
+        btb_.restore(r);
+    }
+    {
+        BinReader r = snap.section("fus");
+        fus_.restore(r);
+    }
+    {
+        BinReader r = snap.section("lsq");
+        lsq_.restore(r);
+    }
 
-    stream_.restore(st["stream"]);
-    hier_.restore(st["mem"]);
-    gshare_.restore(st["gshare"]);
-    btb_.restore(st["btb"]);
-    fus_.restore(st["fus"]);
-    lsq_.restore(st["lsq"]);
-
-    instDequeFromJson(st["rob"], &rob_);
-    instDequeFromJson(st["feq"], &feQueue_);
+    BinReader r = snap.section("pipe");
+    instRingFromBin(r, &rob_);
+    instRingFromBin(r, &feQueue_);
     FW_ASSERT(rob_.size() <= params_.robEntries &&
                   feQueue_.size() <= feQueueCap_,
               "core snapshot exceeds configured structure sizes");
-    std::vector<Tick> reg_ready;
-    packedU64From(st["regReady"], &reg_ready);
-    FW_ASSERT(reg_ready.size() == regReady_.size(),
-              "core snapshot register-file size mismatch");
-    regReady_ = std::move(reg_ready);
+    r.podArray(regReady_.data(), regReady_.size());
 
-    iw_.restore(st["iw"],
-                [this](std::uint64_t idx) { return robAt(idx); });
+    iw_.restore(r, [this](std::uint64_t idx) { return robAt(idx); });
 
     issuedPending_.clear();
-    for (const Json &idx : st["issuedPending"].items()) {
-        InFlightInst *p = robAt(idx.asU64());
+    const std::uint64_t pending = r.u64();
+    for (std::uint64_t i = 0; i < pending; ++i) {
+        InFlightInst *p = robAt(r.u64());
         FW_ASSERT(p != nullptr && p->issued && !p->completed,
                   "issued-pending snapshot inconsistent with the ROB");
         issuedPending_.push_back(p);
     }
-    minCompleteTick_ = st["minCompleteTick"].asU64();
+    minCompleteTick_ = r.u64();
 
-    events_ = energyEventsFromJson(st["events"]);
-    stats_ = coreStatsFromJson(st["stats"]);
-    fetchStallUntil_ = st["fetchStallUntil"].asU64();
-    waitingOnMispredict_ = st["waitingOnMispredict"].asU64() != 0;
-    lastProgressRetired_ = st["lastProgressRetired"].asU64();
-    lastProgressTick_ = st["lastProgressTick"].asU64();
+    r.podArray(reinterpret_cast<std::uint64_t *>(&events_),
+               sizeof(EnergyEvents) / sizeof(std::uint64_t));
+    r.podArray(reinterpret_cast<std::uint64_t *>(&stats_),
+               kCoreStatsFieldCount);
+    fetchStallUntil_ = r.u64();
+    waitingOnMispredict_ = r.b();
+    lastProgressRetired_ = r.u64();
+    lastProgressTick_ = r.u64();
 }
 
 void

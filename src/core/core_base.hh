@@ -25,12 +25,12 @@
 #ifndef FLYWHEEL_CORE_CORE_BASE_HH
 #define FLYWHEEL_CORE_CORE_BASE_HH
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "branch/btb.hh"
 #include "branch/gshare.hh"
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/functional_units.hh"
@@ -247,6 +247,14 @@ class CoreBase
 
     CoreParams params_;
     WorkloadStream &stream_;
+
+    /**
+     * Owns every per-run mutable buffer below (and inside the
+     * components): state lives exactly as long as the core, laid out
+     * contiguously for the hot loops and the binary snapshot codec.
+     */
+    Arena arena_;
+
     MemoryHierarchy hier_;
     Gshare gshare_;
     Btb btb_;
@@ -255,13 +263,13 @@ class CoreBase
     IssueWindow iw_;
 
     /** Reorder buffer, program order, element-stable. */
-    std::deque<InFlightInst> rob_;
+    ArenaRing<InFlightInst> rob_;
     /** Front-end latches between Fetch and Dispatch. */
-    std::deque<InFlightInst> feQueue_;
+    ArenaRing<InFlightInst> feQueue_;
     std::size_t feQueueCap_;
 
     /** Physical register readiness scoreboard (ticks). */
-    std::vector<Tick> regReady_;
+    ArenaVector<Tick> regReady_;
 
     EnergyEvents events_;
     CoreStats stats_;
@@ -286,13 +294,13 @@ class CoreBase
     Tick progressHorizonTicks_;
 
     /**
-     * Issued-but-incomplete instructions (ROB pointers; the deque
+     * Issued-but-incomplete instructions (ROB pointers; the ring
      * guarantees element stability) plus the earliest completion tick
      * among them.  stepComplete runs every back-end cycle, so it must
      * not rescan the whole ROB: most cycles it bails on the tick
      * check, and otherwise walks only this short list.
      */
-    std::vector<InFlightInst *> issuedPending_;
+    ArenaVector<InFlightInst *> issuedPending_;
     Tick minCompleteTick_ = kTickMax;
 };
 

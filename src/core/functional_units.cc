@@ -1,13 +1,16 @@
 #include "core/functional_units.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-FunctionalUnits::FunctionalUnits(const FuParams &fus,
+FunctionalUnits::FunctionalUnits(Arena &arena, const FuParams &fus,
                                  const FuLatencies &lat)
-    : lat_(lat)
+    : lat_(lat), intAlu_(arena), intMulDiv_(arena), memPort_(arena),
+      fpAdd_(arena), fpMulDiv_(arena)
 {
     auto init = [](Pool &p, unsigned count) {
         p.count = count;
@@ -77,7 +80,9 @@ FunctionalUnits::save(State &s) const
     for (const Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
                           &fpMulDiv_}) {
         s.used[i] = p->usedThisCycle;
-        s.busy[i] = p->busyUntil;  // equal-size assign: no realloc
+        // Equal-size assign after the first save: no realloc.
+        s.busy[i].assign(p->busyUntil.data(),
+                         p->busyUntil.data() + p->busyUntil.size());
         ++i;
     }
 }
@@ -89,40 +94,29 @@ FunctionalUnits::restore(const State &s)
     for (Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
                     &fpMulDiv_}) {
         p->usedThisCycle = s.used[i];
-        p->busyUntil = s.busy[i];
+        std::copy(s.busy[i].begin(), s.busy[i].end(),
+                  p->busyUntil.data());
         ++i;
     }
 }
 
 void
-FunctionalUnits::save(Json &out) const
+FunctionalUnits::save(BinWriter &w) const
 {
-    out = Json::object();
-    Json pools = Json::array();
     for (const Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
                           &fpMulDiv_}) {
-        Json pj = Json::object();
-        pj.add("used", p->usedThisCycle);
-        pj.add("busyUntil", numArrayJson(p->busyUntil));
-        pools.push(std::move(pj));
+        w.u32(p->usedThisCycle);
+        w.podArray(p->busyUntil.data(), p->busyUntil.size());
     }
-    out.add("pools", std::move(pools));
 }
 
 void
-FunctionalUnits::restore(const Json &in)
+FunctionalUnits::restore(BinReader &r)
 {
-    const Json &pools = in["pools"];
-    FW_ASSERT(pools.isArray() && pools.size() == 5,
-              "functional-unit snapshot shape mismatch");
-    unsigned i = 0;
     for (Pool *p : {&intAlu_, &intMulDiv_, &memPort_, &fpAdd_,
                     &fpMulDiv_}) {
-        const Json &pj = pools.at(i++);
-        FW_ASSERT(pj["busyUntil"].size() == p->count,
-                  "functional-unit snapshot geometry mismatch");
-        p->usedThisCycle = unsigned(pj["used"].asU64());
-        numArrayFrom(pj["busyUntil"], &p->busyUntil);
+        p->usedThisCycle = r.u32();
+        r.podArray(p->busyUntil.data(), p->busyUntil.size());
     }
 }
 

@@ -10,12 +10,15 @@
 
 #include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "core/params.hh"
 #include "isa/instruction.hh"
 
 namespace flywheel {
+
+class BinWriter;
+class BinReader;
 
 /**
  * Per-cycle functional unit arbiter.  beginCycle() must be called at
@@ -24,7 +27,8 @@ namespace flywheel {
 class FunctionalUnits
 {
   public:
-    FunctionalUnits(const FuParams &fus, const FuLatencies &lat);
+    FunctionalUnits(Arena &arena, const FuParams &fus,
+                    const FuLatencies &lat);
 
     /** Reset per-cycle issue counts for the cycle starting at @p now. */
     void beginCycle(Tick now);
@@ -63,16 +67,18 @@ class FunctionalUnits
     void restore(const State &state);
 
     /** Serialize all per-unit busy state (simulator snapshots). */
-    void save(Json &out) const;
-    /** Restore state saved by save(Json&) (geometry must match). */
-    void restore(const Json &in);
+    void save(BinWriter &w) const;
+    /** Restore state saved by save(BinWriter&) (geometry must match). */
+    void restore(BinReader &r);
 
   private:
     struct Pool
     {
+        explicit Pool(Arena &arena) : busyUntil(arena) {}
+
         unsigned count = 0;
         unsigned usedThisCycle = 0;
-        std::vector<Tick> busyUntil;  ///< per-unit, for unpipelined ops
+        ArenaVector<Tick> busyUntil;  ///< per-unit, for unpipelined ops
     };
 
     Pool &poolFor(OpClass op);

@@ -4,8 +4,9 @@
  * architectural DynInst plus renamed registers, pipeline timestamps
  * (in picosecond Ticks so multiple clock domains compose) and status
  * flags.  Instances live in the core's reorder buffer; the issue
- * window and LSQ reference them by pointer (std::deque guarantees
- * element stability under push_back/pop_front/pop_back).
+ * window and LSQ reference them by pointer (the arena-backed ROB
+ * ring guarantees element stability under push_back/pop_front/
+ * pop_back).
  */
 
 #ifndef FLYWHEEL_CORE_INFLIGHT_HH

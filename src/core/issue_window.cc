@@ -2,11 +2,12 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-IssueWindow::IssueWindow(unsigned entries)
-    : capacity_(entries)
+IssueWindow::IssueWindow(Arena &arena, unsigned entries)
+    : order_(arena), capacity_(entries)
 {
     order_.reserve(static_cast<std::size_t>(entries) * 2);
 }
@@ -67,24 +68,22 @@ IssueWindow::compact()
 }
 
 void
-IssueWindow::save(Json &out,
+IssueWindow::save(BinWriter &w,
                   const std::function<std::uint64_t(const InFlightInst *)>
                       &index_of) const
 {
-    out = Json::object();
-    // Tombstones are kept (as -1 sentinels encoded via kNone) so the
-    // restored array matches slot for slot: every entry's recorded
-    // iwPos remains valid without re-deriving anything.
+    // Tombstones are kept (as all-ones sentinels) so the restored
+    // array matches slot for slot: every entry's recorded iwPos
+    // remains valid without re-deriving anything.
     constexpr std::uint64_t kNone = ~std::uint64_t(0);
-    Json order = Json::array();
+    w.u64(order_.size());
     for (const InFlightInst *p : order_)
-        order.push(p == nullptr ? kNone : index_of(p));
-    out.add("order", std::move(order));
-    out.add("lastSeq", lastSeq_);
+        w.u64(p == nullptr ? kNone : index_of(p));
+    w.u64(lastSeq_);
 }
 
 void
-IssueWindow::restore(const Json &in,
+IssueWindow::restore(BinReader &r,
                      const std::function<InFlightInst *(std::uint64_t)>
                          &at)
 {
@@ -92,8 +91,9 @@ IssueWindow::restore(const Json &in,
     order_.clear();
     order_.reserve(static_cast<std::size_t>(capacity_) * 2);
     used_ = 0;
-    for (const Json &slot : in["order"].items()) {
-        const std::uint64_t idx = slot.asU64();
+    const std::uint64_t slots = r.u64();
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        const std::uint64_t idx = r.u64();
         if (idx == kNone) {
             order_.push_back(nullptr);
             continue;
@@ -106,7 +106,7 @@ IssueWindow::restore(const Json &in,
         ++used_;
     }
     FW_ASSERT(used_ <= capacity_, "issue-window snapshot overflows");
-    lastSeq_ = in["lastSeq"].asU64();
+    lastSeq_ = r.u64();
 }
 
 void

@@ -29,19 +29,21 @@
 #include <functional>
 #include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "core/inflight.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** Monolithic issue window holding pointers to ROB-resident state. */
 class IssueWindow
 {
   public:
-    explicit IssueWindow(unsigned entries);
+    explicit IssueWindow(Arena &arena, unsigned entries);
 
     bool full() const { return used_ >= capacity_; }
     bool empty() const { return used_ == 0; }
@@ -71,12 +73,12 @@ class IssueWindow
      * index; tombstone positions are preserved exactly (each entry's
      * recorded iwPos stays valid).
      */
-    void save(Json &out,
+    void save(BinWriter &w,
               const std::function<std::uint64_t(const InFlightInst *)>
                   &index_of) const;
 
     /** Restore state saved by save(); @p at resolves ROB indices. */
-    void restore(const Json &in,
+    void restore(BinReader &r,
                  const std::function<InFlightInst *(std::uint64_t)> &at);
 
     /** Register occupancy/capacity gauges with the obs registry. */
@@ -86,7 +88,7 @@ class IssueWindow
     void compact();
 
     /** Live entries in age order, nullptr = tombstone. */
-    std::vector<InFlightInst *> order_;
+    ArenaVector<InFlightInst *> order_;
     unsigned capacity_;
     unsigned used_ = 0;
     InstSeqNum lastSeq_ = 0;   ///< insertion-order guard

@@ -5,7 +5,7 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -145,46 +145,40 @@ Lsq::squashFrom(InstSeqNum seq)
 }
 
 void
-Lsq::save(Json &out) const
+Lsq::save(BinWriter &w) const
 {
-    out = Json::object();
-    // Entries oldest-first as positional [seq, word, isStore,
-    // addrKnown] tuples; the ring phase (head_) is not behaviour and
-    // restore() re-bases at zero.
-    std::vector<std::uint64_t> entries;
-    entries.reserve(count_ * 4);
+    // Entries oldest-first; the ring phase (head_) is not behaviour
+    // and restore() re-bases at zero.
+    w.u64(count_);
     for (std::size_t i = 0; i < count_; ++i) {
         const Entry &e = buf_[at(i)];
-        entries.push_back(e.seq);
-        entries.push_back(e.word);
-        entries.push_back(e.isStore ? 1 : 0);
-        entries.push_back(e.addrKnown ? 1 : 0);
+        w.u64(e.seq);
+        w.u64(e.word);
+        w.b(e.isStore);
+        w.b(e.addrKnown);
     }
-    out.add("entries", packedU64Json(entries));
-    out.add("unknownStores", std::uint64_t(unknownStores_));
-    out.add("knownStores", std::uint64_t(knownStores_));
-    out.add("minUnknownSeq", minUnknownSeq_);
+    w.u32(unknownStores_);
+    w.u32(knownStores_);
+    w.u64(minUnknownSeq_);
 }
 
 void
-Lsq::restore(const Json &in)
+Lsq::restore(BinReader &r)
 {
-    std::vector<std::uint64_t> entries;
-    packedU64From(in["entries"], &entries);
-    FW_ASSERT(entries.size() % 4 == 0 &&
-                  entries.size() / 4 <= capacity_,
+    const std::uint64_t count = r.u64();
+    FW_ASSERT(count <= capacity_,
               "LSQ snapshot does not fit the configured capacity");
     head_ = 0;
-    count_ = entries.size() / 4;
+    count_ = count;
     for (std::size_t i = 0; i < count_; ++i) {
-        buf_[i].seq = entries[i * 4];
-        buf_[i].word = entries[i * 4 + 1];
-        buf_[i].isStore = entries[i * 4 + 2] != 0;
-        buf_[i].addrKnown = entries[i * 4 + 3] != 0;
+        buf_[i].seq = r.u64();
+        buf_[i].word = r.u64();
+        buf_[i].isStore = r.b();
+        buf_[i].addrKnown = r.b();
     }
-    unknownStores_ = unsigned(in["unknownStores"].asU64());
-    knownStores_ = unsigned(in["knownStores"].asU64());
-    minUnknownSeq_ = in["minUnknownSeq"].asU64();
+    unknownStores_ = r.u32();
+    knownStores_ = r.u32();
+    minUnknownSeq_ = r.u64();
 }
 
 std::string

@@ -19,20 +19,24 @@
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** Load/store queue with conservative disambiguation. */
 class Lsq
 {
   public:
-    explicit Lsq(unsigned entries)
-        : capacity_(entries), buf_(entries)
-    {}
+    explicit Lsq(Arena &arena, unsigned entries)
+        : capacity_(entries), buf_(arena)
+    {
+        buf_.resize(entries);
+    }
 
     bool full() const { return count_ >= capacity_; }
     std::size_t size() const { return count_; }
@@ -77,9 +81,9 @@ class Lsq
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize the queue contents and disambiguation counters. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (capacity must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     struct Entry
@@ -106,7 +110,7 @@ class Lsq
     void refreshMinUnknown();
 
     std::size_t capacity_;
-    std::vector<Entry> buf_;   ///< ring, program order from head_
+    ArenaVector<Entry> buf_;   ///< ring, program order from head_
     std::size_t head_ = 0;
     std::size_t count_ = 0;
 

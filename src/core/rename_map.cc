@@ -1,15 +1,17 @@
 #include "core/rename_map.hh"
 
 #include "common/log.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-RenameMap::RenameMap(unsigned phys_regs)
+RenameMap::RenameMap(Arena &arena, unsigned phys_regs)
+    : map_(arena), freeList_(arena)
 {
     FW_ASSERT(phys_regs > kNumArchRegs,
               "need more physical than architected registers");
     map_.resize(kNumArchRegs);
+    freeList_.reserve(phys_regs - kNumArchRegs);
     for (unsigned i = 0; i < kNumArchRegs; ++i)
         map_[i] = static_cast<PhysReg>(i);
     for (unsigned i = kNumArchRegs; i < phys_regs; ++i)
@@ -34,23 +36,21 @@ RenameMap::release(PhysReg phys_reg)
 }
 
 void
-RenameMap::save(Json &out) const
+RenameMap::save(BinWriter &w) const
 {
-    out = Json::object();
     // The free list is a LIFO stack: its exact order decides which
     // physical register the next allocation hands out, so it is
     // preserved element for element.
-    out.add("map", numArrayJson(map_));
-    out.add("freeList", numArrayJson(freeList_));
+    w.podArray(map_.data(), map_.size());
+    w.podArray(freeList_.data(), freeList_.size());
 }
 
 void
-RenameMap::restore(const Json &in)
+RenameMap::restore(BinReader &r)
 {
-    FW_ASSERT(in["map"].size() == map_.size(),
-              "rename-map snapshot geometry mismatch");
-    numArrayFrom(in["map"], &map_);
-    numArrayFrom(in["freeList"], &freeList_);
+    r.podArray(map_.data(), map_.size());
+    freeList_.resize(static_cast<std::size_t>(r.peekCount()));
+    r.podArray(freeList_.data(), freeList_.size());
 }
 
 } // namespace flywheel

@@ -11,19 +11,21 @@
 #define FLYWHEEL_CORE_RENAME_MAP_HH
 
 #include <utility>
-#include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace flywheel {
+
+class BinWriter;
+class BinReader;
 
 /** R10000 rename: map table + free list. */
 class RenameMap
 {
   public:
     /** @param phys_regs total physical registers (>= kNumArchRegs). */
-    explicit RenameMap(unsigned phys_regs);
+    explicit RenameMap(Arena &arena, unsigned phys_regs);
 
     /** True if a destination can be renamed right now. */
     bool hasFree() const { return !freeList_.empty(); }
@@ -46,13 +48,13 @@ class RenameMap
     }
 
     /** Serialize map table + free list (order is allocation order). */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save(). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
-    std::vector<PhysReg> map_;
-    std::vector<PhysReg> freeList_;
+    ArenaVector<PhysReg> map_;
+    ArenaVector<PhysReg> freeList_;
 };
 
 } // namespace flywheel

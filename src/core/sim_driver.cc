@@ -1,5 +1,7 @@
 #include "core/sim_driver.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -22,20 +24,55 @@ clockedParams(double fe_boost, double be_boost)
     return p;
 }
 
+bool
+parseInstrCount(const char *text, std::uint64_t *out)
+{
+    if (!text || !*text)
+        return false;
+    // Strict decimal only: strtoull would silently accept "100k"
+    // (prefix), "-1" (wraps to a huge count) and "0x10".
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || *end != '\0')
+        return false;
+    if (v < 1)
+        return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+namespace {
+
+std::uint64_t
+instrsFromEnv(const char *var, std::uint64_t fallback)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return fallback;
+    std::uint64_t v = 0;
+    if (parseInstrCount(env, &v))
+        return v;
+    FW_WARN("ignoring %s='%s' (want a positive decimal instruction "
+            "count); using the default %llu",
+            var, env, (unsigned long long)fallback);
+    return fallback;
+}
+
+} // namespace
+
 std::uint64_t
 defaultMeasureInstrs()
 {
-    if (const char *env = std::getenv("FLYWHEEL_SIM_INSTRS"))
-        return std::strtoull(env, nullptr, 10);
-    return 300000;
+    return instrsFromEnv("FLYWHEEL_SIM_INSTRS", 300000);
 }
 
 std::uint64_t
 defaultWarmupInstrs()
 {
-    if (const char *env = std::getenv("FLYWHEEL_WARMUP_INSTRS"))
-        return std::strtoull(env, nullptr, 10);
-    return 100000;
+    return instrsFromEnv("FLYWHEEL_WARMUP_INSTRS", 100000);
 }
 
 std::unique_ptr<CoreBase>

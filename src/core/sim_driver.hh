@@ -223,6 +223,16 @@ RunResult runSim(const RunConfig &config);
  */
 RunResult runSim(const RunConfig &config, Checkpointer *checkpoints);
 
+/**
+ * Strict instruction-count parser shared by the FLYWHEEL_SIM_INSTRS /
+ * FLYWHEEL_WARMUP_INSTRS overrides: decimal digits only, no sign, no
+ * trailing text, no overflow, value >= 1.  Mirrors the FLYWHEEL_JOBS
+ * discipline (ThreadPool::parseJobsValue) — strtoull alone would
+ * silently accept "100k" (prefix), "-1" (wraps to a huge count) and
+ * overflowed values.
+ */
+bool parseInstrCount(const char *text, std::uint64_t *out);
+
 /** Measurement length override from FLYWHEEL_SIM_INSTRS, if set. */
 std::uint64_t defaultMeasureInstrs();
 

@@ -4,7 +4,7 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -137,95 +137,71 @@ ExecCache::tracePcs() const
     return pcs;
 }
 
-Json
-traceSlotsToJson(const std::vector<TraceSlot> &slots)
+void
+traceSlotsToBin(BinWriter &w, const std::vector<TraceSlot> &slots)
 {
-    // Packed 8-tuples: a warm Execution Cache holds up to the full
-    // DA block budget of slots, the bulkiest Flywheel component.
-    std::vector<std::uint64_t> flat;
-    flat.reserve(slots.size() * 8);
+    // Field-by-field: TraceSlot has padding after isCondBranch.
+    w.u64(slots.size());
     for (const TraceSlot &s : slots) {
-        flat.push_back(s.pc);
-        flat.push_back(std::uint64_t(s.op));
-        flat.push_back(s.dest);
-        flat.push_back(s.src1);
-        flat.push_back(s.src2);
-        flat.push_back(s.recordedEffAddr);
-        flat.push_back(s.isCondBranch ? 1 : 0);
-        flat.push_back(s.rank);
+        w.u64(s.pc);
+        w.u8(static_cast<std::uint8_t>(s.op));
+        w.u16(s.dest);
+        w.u16(s.src1);
+        w.u16(s.src2);
+        w.u64(s.recordedEffAddr);
+        w.b(s.isCondBranch);
+        w.u32(s.rank);
     }
-    return packedU64Json(flat);
 }
 
 void
-traceSlotsFromJson(const Json &j, std::vector<TraceSlot> *out)
+traceSlotsFromBin(BinReader &r, std::vector<TraceSlot> *out)
 {
-    std::vector<std::uint64_t> flat;
-    packedU64From(j, &flat);
-    FW_ASSERT(flat.size() % 8 == 0,
-              "malformed trace-slot snapshot array");
+    const std::uint64_t count = r.u64();
     out->clear();
-    out->reserve(flat.size() / 8);
-    for (std::size_t i = 0; i < flat.size(); i += 8) {
+    out->reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
         TraceSlot s;
-        s.pc = flat[i];
-        s.op = static_cast<OpClass>(flat[i + 1]);
-        s.dest = static_cast<ArchReg>(flat[i + 2]);
-        s.src1 = static_cast<ArchReg>(flat[i + 3]);
-        s.src2 = static_cast<ArchReg>(flat[i + 4]);
-        s.recordedEffAddr = flat[i + 5];
-        s.isCondBranch = flat[i + 6] != 0;
-        s.rank = static_cast<std::uint32_t>(flat[i + 7]);
+        s.pc = r.u64();
+        s.op = static_cast<OpClass>(r.u8());
+        s.dest = static_cast<ArchReg>(r.u16());
+        s.src1 = static_cast<ArchReg>(r.u16());
+        s.src2 = static_cast<ArchReg>(r.u16());
+        s.recordedEffAddr = r.u64();
+        s.isCondBranch = r.b();
+        s.rank = r.u32();
         out->push_back(s);
     }
 }
 
-Json
-issueUnitsToJson(const std::vector<IssueUnit> &units)
+void
+issueUnitsToBin(BinWriter &w, const std::vector<IssueUnit> &units)
 {
-    std::vector<std::uint64_t> flat;
-    flat.reserve(units.size() * 2);
-    for (const IssueUnit &u : units) {
-        flat.push_back(u.firstSlot);
-        flat.push_back(u.count);
-    }
-    return packedU64Json(flat);
+    // IssueUnit is two packed u32s: memcpy-able.
+    w.podArray(units.data(), units.size());
 }
 
 void
-issueUnitsFromJson(const Json &j, std::vector<IssueUnit> *out)
+issueUnitsFromBin(BinReader &r, std::vector<IssueUnit> *out)
 {
-    std::vector<std::uint64_t> flat;
-    packedU64From(j, &flat);
-    FW_ASSERT(flat.size() % 2 == 0,
-              "malformed issue-unit snapshot array");
-    out->clear();
-    out->reserve(flat.size() / 2);
-    for (std::size_t i = 0; i < flat.size(); i += 2) {
-        IssueUnit u;
-        u.firstSlot = static_cast<std::uint32_t>(flat[i]);
-        u.count = static_cast<std::uint32_t>(flat[i + 1]);
-        out->push_back(u);
-    }
+    r.podVec(*out);
 }
 
-Json
-traceToJson(const Trace &t)
+void
+traceToBin(BinWriter &w, const Trace &t)
 {
-    Json j = Json::object();
-    j.add("startPc", t.startPc);
-    j.add("slots", traceSlotsToJson(t.slots));
-    j.add("units", issueUnitsToJson(t.units));
-    return j;
+    w.u64(t.startPc);
+    traceSlotsToBin(w, t.slots);
+    issueUnitsToBin(w, t.units);
 }
 
 std::unique_ptr<Trace>
-traceFromJson(const Json &j)
+traceFromBin(BinReader &r)
 {
     auto t = std::make_unique<Trace>();
-    t->startPc = j["startPc"].asU64();
-    traceSlotsFromJson(j["slots"], &t->slots);
-    issueUnitsFromJson(j["units"], &t->units);
+    t->startPc = r.u64();
+    traceSlotsFromBin(r, &t->slots);
+    issueUnitsFromBin(r, &t->units);
     t->rankToSlot.assign(t->slots.size(), 0);
     for (std::uint32_t i = 0; i < t->slots.size(); ++i) {
         FW_ASSERT(t->slots[i].rank < t->rankToSlot.size(),
@@ -236,45 +212,45 @@ traceFromJson(const Json &j)
 }
 
 void
-ExecCache::save(Json &out) const
+ExecCache::save(BinWriter &w) const
 {
-    out = Json::object();
     // Traces in ascending start-PC order so serialization is
     // deterministic regardless of hash-map iteration order.
-    Json entries = Json::array();
+    w.u64(traces_.size());
     for (Addr pc : tracePcs()) {
         const Entry &e = traces_.at(pc);
-        Json ej = traceToJson(*e.trace);
-        ej.add("lastUse", e.lastUse);
-        entries.push(std::move(ej));
+        traceToBin(w, *e.trace);
+        w.u64(e.lastUse);
     }
-    out.add("traces", std::move(entries));
-    out.add("pinned", numArrayJson(pinned_));
-    out.add("usedBlocks", std::uint64_t(usedBlocks_));
-    out.add("useClock", useClock_);
-    out.add("evictions", evictions_.value());
+    w.podArray(pinned_.data(), pinned_.size());
+    w.u32(usedBlocks_);
+    w.u64(useClock_);
+    w.u64(evictions_.value());
 }
 
 void
-ExecCache::restore(const Json &in)
+ExecCache::restore(BinReader &r)
 {
     traces_.clear();
     usedBlocks_ = 0;
-    for (const Json &ej : in["traces"].items()) {
-        std::unique_ptr<Trace> t = traceFromJson(ej);
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::unique_ptr<Trace> t = traceFromBin(r);
+        const std::uint64_t last_use = r.u64();
         usedBlocks_ += t->numBlocks(blockSlots_);
         const Addr pc = t->startPc;
         FW_ASSERT(traces_.count(pc) == 0,
                   "duplicate trace in Execution Cache snapshot");
-        traces_[pc] = Entry{std::move(t), ej["lastUse"].asU64()};
+        traces_[pc] = Entry{std::move(t), last_use};
     }
-    FW_ASSERT(usedBlocks_ == in["usedBlocks"].asU64() &&
+    r.podVec(pinned_);
+    const std::uint32_t stored_used = r.u32();
+    FW_ASSERT(usedBlocks_ == stored_used &&
                   usedBlocks_ <= totalBlocks_ &&
                   traces_.size() <= taEntries_,
               "Execution Cache snapshot exceeds configured capacity");
-    numArrayFrom(in["pinned"], &pinned_);
-    useClock_ = in["useClock"].asU64();
-    evictions_.set(in["evictions"].asU64());
+    useClock_ = r.u64();
+    evictions_.set(r.u64());
 }
 
 void

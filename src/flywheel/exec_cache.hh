@@ -26,7 +26,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -34,6 +33,8 @@
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** One recorded instruction slot. */
 struct TraceSlot
@@ -77,19 +78,19 @@ struct Trace
 };
 
 /**
- * Snapshot serialization of a trace: slots as positional [pc, op,
- * dest, src1, src2, effAddr, isCondBranch, rank] tuples, units as
- * [firstSlot, count] pairs; rankToSlot is rebuilt on read.  Shared by
- * the Execution Cache and the Flywheel trace builders.
+ * Snapshot serialization of a trace: slots field-by-field (TraceSlot
+ * has padding bytes), units as packed [firstSlot, count] pairs;
+ * rankToSlot is rebuilt on read.  Shared by the Execution Cache and
+ * the Flywheel trace builders.
  */
-Json traceToJson(const Trace &t);
-std::unique_ptr<Trace> traceFromJson(const Json &j);
+void traceToBin(BinWriter &w, const Trace &t);
+std::unique_ptr<Trace> traceFromBin(BinReader &r);
 
 /** Slot/unit array codecs (also used for in-progress trace builders). */
-Json traceSlotsToJson(const std::vector<TraceSlot> &slots);
-void traceSlotsFromJson(const Json &j, std::vector<TraceSlot> *out);
-Json issueUnitsToJson(const std::vector<IssueUnit> &units);
-void issueUnitsFromJson(const Json &j, std::vector<IssueUnit> *out);
+void traceSlotsToBin(BinWriter &w, const std::vector<TraceSlot> &slots);
+void traceSlotsFromBin(BinReader &r, std::vector<TraceSlot> *out);
+void issueUnitsToBin(BinWriter &w, const std::vector<IssueUnit> &units);
+void issueUnitsFromBin(BinReader &r, std::vector<IssueUnit> *out);
 
 /**
  * Trace store with a block budget (DA capacity) and an entry budget
@@ -158,11 +159,14 @@ class ExecCache
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize every resident trace plus LRU/pin/budget state. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (geometry must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
+    // The trace store stays on the heap (unordered_map of owning
+    // pointers): trace insert/evict churn is unbounded over a run,
+    // which a lifetime-scoped arena cannot recycle.
     struct Entry
     {
         std::unique_ptr<Trace> trace;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "snapshot/bincodec.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -11,7 +12,7 @@ namespace flywheel {
 FlywheelCore::FlywheelCore(const CoreParams &params,
                            WorkloadStream &stream)
     : CoreBase(params, stream, params.poolPhysRegs),
-      pools_(params.poolPhysRegs, params.minPoolSize),
+      pools_(arena_, params.poolPhysRegs, params.minPoolSize),
       ec_(params.ecTotalBlocks, params.ecBlockSlots, params.ecTaEntries),
       feP_(static_cast<Tick>(std::llround(params.fePeriodPs))),
       beBase_(static_cast<Tick>(std::llround(params.basePeriodPs))),
@@ -72,33 +73,31 @@ FlywheelCore::ecResidency() const
 
 namespace {
 
-Json
-builderToJson(const FlywheelCore::Builder &b)
+void
+builderToBin(BinWriter &w, const FlywheelCore::Builder &b)
 {
-    Json j = Json::object();
-    j.add("active", std::uint64_t(b.active ? 1 : 0));
-    j.add("bounded", std::uint64_t(b.bounded ? 1 : 0));
-    j.add("startPc", b.startPc);
-    j.add("startSeq", b.startSeq);
-    j.add("endSeq", b.endSeq);
-    j.add("appended", b.appended);
-    j.add("slots", traceSlotsToJson(b.slots));
-    j.add("units", issueUnitsToJson(b.units));
-    return j;
+    w.b(b.active);
+    w.b(b.bounded);
+    w.u64(b.startPc);
+    w.u64(b.startSeq);
+    w.u64(b.endSeq);
+    w.u64(b.appended);
+    traceSlotsToBin(w, b.slots);
+    issueUnitsToBin(w, b.units);
 }
 
 void
-builderFromJson(const Json &j, FlywheelCore::Builder *out)
+builderFromBin(BinReader &r, FlywheelCore::Builder *out)
 {
     *out = FlywheelCore::Builder{};
-    out->active = j["active"].asU64() != 0;
-    out->bounded = j["bounded"].asU64() != 0;
-    out->startPc = j["startPc"].asU64();
-    out->startSeq = j["startSeq"].asU64();
-    out->endSeq = j["endSeq"].asU64();
-    out->appended = j["appended"].asU64();
-    traceSlotsFromJson(j["slots"], &out->slots);
-    issueUnitsFromJson(j["units"], &out->units);
+    out->active = r.b();
+    out->bounded = r.b();
+    out->startPc = r.u64();
+    out->startSeq = r.u64();
+    out->endSeq = r.u64();
+    out->appended = r.u64();
+    traceSlotsFromBin(r, &out->slots);
+    issueUnitsFromBin(r, &out->units);
 }
 
 } // namespace
@@ -107,53 +106,46 @@ void
 FlywheelCore::save(Snapshot &snap) const
 {
     CoreBase::save(snap);
-    Json core = Json::object();
-    core.add("type", "flywheel");
+    BinWriter w;
+    w.str("flywheel");
 
-    Json section;
-    pools_.save(section);
-    core.add("pools", std::move(section));
-    ec_.save(section);
-    core.add("ec", std::move(section));
+    pools_.save(w);
+    ec_.save(w);
 
-    core.add("mode", std::uint64_t(mode_ == Mode::Exec ? 1 : 0));
-    core.add("beCur", beCur_);
-    core.add("nextFe", nextFe_);
-    core.add("nextBe", nextBe_);
-    core.add("builder", builderToJson(builder_));
-    core.add("finalizing", builderToJson(finalizing_));
-    core.add("needNewTrace", std::uint64_t(needNewTrace_ ? 1 : 0));
-    core.add("draining", std::uint64_t(draining_ ? 1 : 0));
-    core.add("drainLookupPc", drainLookupPc_);
+    w.b(mode_ == Mode::Exec);
+    w.u64(beCur_);
+    w.u64(nextFe_);
+    w.u64(nextBe_);
+    builderToBin(w, builder_);
+    builderToBin(w, finalizing_);
+    w.b(needNewTrace_);
+    w.b(draining_);
+    w.u64(drainLookupPc_);
 
     // A live replay/pending trace is referenced by start PC; both are
     // pinned in the EC while live, so the PC resolves on restore.
-    Json replay = Json::object();
-    replay.add("tracePc",
-               replay_.trace ? replay_.trace->startPc : kNoRobIndex);
-    Json actual = Json::array();
+    w.u64(replay_.trace ? replay_.trace->startPc : kNoRobIndex);
+    w.u64(replay_.actual.size());
     for (const DynInst &d : replay_.actual)
-        actual.push(dynInstToJson(d));
-    replay.add("actual", std::move(actual));
-    replay.add("valid", std::uint64_t(replay_.valid));
-    replay.add("divergent", std::uint64_t(replay_.divergent ? 1 : 0));
-    replay.add("divergenceResolved",
-               std::uint64_t(replay_.divergenceResolved ? 1 : 0));
-    replay.add("nextUnit", std::uint64_t(replay_.nextUnit));
-    replay.add("allocated", std::uint64_t(replay_.allocated));
-    replay.add("allocLimit", std::uint64_t(replay_.allocLimit));
-    replay.add("lastUnit", std::uint64_t(replay_.lastUnit));
-    replay.add("blocksRead", std::uint64_t(replay_.blocksRead));
-    replay.add("start", replay_.start);
-    replay.add("baseSeq", replay_.baseSeq);
-    replay.add("endHandled", std::uint64_t(replay_.endHandled ? 1 : 0));
+        dynInstToBin(w, d);
+    w.u32(replay_.valid);
+    w.b(replay_.divergent);
+    w.b(replay_.divergenceResolved);
+    w.u32(replay_.nextUnit);
+    w.u32(replay_.allocated);
+    w.u32(replay_.allocLimit);
+    w.u32(replay_.lastUnit);
+    w.u32(replay_.blocksRead);
+    w.u64(replay_.start);
+    w.u64(replay_.baseSeq);
+    w.b(replay_.endHandled);
     // byRank keeps pointers for the whole trace, including ranks that
     // already retired — those are stale (their ROB entries are gone;
     // the replay logic never touches them again) and must serialize
-    // as "none".  A stale pointer may even alias a reused deque slot,
+    // as "none".  A stale pointer may even alias a reused ring slot,
     // so membership alone is not enough: the entry must also BE that
     // rank of this replay (sequence-number identity).
-    Json by_rank = Json::array();
+    w.u64(replay_.byRank.size());
     for (std::size_t rank = 0; rank < replay_.byRank.size(); ++rank) {
         const InFlightInst *p = replay_.byRank[rank];
         std::uint64_t idx = kNoRobIndex;
@@ -167,95 +159,84 @@ FlywheelCore::save(Snapshot &snap) const
                 break;
             }
         }
-        by_rank.push(idx);
+        w.u64(idx);
     }
-    replay.add("byRank", std::move(by_rank));
-    core.add("replay", std::move(replay));
 
-    Json pending = Json::object();
-    pending.add("valid", std::uint64_t(pending_.valid ? 1 : 0));
-    pending.add("tracePc",
-                pending_.trace ? pending_.trace->startPc : kNoRobIndex);
-    pending.add("earliest", pending_.earliest);
-    pending.add("afterRetire", pending_.afterRetire);
-    pending.add("afterRetireTick", pending_.afterRetireTick);
-    core.add("pending", std::move(pending));
+    w.b(pending_.valid);
+    w.u64(pending_.trace ? pending_.trace->startPc : kNoRobIndex);
+    w.u64(pending_.earliest);
+    w.u64(pending_.afterRetire);
+    w.u64(pending_.afterRetireTick);
 
-    core.add("beCyclesSinceCheck", beCyclesSinceCheck_);
-    core.add("redistributionArmed",
-             std::uint64_t(redistributionArmed_ ? 1 : 0));
-    snap.state().add("core", std::move(core));
+    w.u64(beCyclesSinceCheck_);
+    w.b(redistributionArmed_);
+    snap.addSection("core", w.take());
 }
 
 void
 FlywheelCore::restore(const Snapshot &snap)
 {
     CoreBase::restore(snap);
-    const Json &core = snap.state()["core"];
-    FW_ASSERT(core["type"].asString() == "flywheel",
+    BinReader r = snap.section("core");
+    const std::string type = r.str();
+    FW_ASSERT(type == "flywheel",
               "restoring a %s snapshot into a Flywheel core",
-              core["type"].asString().c_str());
+              type.c_str());
 
-    pools_.restore(core["pools"]);
-    ec_.restore(core["ec"]);
+    pools_.restore(r);
+    ec_.restore(r);
 
-    mode_ = core["mode"].asU64() != 0 ? Mode::Exec : Mode::Create;
-    beCur_ = core["beCur"].asU64();
-    nextFe_ = core["nextFe"].asU64();
-    nextBe_ = core["nextBe"].asU64();
-    builderFromJson(core["builder"], &builder_);
-    builderFromJson(core["finalizing"], &finalizing_);
-    needNewTrace_ = core["needNewTrace"].asU64() != 0;
-    draining_ = core["draining"].asU64() != 0;
-    drainLookupPc_ = core["drainLookupPc"].asU64();
+    mode_ = r.b() ? Mode::Exec : Mode::Create;
+    beCur_ = r.u64();
+    nextFe_ = r.u64();
+    nextBe_ = r.u64();
+    builderFromBin(r, &builder_);
+    builderFromBin(r, &finalizing_);
+    needNewTrace_ = r.b();
+    draining_ = r.b();
+    drainLookupPc_ = r.u64();
 
-    const Json &replay = core["replay"];
     replay_.reset();
-    const std::uint64_t replay_pc = replay["tracePc"].asU64();
+    const std::uint64_t replay_pc = r.u64();
     if (replay_pc != kNoRobIndex) {
         replay_.trace = ec_.find(replay_pc);
         FW_ASSERT(replay_.trace != nullptr,
                   "replayed trace 0x%llx missing from the restored EC",
                   (unsigned long long)replay_pc);
     }
-    for (const Json &d : replay["actual"].items())
-        replay_.actual.push_back(dynInstFromJson(d));
-    replay_.valid = static_cast<std::uint32_t>(replay["valid"].asU64());
-    replay_.divergent = replay["divergent"].asU64() != 0;
-    replay_.divergenceResolved =
-        replay["divergenceResolved"].asU64() != 0;
-    replay_.nextUnit =
-        static_cast<std::uint32_t>(replay["nextUnit"].asU64());
-    replay_.allocated =
-        static_cast<std::uint32_t>(replay["allocated"].asU64());
-    replay_.allocLimit =
-        static_cast<std::uint32_t>(replay["allocLimit"].asU64());
-    replay_.lastUnit =
-        static_cast<std::uint32_t>(replay["lastUnit"].asU64());
-    replay_.blocksRead =
-        static_cast<std::uint32_t>(replay["blocksRead"].asU64());
-    replay_.start = replay["start"].asU64();
-    replay_.baseSeq = replay["baseSeq"].asU64();
-    replay_.endHandled = replay["endHandled"].asU64() != 0;
-    for (const Json &idx : replay["byRank"].items())
-        replay_.byRank.push_back(robAt(idx.asU64()));
+    const std::uint64_t actual_n = r.u64();
+    for (std::uint64_t i = 0; i < actual_n; ++i)
+        replay_.actual.push_back(dynInstFromBin(r));
+    replay_.valid = r.u32();
+    replay_.divergent = r.b();
+    replay_.divergenceResolved = r.b();
+    replay_.nextUnit = r.u32();
+    replay_.allocated = r.u32();
+    replay_.allocLimit = r.u32();
+    replay_.lastUnit = r.u32();
+    replay_.blocksRead = r.u32();
+    replay_.start = r.u64();
+    replay_.baseSeq = r.u64();
+    replay_.endHandled = r.b();
+    const std::uint64_t by_rank_n = r.u64();
+    for (std::uint64_t i = 0; i < by_rank_n; ++i)
+        replay_.byRank.push_back(robAt(r.u64()));
 
-    const Json &pending = core["pending"];
     pending_ = PendingReplay{};
-    pending_.valid = pending["valid"].asU64() != 0;
-    const std::uint64_t pending_pc = pending["tracePc"].asU64();
+    pending_.valid = r.b();
+    const std::uint64_t pending_pc = r.u64();
     if (pending_pc != kNoRobIndex) {
         pending_.trace = ec_.find(pending_pc);
         FW_ASSERT(pending_.trace != nullptr,
                   "pending trace 0x%llx missing from the restored EC",
                   (unsigned long long)pending_pc);
     }
-    pending_.earliest = pending["earliest"].asU64();
-    pending_.afterRetire = pending["afterRetire"].asU64();
-    pending_.afterRetireTick = pending["afterRetireTick"].asU64();
+    pending_.earliest = r.u64();
+    pending_.afterRetire = r.u64();
+    pending_.afterRetireTick = r.u64();
 
-    beCyclesSinceCheck_ = core["beCyclesSinceCheck"].asU64();
-    redistributionArmed_ = core["redistributionArmed"].asU64() != 0;
+    beCyclesSinceCheck_ = r.u64();
+    redistributionArmed_ = r.b();
 }
 
 // ---------------------------------------------------------------------------

@@ -5,14 +5,16 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-PoolRenameUnit::PoolRenameUnit(unsigned phys_regs, unsigned min_pool)
+PoolRenameUnit::PoolRenameUnit(Arena &arena, unsigned phys_regs,
+                               unsigned min_pool)
     : physRegs_(phys_regs), minPool_(std::max(2u, min_pool)),
-      pools_(kNumArchRegs)
+      pools_(arena)
 {
+    pools_.resize(kNumArchRegs);
     FW_ASSERT(phys_regs >= kNumArchRegs * minPool_,
               "not enough physical registers for the minimum pools");
     // Initial layout: equal shares.
@@ -157,46 +159,40 @@ PoolRenameUnit::resetWindow()
 }
 
 void
-PoolRenameUnit::save(Json &out) const
+PoolRenameUnit::save(BinWriter &w) const
 {
-    out = Json::object();
-    // Positional [base, size, lastSlot, inflight, writes, stalls]
-    // per architected register.
-    std::vector<std::uint64_t> pools;
-    pools.reserve(pools_.size() * 6);
+    // Field-by-field: Pool has padding after lastSlot.
+    w.u64(pools_.size());
     for (const Pool &p : pools_) {
-        pools.push_back(p.base);
-        pools.push_back(p.size);
-        pools.push_back(p.lastSlot);
-        pools.push_back(p.inflight);
-        pools.push_back(p.writes);
-        pools.push_back(p.stalls);
+        w.u32(p.base);
+        w.u32(p.size);
+        w.u16(p.lastSlot);
+        w.u32(p.inflight);
+        w.u64(p.writes);
+        w.u64(p.stalls);
     }
-    out.add("pools", packedU64Json(pools));
-    out.add("stallsSinceCheck", stallsSinceCheck_);
+    w.u64(stallsSinceCheck_);
 }
 
 void
-PoolRenameUnit::restore(const Json &in)
+PoolRenameUnit::restore(BinReader &r)
 {
-    std::vector<std::uint64_t> pools;
-    packedU64From(in["pools"], &pools);
-    FW_ASSERT(pools.size() == pools_.size() * 6,
+    const std::uint64_t count = r.u64();
+    FW_ASSERT(count == pools_.size(),
               "rename-pool snapshot geometry mismatch");
     std::uint64_t total = 0;
-    for (std::size_t r = 0; r < pools_.size(); ++r) {
-        Pool &p = pools_[r];
-        p.base = static_cast<std::uint32_t>(pools[r * 6]);
-        p.size = static_cast<std::uint32_t>(pools[r * 6 + 1]);
-        p.lastSlot = static_cast<std::uint16_t>(pools[r * 6 + 2]);
-        p.inflight = static_cast<std::uint32_t>(pools[r * 6 + 3]);
-        p.writes = pools[r * 6 + 4];
-        p.stalls = pools[r * 6 + 5];
+    for (Pool &p : pools_) {
+        p.base = r.u32();
+        p.size = r.u32();
+        p.lastSlot = r.u16();
+        p.inflight = r.u32();
+        p.writes = r.u64();
+        p.stalls = r.u64();
         total += p.size;
     }
     FW_ASSERT(total <= physRegs_,
               "rename-pool snapshot exceeds the register file");
-    stallsSinceCheck_ = in["stallsSinceCheck"].asU64();
+    stallsSinceCheck_ = r.u64();
 }
 
 unsigned

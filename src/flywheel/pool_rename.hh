@@ -28,12 +28,14 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** Per-architected-register circular rename pools. */
 class PoolRenameUnit
@@ -43,7 +45,7 @@ class PoolRenameUnit
      * @param phys_regs total physical entries (paper: 512)
      * @param min_pool  smallest pool size after redistribution
      */
-    PoolRenameUnit(unsigned phys_regs, unsigned min_pool);
+    PoolRenameUnit(Arena &arena, unsigned phys_regs, unsigned min_pool);
 
     /** True if a write to @p r can be renamed now. */
     bool canAllocate(ArchReg r) const;
@@ -91,9 +93,9 @@ class PoolRenameUnit
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize every pool's layout, cursors and counters. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (total size must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     struct Pool
@@ -110,7 +112,7 @@ class PoolRenameUnit
 
     unsigned physRegs_;
     unsigned minPool_;
-    std::vector<Pool> pools_;
+    ArenaVector<Pool> pools_;
     std::uint64_t stallsSinceCheck_ = 0;
 };
 

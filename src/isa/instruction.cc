@@ -2,8 +2,8 @@
 
 #include <sstream>
 
-#include "common/json.hh"
 #include "common/log.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -45,39 +45,35 @@ DynInst::toString() const
     return os.str();
 }
 
-Json
-dynInstToJson(const DynInst &d)
+void
+dynInstToBin(BinWriter &w, const DynInst &d)
 {
-    Json arr = Json::array();
-    arr.push(d.seq);
-    arr.push(d.pc);
-    arr.push(std::uint64_t(d.op));
-    arr.push(std::uint64_t(d.dest));
-    arr.push(std::uint64_t(d.src1));
-    arr.push(std::uint64_t(d.src2));
-    arr.push(std::uint64_t(d.isCondBranch ? 1 : 0));
-    arr.push(std::uint64_t(d.taken ? 1 : 0));
-    arr.push(d.target);
-    arr.push(d.effAddr);
-    return arr;
+    w.u64(d.seq);
+    w.u64(d.pc);
+    w.u8(static_cast<std::uint8_t>(d.op));
+    w.u16(d.dest);
+    w.u16(d.src1);
+    w.u16(d.src2);
+    w.b(d.isCondBranch);
+    w.b(d.taken);
+    w.u64(d.target);
+    w.u64(d.effAddr);
 }
 
 DynInst
-dynInstFromJson(const Json &j)
+dynInstFromBin(BinReader &r)
 {
-    FW_ASSERT(j.isArray() && j.size() == 10,
-              "malformed DynInst snapshot record");
     DynInst d;
-    d.seq = j.at(0).asU64();
-    d.pc = j.at(1).asU64();
-    d.op = static_cast<OpClass>(j.at(2).asU64());
-    d.dest = static_cast<ArchReg>(j.at(3).asU64());
-    d.src1 = static_cast<ArchReg>(j.at(4).asU64());
-    d.src2 = static_cast<ArchReg>(j.at(5).asU64());
-    d.isCondBranch = j.at(6).asU64() != 0;
-    d.taken = j.at(7).asU64() != 0;
-    d.target = j.at(8).asU64();
-    d.effAddr = j.at(9).asU64();
+    d.seq = r.u64();
+    d.pc = r.u64();
+    d.op = static_cast<OpClass>(r.u8());
+    d.dest = r.u16();
+    d.src1 = r.u16();
+    d.src2 = r.u16();
+    d.isCondBranch = r.b();
+    d.taken = r.b();
+    d.target = r.u64();
+    d.effAddr = r.u64();
     return d;
 }
 

@@ -101,16 +101,18 @@ struct DynInst
     std::string toString() const;
 };
 
-class Json;
+class BinWriter;
+class BinReader;
 
 /**
- * Snapshot serialization of one DynInst as a compact positional
- * number array: [seq, pc, op, dest, src1, src2, isCondBranch, taken,
- * target, effAddr].  The pair below must stay in lock-step; the
- * snapshot format version gates layout changes.
+ * Snapshot serialization of one DynInst: fixed-width fields in
+ * declaration order (field-by-field, never a raw struct memcpy —
+ * DynInst has padding bytes, and snapshot payloads must be a pure
+ * function of simulator state).  The pair below must stay in
+ * lock-step; the snapshot format version gates layout changes.
  */
-Json dynInstToJson(const DynInst &d);
-DynInst dynInstFromJson(const Json &j);
+void dynInstToBin(BinWriter &w, const DynInst &d);
+DynInst dynInstFromBin(BinReader &r);
 
 } // namespace flywheel
 

@@ -2,7 +2,7 @@
 
 #include "common/log.hh"
 #include "obs/stats_registry.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -16,8 +16,8 @@ isPow2(std::uint32_t v)
 
 } // namespace
 
-Cache::Cache(const CacheParams &params)
-    : params_(params)
+Cache::Cache(Arena &arena, const CacheParams &params)
+    : params_(params), lines_(arena)
 {
     FW_ASSERT(isPow2(params_.lineBytes), "line size must be a power of 2");
     FW_ASSERT(params_.assoc >= 1, "associativity must be >= 1");
@@ -106,43 +106,40 @@ Cache::registerStats(obs::StatsGroup &group) const
 }
 
 void
-Cache::save(Json &out) const
+Cache::save(BinWriter &w) const
 {
-    out = Json::object();
-    // One packed [tag, valid, lastUse] triple per line: the cache
-    // arrays are the largest single snapshot component, so they use
-    // the single-node packed codec.
-    std::vector<std::uint64_t> lines;
-    lines.reserve(lines_.size() * 3);
+    // Field-by-field per line (Line has padding bytes; the payload
+    // must be a pure function of state, never of padding garbage).
+    w.u64(lines_.size());
     for (const Line &l : lines_) {
-        lines.push_back(l.tag);
-        lines.push_back(l.valid ? 1 : 0);
-        lines.push_back(l.lastUse);
+        w.u64(l.tag);
+        w.b(l.valid);
+        w.u64(l.lastUse);
     }
-    out.add("lines", packedU64Json(lines));
-    out.add("useClock", useClock_);
-    out.add("accesses", accesses_.value());
-    out.add("misses", misses_.value());
-    out.add("writes", writes_.value());
+    w.u64(useClock_);
+    w.u64(accesses_.value());
+    w.u64(misses_.value());
+    w.u64(writes_.value());
 }
 
 void
-Cache::restore(const Json &in)
+Cache::restore(BinReader &r)
 {
-    std::vector<std::uint64_t> lines;
-    packedU64From(in["lines"], &lines);
-    FW_ASSERT(lines.size() == lines_.size() * 3,
-              "cache snapshot geometry mismatch (%s: %zu vs %zu lines)",
-              params_.name.c_str(), lines.size() / 3, lines_.size());
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-        lines_[i].tag = lines[i * 3];
-        lines_[i].valid = lines[i * 3 + 1] != 0;
-        lines_[i].lastUse = lines[i * 3 + 2];
+    const std::uint64_t count = r.u64();
+    FW_ASSERT(count == lines_.size(),
+              "cache snapshot geometry mismatch (%s: %llu vs %zu "
+              "lines)",
+              params_.name.c_str(), (unsigned long long)count,
+              lines_.size());
+    for (Line &l : lines_) {
+        l.tag = r.u64();
+        l.valid = r.b();
+        l.lastUse = r.u64();
     }
-    useClock_ = in["useClock"].asU64();
-    accesses_.set(in["accesses"].asU64());
-    misses_.set(in["misses"].asU64());
-    writes_.set(in["writes"].asU64());
+    useClock_ = r.u64();
+    accesses_.set(r.u64());
+    misses_.set(r.u64());
+    writes_.set(r.u64());
 }
 
 } // namespace flywheel

@@ -12,15 +12,16 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace flywheel {
 
 namespace obs { class StatsGroup; }
+class BinWriter;
+class BinReader;
 
 /** Static configuration of one cache level. */
 struct CacheParams
@@ -40,7 +41,8 @@ struct CacheParams
 class Cache
 {
   public:
-    explicit Cache(const CacheParams &params);
+    /** @param arena owns the line array for the cache's lifetime. */
+    Cache(Arena &arena, const CacheParams &params);
 
     /** Look up @p addr; allocate on miss. @return true on hit. */
     bool access(Addr addr, bool is_write);
@@ -69,9 +71,9 @@ class Cache
     void registerStats(obs::StatsGroup &group) const;
 
     /** Serialize the complete array state (tags, LRU, counters). */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save() (geometry must match). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     struct Line
@@ -97,7 +99,7 @@ class Cache
     unsigned lineShift_ = 0;
     unsigned tagShift_ = 0;
     std::uint32_t setMask_ = 0;
-    std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
+    ArenaVector<Line> lines_;  ///< numSets_ x assoc, row-major
     std::uint64_t useClock_ = 0;
 
     Counter accesses_;

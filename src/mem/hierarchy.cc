@@ -1,14 +1,16 @@
 #include "mem/hierarchy.hh"
 
 #include "obs/stats_registry.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
-MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+MemoryHierarchy::MemoryHierarchy(Arena &arena,
+                                 const HierarchyParams &params)
     : params_(params),
-      icache_(params.icache),
-      dcache_(params.dcache),
-      l2_(params.l2)
+      icache_(arena, params.icache),
+      dcache_(arena, params.dcache),
+      l2_(arena, params.l2)
 {}
 
 MemLevel
@@ -34,26 +36,21 @@ MemoryHierarchy::data(Addr addr, bool is_write)
 }
 
 void
-MemoryHierarchy::save(Json &out) const
+MemoryHierarchy::save(BinWriter &w) const
 {
-    out = Json::object();
-    Json ic, dc, l2;
-    icache_.save(ic);
-    dcache_.save(dc);
-    l2_.save(l2);
-    out.add("icache", std::move(ic));
-    out.add("dcache", std::move(dc));
-    out.add("l2", std::move(l2));
-    out.add("memAccesses", memAccesses_.value());
+    icache_.save(w);
+    dcache_.save(w);
+    l2_.save(w);
+    w.u64(memAccesses_.value());
 }
 
 void
-MemoryHierarchy::restore(const Json &in)
+MemoryHierarchy::restore(BinReader &r)
 {
-    icache_.restore(in["icache"]);
-    dcache_.restore(in["dcache"]);
-    l2_.restore(in["l2"]);
-    memAccesses_.set(in["memAccesses"].asU64());
+    icache_.restore(r);
+    dcache_.restore(r);
+    l2_.restore(r);
+    memAccesses_.set(r.u64());
 }
 
 void

@@ -40,7 +40,8 @@ struct HierarchyParams
 class MemoryHierarchy
 {
   public:
-    explicit MemoryHierarchy(const HierarchyParams &params);
+    /** @param arena owns all three levels' line arrays. */
+    MemoryHierarchy(Arena &arena, const HierarchyParams &params);
 
     /** Instruction fetch of the line containing @p pc. */
     MemLevel fetch(Addr pc);
@@ -65,9 +66,9 @@ class MemoryHierarchy
                        const std::string &prefix) const;
 
     /** Serialize all three cache arrays plus the memory counter. */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
     /** Restore state saved by save(). */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
   private:
     HierarchyParams params_;

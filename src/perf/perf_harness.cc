@@ -108,9 +108,13 @@ runPerfGrid(const PerfOptions &options, const PerfProgress &progress)
     }
 
     std::unique_ptr<Checkpointer> checkpointer;
-    if (!options.checkpointDir.empty())
-        checkpointer =
-            std::make_unique<Checkpointer>(options.checkpointDir);
+    if (!options.checkpointDir.empty()) {
+        Checkpointer::Options store;
+        store.jsonFormat = options.checkpointJson;
+        store.capBytes = options.checkpointCapBytes;
+        checkpointer = std::make_unique<Checkpointer>(
+            options.checkpointDir, store);
+    }
 
     std::mutex progress_mutex;
     std::size_t done = 0;

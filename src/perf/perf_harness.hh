@@ -54,6 +54,10 @@ struct PerfOptions
      * is bit-identical to simulating the warmup.
      */
     std::string checkpointDir;
+    /** Persist checkpoints as JSON (see SweepOptions::checkpointJson). */
+    bool checkpointJson = false;
+    /** Store size cap (see SweepOptions::checkpointCapBytes). */
+    std::uint64_t checkpointCapBytes = 0;
     /**
      * Interval sampling (0 = full detail): time the measurement as N
      * detailed windows separated by fast-forwards, i.e. measure the

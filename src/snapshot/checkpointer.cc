@@ -1,7 +1,16 @@
 #include "snapshot/checkpointer.hh"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/log.hh"
 #include "core/sim_driver.hh"
@@ -66,9 +75,60 @@ fileBytes(const std::string &path)
     return static_cast<std::uint64_t>(st.st_size);
 }
 
+/**
+ * mkdir -p: create @p dir and every missing parent.  A single-level
+ * ::mkdir fails with ENOENT for a nested --checkpoint-dir a/b/c,
+ * which used to make every persist in such a store fail silently.
+ */
+bool
+makeDirs(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    std::string prefix;
+    prefix.reserve(dir.size());
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            prefix += dir[i];
+            continue;
+        }
+        if (!prefix.empty() &&
+            ::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+            struct ::stat st;
+            if (::stat(prefix.c_str(), &st) != 0 ||
+                !S_ISDIR(st.st_mode))
+                return false;
+        }
+        if (i < dir.size())
+            prefix += '/';
+    }
+    struct ::stat st;
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/** True iff @p name looks like a checkpoint store file. */
+bool
+isCheckpointFile(const std::string &name)
+{
+    if (name.rfind("ckpt-", 0) != 0)
+        return false;
+    const auto ends_with = [&name](const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    return ends_with(".fws") || ends_with(".json");
+}
+
 } // namespace
 
-Checkpointer::Checkpointer(std::string dir) : dir_(std::move(dir))
+Checkpointer::Checkpointer(std::string dir)
+    : Checkpointer(std::move(dir), Options())
+{
+}
+
+Checkpointer::Checkpointer(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options)
 {
     if (dir_ == kMemoryOnly)
         dir_.clear();
@@ -80,9 +140,83 @@ Checkpointer::pathFor(const std::string &key) const
     if (dir_.empty())
         return "";
     char name[40];
-    std::snprintf(name, sizeof(name), "ckpt-%016llx.json",
-                  static_cast<unsigned long long>(fnv1a64(key)));
+    std::snprintf(name, sizeof(name), "ckpt-%016llx.%s",
+                  static_cast<unsigned long long>(fnv1a64(key)),
+                  options_.jsonFormat ? "json" : "fws");
     return dir_ + "/" + name;
+}
+
+bool
+Checkpointer::parseCapMegabytes(const char *text,
+                                std::uint64_t *out_bytes)
+{
+    if (!text || !*text)
+        return false;
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long mb = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || *end != '\0')
+        return false;
+    if (mb > (~0ULL >> 20))
+        return false;  // would overflow the byte conversion
+    *out_bytes = static_cast<std::uint64_t>(mb) << 20;
+    return true;
+}
+
+std::size_t
+Checkpointer::pruneStore(const std::string &dir,
+                         std::uint64_t cap_bytes,
+                         std::uint64_t *bytes_removed)
+{
+    if (bytes_removed)
+        *bytes_removed = 0;
+    ::DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return 0;
+    struct File
+    {
+        std::string path;
+        std::uint64_t bytes;
+        std::int64_t mtime;
+    };
+    std::vector<File> files;
+    std::uint64_t total = 0;
+    while (const struct ::dirent *ent = ::readdir(d)) {
+        if (!isCheckpointFile(ent->d_name))
+            continue;
+        const std::string path = dir + "/" + ent->d_name;
+        struct ::stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        files.push_back({path,
+                         static_cast<std::uint64_t>(st.st_size),
+                         static_cast<std::int64_t>(st.st_mtime)});
+        total += static_cast<std::uint64_t>(st.st_size);
+    }
+    ::closedir(d);
+
+    // Oldest mtime first: checkpoints re-warm on next use, so the
+    // least-recently-written are the cheapest to lose.
+    std::sort(files.begin(), files.end(),
+              [](const File &a, const File &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+
+    std::size_t removed = 0;
+    for (const File &f : files) {
+        if (total <= cap_bytes)
+            break;
+        if (std::remove(f.path.c_str()) != 0)
+            continue;
+        total -= f.bytes;
+        ++removed;
+        if (bytes_removed)
+            *bytes_removed += f.bytes;
+    }
+    return removed;
 }
 
 std::shared_ptr<const Snapshot>
@@ -146,18 +280,48 @@ Checkpointer::acquire(const std::string &key, const Factory &make,
             ++evictions_;
     }
 
-    if (!dir_.empty()) {
-        ::mkdir(dir_.c_str(), 0777);  // best-effort, may already exist
-        const std::string path = pathFor(key);
-        std::string error;
-        if (!snap->writeFile(path, &error)) {
-            FW_WARN("cannot persist checkpoint: %s", error.c_str());
-        } else {
-            std::lock_guard<std::mutex> lock(mutex_);
-            diskBytesWritten_ += fileBytes(path);
-        }
-    }
+    if (!dir_.empty())
+        persist(snap, key);
     return snap;
+}
+
+void
+Checkpointer::persist(const std::shared_ptr<const Snapshot> &snap,
+                      const std::string &key)
+{
+    const std::string path = pathFor(key);
+    std::string error;
+    const bool wrote =
+        makeDirs(dir_)
+            ? snap->writeFile(path, &error,
+                              options_.jsonFormat
+                                  ? Snapshot::Codec::Json
+                                  : Snapshot::Codec::Binary)
+            : (error = "cannot create store directory " + dir_, false);
+
+    if (!wrote) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++persistFailures_;
+        if (!persistFailureWarned_) {
+            // One warning per session; the failure count stays
+            // visible in summaryLine() and the stats registry.
+            persistFailureWarned_ = true;
+            FW_WARN("cannot persist checkpoint: %s (checkpoints stay "
+                    "in memory; further persist failures counted "
+                    "silently)",
+                    error.c_str());
+        }
+        return;
+    }
+
+    std::uint64_t pruned_bytes = 0;
+    std::size_t pruned = 0;
+    if (options_.capBytes > 0)
+        pruned = pruneStore(dir_, options_.capBytes, &pruned_bytes);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    diskBytesWritten_ += fileBytes(path);
+    evictions_ += pruned;
 }
 
 std::uint64_t
@@ -202,6 +366,13 @@ Checkpointer::diskBytesRead() const
     return diskBytesRead_;
 }
 
+std::uint64_t
+Checkpointer::persistFailures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return persistFailures_;
+}
+
 void
 Checkpointer::registerStats(obs::StatsGroup &group) const
 {
@@ -215,22 +386,25 @@ Checkpointer::registerStats(obs::StatsGroup &group) const
                   [this] { return double(diskBytesWritten()); });
     group.formula("diskBytesRead",
                   [this] { return double(diskBytesRead()); });
+    group.formula("persistFailures",
+                  [this] { return double(persistFailures()); });
 }
 
 std::string
 Checkpointer::summaryLine() const
 {
-    char line[192];
+    char line[224];
     std::snprintf(line, sizeof(line),
                   "checkpoints: %llu memory hits, %llu disk hits, "
                   "%llu computed, %llu evicted, %llu B written, "
-                  "%llu B read",
+                  "%llu B read, %llu persist failures",
                   (unsigned long long)memoryHits(),
                   (unsigned long long)diskHits(),
                   (unsigned long long)computes(),
                   (unsigned long long)evictions(),
                   (unsigned long long)diskBytesWritten(),
-                  (unsigned long long)diskBytesRead());
+                  (unsigned long long)diskBytesRead(),
+                  (unsigned long long)persistFailures());
     return line;
 }
 

@@ -55,12 +55,52 @@ class Checkpointer
     /** Sentinel dir meaning "in-process memory only, no disk". */
     static constexpr const char *kMemoryOnly = ":memory:";
 
+    /** Store lifecycle knobs beyond the directory itself. */
+    struct Options
+    {
+        /**
+         * Persist snapshots as the JSON escape hatch instead of the
+         * binary container (--snapshot-json): greppable checkpoint
+         * files for debugging, at several times the size.
+         */
+        bool jsonFormat = false;
+
+        /**
+         * Size cap for the on-disk store in bytes (0 = unlimited).
+         * After every persist the store is pruned oldest-first
+         * (mtime LRU) until it fits; pruned files count as evictions
+         * and re-warm on next use.
+         */
+        std::uint64_t capBytes = 0;
+    };
+
     /**
      * @param dir  on-disk store directory ("" or ":memory:" keeps
      *             checkpoints in process memory only).  Created on
-     *             first save if missing.
+     *             first save if missing — including parents, so a
+     *             nested --checkpoint-dir a/b/c works.
      */
     explicit Checkpointer(std::string dir = "");
+    Checkpointer(std::string dir, Options options);
+
+    /**
+     * Delete checkpoint files under @p dir, oldest mtime first, until
+     * the store holds at most @p cap_bytes (0 = remove every
+     * checkpoint file).  Non-checkpoint files are never touched.
+     * @return the number of files removed.
+     */
+    static std::size_t pruneStore(const std::string &dir,
+                                  std::uint64_t cap_bytes,
+                                  std::uint64_t *bytes_removed = nullptr);
+
+    /**
+     * Strict parse of a decimal megabyte count ("512") into bytes —
+     * the FLYWHEEL_CHECKPOINT_CAP_MB / --checkpoint-cap-mb value.
+     * Same discipline as FLYWHEEL_JOBS: digits only, no sign, no
+     * trailing text, no overflow.  0 is accepted (= uncapped).
+     */
+    static bool parseCapMegabytes(const char *text,
+                                  std::uint64_t *out_bytes);
 
     /** Builds the snapshot for a key nobody has computed yet. */
     using Factory = std::function<std::shared_ptr<const Snapshot>()>;
@@ -93,10 +133,15 @@ class Checkpointer
     std::uint64_t memoryHits() const;
     std::uint64_t diskHits() const;
     std::uint64_t computes() const;
-    /** Refresh recomputes that replaced an already-published snapshot. */
+    /**
+     * Refresh recomputes that replaced an already-published snapshot,
+     * plus on-disk files pruned by the size cap.
+     */
     std::uint64_t evictions() const;
     std::uint64_t diskBytesWritten() const;
     std::uint64_t diskBytesRead() const;
+    /** Persist attempts that failed (disk full, permissions, ...). */
+    std::uint64_t persistFailures() const;
 
     /** Register the store's counters with @p group (live values). */
     void registerStats(obs::StatsGroup &group) const;
@@ -111,7 +156,11 @@ class Checkpointer
         std::shared_ptr<const Snapshot> snap;  ///< null until computed
     };
 
+    void persist(const std::shared_ptr<const Snapshot> &snap,
+                 const std::string &key);
+
     std::string dir_;  ///< "" = memory only
+    Options options_;
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<Entry>> entries_;
     std::uint64_t memoryHits_ = 0;
@@ -120,6 +169,8 @@ class Checkpointer
     std::uint64_t evictions_ = 0;
     std::uint64_t diskBytesWritten_ = 0;
     std::uint64_t diskBytesRead_ = 0;
+    std::uint64_t persistFailures_ = 0;
+    bool persistFailureWarned_ = false;  ///< warn once per session
 };
 
 } // namespace flywheel

@@ -7,8 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
-#include "sweep/result_cache.hh"
 
 namespace flywheel {
 
@@ -31,82 +31,359 @@ hashHex(std::uint64_t h)
     return buf;
 }
 
-} // namespace
-
-Json
-exactU64Json(std::uint64_t v)
-{
-    return Json(std::to_string(v));
-}
+// Incremental FNV-1a so the content hash folds over section pieces
+// without concatenating them (same constants as sweep::fnv1a64).
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
 std::uint64_t
-exactU64From(const Json &j)
+fnvFold(std::uint64_t h, const void *data, std::size_t size)
 {
-    FW_ASSERT(j.isString(), "expected an exact-u64 string field");
-    return std::strtoull(j.asString().c_str(), nullptr, 10);
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+// ---- binary container ----------------------------------------------
+//
+// Layout (all integers little-endian):
+//   char   magic[18]   "flywheel-snapshot\0"
+//   u32    version
+//   u64    contentHash (over the *raw* section bytes)
+//   u32    keyLen, key bytes
+//   u32    sectionCount
+//   per section:
+//     u32  nameLen, name bytes
+//     u8   flags (bit 0: payload is LZSS-compressed)
+//     u64  rawSize
+//     u64  storedSize, then storedSize payload bytes
+constexpr std::size_t kMagicBytes = 18; // includes the NUL
+constexpr std::uint8_t kFlagCompressed = 1;
+
+/**
+ * Bounds-checked cursor for parsing untrusted container bytes: every
+ * read reports failure instead of panicking, so a truncated or
+ * corrupted file surfaces as a clear error (BinReader, by contrast,
+ * runs only after the content hash has been verified).
+ */
+struct SafeCursor
+{
+    const char *p;
+    const char *end;
+
+    std::size_t left() const { return end - p; }
+
+    bool
+    bytes(std::size_t n, const char **out)
+    {
+        if (left() < n)
+            return false;
+        *out = p;
+        p += n;
+        return true;
+    }
+
+    template <typename T>
+    bool
+    fixed(T *out)
+    {
+        if (left() < sizeof(T))
+            return false;
+        T v = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v |= static_cast<T>(static_cast<std::uint8_t>(p[i]))
+                 << (8 * i);
+        p += sizeof(T);
+        *out = v;
+        return true;
+    }
+
+    bool
+    str(std::string *out)
+    {
+        std::uint32_t n = 0;
+        const char *at = nullptr;
+        if (!fixed(&n) || !bytes(n, &at))
+            return false;
+        out->assign(at, n);
+        return true;
+    }
+};
+
+// JSON escape hatch: the same section bytes as space-separated
+// decimal byte values — greppable, diffable, loadable anywhere.
+std::string
+bytesToPackedDecimal(const std::string &bytes)
+{
+    std::string s;
+    s.reserve(bytes.size() * 4);
+    char buf[8];
+    for (unsigned char c : bytes) {
+        const int n = std::snprintf(buf, sizeof(buf), "%u", unsigned(c));
+        if (!s.empty())
+            s += ' ';
+        s.append(buf, static_cast<std::size_t>(n));
+    }
+    return s;
+}
+
+bool
+packedDecimalToBytes(const std::string &s, std::string *out)
+{
+    out->clear();
+    out->reserve(s.size() / 2);
+    const char *p = s.c_str();
+    while (*p != '\0') {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v > 255)
+            return false;
+        out->push_back(static_cast<char>(v));
+        p = end;
+        while (*p == ' ')
+            ++p;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Snapshot::hasSection(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+BinReader
+Snapshot::section(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return BinReader(s.data);
+    FW_PANIC("snapshot has no section '%s'", name.c_str());
+}
+
+std::size_t
+Snapshot::payloadBytes() const
+{
+    std::size_t total = 0;
+    for (const Section &s : sections_)
+        total += s.data.size();
+    return total;
 }
 
 std::uint64_t
 Snapshot::contentHash() const
 {
-    return fnv1a64(state_.dump(0));
+    std::uint64_t h = kFnvBasis;
+    for (const Section &s : sections_) {
+        h = fnvFold(h, s.name.data(), s.name.size() + 1);
+        unsigned char lenLe[8];
+        const std::uint64_t len = s.data.size();
+        for (int i = 0; i < 8; ++i)
+            lenLe[i] =
+                static_cast<unsigned char>((len >> (8 * i)) & 0xFF);
+        h = fnvFold(h, lenLe, sizeof(lenLe));
+        h = fnvFold(h, s.data.data(), s.data.size());
+    }
+    return h;
 }
 
 std::string
-Snapshot::serialize() const
+Snapshot::serializeBinary() const
 {
-    // The payload is serialized once and spliced into the document so
-    // the header hash provably covers the exact bytes written.
-    const std::string payload = state_.dump(0);
+    BinWriter w;
+    for (std::size_t i = 0; i < kMagicBytes; ++i)
+        w.u8(static_cast<std::uint8_t>(kMagic[i]));
+    w.u32(static_cast<std::uint32_t>(kFormatVersion));
+    w.u64(contentHash());
+    w.str(key_);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const Section &s : sections_) {
+        w.str(s.name);
+        // Compress only when it actually shrinks: tiny sections and
+        // incompressible data ship raw (and restore via memcpy).
+        std::string packed =
+            lzssCompress(s.data.data(), s.data.size());
+        const bool compressed = packed.size() < s.data.size();
+        w.u8(compressed ? kFlagCompressed : 0);
+        w.u64(s.data.size());
+        const std::string &stored = compressed ? packed : s.data;
+        w.u64(stored.size());
+        w.raw(stored);
+    }
+    return w.take();
+}
+
+bool
+Snapshot::deserializeBinary(const std::string &bytes, Snapshot *out,
+                            std::string *error)
+{
+    SafeCursor c{bytes.data(), bytes.data() + bytes.size()};
+
+    const char *magic = nullptr;
+    if (!c.bytes(kMagicBytes, &magic) ||
+        std::memcmp(magic, kMagic, kMagicBytes) != 0)
+        return fail(error, "not a flywheel snapshot (bad magic tag)");
+
+    std::uint32_t version = 0;
+    if (!c.fixed(&version))
+        return fail(error, "snapshot truncated in header");
+    if (version != std::uint32_t(kFormatVersion))
+        return fail(error, "snapshot format version " +
+                               std::to_string(version) +
+                               " unsupported (want " +
+                               std::to_string(kFormatVersion) + ")");
+
+    std::uint64_t want_hash = 0;
+    Snapshot snap;
+    std::uint32_t count = 0;
+    if (!c.fixed(&want_hash) || !c.str(&snap.key_) || !c.fixed(&count))
+        return fail(error, "snapshot truncated in header");
+
+    snap.sections_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        std::uint8_t flags = 0;
+        std::uint64_t raw_size = 0;
+        std::uint64_t stored_size = 0;
+        const char *payload = nullptr;
+        if (!c.str(&s.name) || !c.fixed(&flags) ||
+            !c.fixed(&raw_size) || !c.fixed(&stored_size) ||
+            !c.bytes(static_cast<std::size_t>(stored_size), &payload))
+            return fail(error, "snapshot truncated in section table "
+                               "(corrupt or incomplete file)");
+        if (flags & kFlagCompressed) {
+            if (!lzssDecompress(payload,
+                                static_cast<std::size_t>(stored_size),
+                                static_cast<std::size_t>(raw_size),
+                                &s.data))
+                return fail(error,
+                            "snapshot section '" + s.name +
+                                "' fails to decompress: corrupt "
+                                "snapshot");
+        } else {
+            if (stored_size != raw_size)
+                return fail(error, "snapshot section '" + s.name +
+                                       "' has inconsistent sizes: "
+                                       "corrupt snapshot");
+            s.data.assign(payload,
+                          static_cast<std::size_t>(stored_size));
+        }
+        snap.sections_.push_back(std::move(s));
+    }
+    if (c.left() != 0)
+        return fail(error,
+                    "trailing bytes after snapshot payload: corrupt "
+                    "snapshot");
+
+    const std::uint64_t got_hash = snap.contentHash();
+    if (got_hash != want_hash)
+        return fail(error, "snapshot content hash mismatch (file " +
+                               hashHex(want_hash) + ", payload " +
+                               hashHex(got_hash) +
+                               "): corrupt snapshot");
+    *out = std::move(snap);
+    return true;
+}
+
+std::string
+Snapshot::serializeJson() const
+{
     Json doc = Json::object();
     doc.set("magic", kMagic);
     doc.set("version", kFormatVersion);
     doc.set("key", key_);
-    doc.set("hash", hashHex(fnv1a64(payload)));
-    std::string head = doc.dump(0);
-    // Replace the closing brace with the state member.
-    head.pop_back();
-    head += ",\"state\":";
-    head += payload;
-    head += "}";
-    return head;
+    doc.set("hash", hashHex(contentHash()));
+    Json sections = Json::array();
+    for (const Section &s : sections_) {
+        Json sec = Json::object();
+        sec.set("name", s.name);
+        sec.set("data", bytesToPackedDecimal(s.data));
+        sections.push(std::move(sec));
+    }
+    doc.set("sections", std::move(sections));
+    return doc.dump(0);
 }
 
 bool
-Snapshot::deserialize(const std::string &text, Snapshot *out,
-                      std::string *error)
+Snapshot::deserializeJson(const std::string &text, Snapshot *out,
+                          std::string *error)
 {
     Json doc;
     std::string parse_error;
     if (!Json::parse(text, doc, &parse_error))
         return fail(error, "snapshot unreadable (truncated or not "
-                           "JSON): " + parse_error);
+                           "JSON): " +
+                               parse_error);
     if (!doc.isObject() || !doc["magic"].isString() ||
         doc["magic"].asString() != kMagic)
         return fail(error, "not a flywheel snapshot (bad magic tag)");
     if (!doc["version"].isNumber() ||
         doc["version"].asU64() != std::uint64_t(kFormatVersion))
         return fail(error, "snapshot format version " +
-                    std::to_string(doc["version"].asU64()) +
-                    " unsupported (want " +
-                    std::to_string(kFormatVersion) + ")");
-    if (!doc["state"].isObject())
-        return fail(error, "snapshot has no state payload");
+                               std::to_string(doc["version"].asU64()) +
+                               " unsupported (want " +
+                               std::to_string(kFormatVersion) + ")");
+    if (!doc["sections"].isArray())
+        return fail(error, "snapshot has no section payload");
 
     Snapshot snap;
     snap.key_ = doc["key"].asString();
-    doc.take("state", &snap.state_);  // move: the payload is large
+    for (const Json &sec : doc["sections"].items()) {
+        if (!sec.isObject() || !sec["name"].isString() ||
+            !sec["data"].isString())
+            return fail(error,
+                        "malformed snapshot section entry: corrupt "
+                        "snapshot");
+        Section s;
+        s.name = sec["name"].asString();
+        if (!packedDecimalToBytes(sec["data"].asString(), &s.data))
+            return fail(error, "snapshot section '" + s.name +
+                                   "' has malformed byte data: "
+                                   "corrupt snapshot");
+        snap.sections_.push_back(std::move(s));
+    }
+
     const std::string want = doc["hash"].asString();
     const std::string got = hashHex(snap.contentHash());
     if (want != got)
         return fail(error, "snapshot content hash mismatch (file " +
-                    want + ", payload " + got + "): corrupt snapshot");
+                               want + ", payload " + got +
+                               "): corrupt snapshot");
     *out = std::move(snap);
     return true;
 }
 
+std::string
+Snapshot::serialize(Codec codec) const
+{
+    return codec == Codec::Binary ? serializeBinary()
+                                  : serializeJson();
+}
+
 bool
-Snapshot::writeFile(const std::string &path, std::string *error) const
+Snapshot::deserialize(const std::string &bytes, Snapshot *out,
+                      std::string *error)
+{
+    if (bytes.empty())
+        return fail(error, "empty snapshot document");
+    // The binary container opens with the NUL-terminated magic; the
+    // JSON escape hatch, like any JSON object, opens with '{'.
+    if (bytes[0] == '{')
+        return deserializeJson(bytes, out, error);
+    return deserializeBinary(bytes, out, error);
+}
+
+bool
+Snapshot::writeFile(const std::string &path, std::string *error,
+                    Codec codec) const
 {
     // Per-process tmp name: several processes may share one
     // checkpoint store and cold-start the same key concurrently; a
@@ -118,7 +395,11 @@ Snapshot::writeFile(const std::string &path, std::string *error) const
         std::ofstream out(tmp, std::ios::binary);
         if (!out)
             return fail(error, "cannot write " + tmp);
-        out << serialize() << '\n';
+        const std::string doc = serialize(codec);
+        out.write(doc.data(),
+                  static_cast<std::streamsize>(doc.size()));
+        if (codec == Codec::Json)
+            out << '\n';
         if (!out.good())
             return fail(error, "short write to " + tmp);
     }

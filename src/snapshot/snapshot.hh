@@ -6,13 +6,26 @@
  * reorder buffer, Execution Cache, clocking — produced by
  * CoreBase::save() and consumed by CoreBase::restore().
  *
- * The payload is a Json document (src/common/json.hh): deterministic
- * byte-stable serialization, human-inspectable, no third-party
- * dependency.  The on-disk form wraps the payload in a header with a
- * magic tag, a format version and an FNV-1a content hash, so a
- * truncated, corrupted or version-mismatched file is rejected with a
- * clear error instead of restoring garbage (the same hardening
- * discipline as the sweep ResultCache).
+ * The payload is an ordered list of named byte sections, one per
+ * stateful layer, each written by that layer's save() through the
+ * fixed-width binary codec (snapshot/bincodec.hh).  The arena-backed
+ * containers make those sections little more than memcpys of
+ * contiguous buffers.  The content hash is computed over the raw
+ * section bytes — independent of the on-disk codec — so a state
+ * round-tripped through either container hashes identically.
+ *
+ * Two on-disk containers share that payload:
+ *
+ * - Binary (default): magic + version + content hash + key + a
+ *   length-prefixed section table with per-section LZSS compression.
+ *   This is the checkpoint-store format.
+ * - JSON (--snapshot-json debug escape hatch): the same header
+ *   fields and the same section bytes as space-separated decimal
+ *   byte strings — human-greppable, loadable by any JSON tool.
+ *
+ * Both containers reject truncated, corrupted or version-mismatched
+ * input with a clear error instead of restoring garbage (the same
+ * hardening discipline as the sweep ResultCache).
  *
  * Restoring a snapshot into a freshly constructed core over an
  * identically configured program/stream and then simulating must be
@@ -30,7 +43,7 @@
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -39,15 +52,16 @@ class Snapshot
 {
   public:
     /** On-disk format version (bump when any component layout changes). */
-    static constexpr int kFormatVersion = 1;
+    static constexpr int kFormatVersion = 2;
     /** Document magic tag. */
     static constexpr const char *kMagic = "flywheel-snapshot";
 
-    Snapshot() : state_(Json::object()) {}
-
-    /** The state payload written by the component save() methods. */
-    Json &state() { return state_; }
-    const Json &state() const { return state_; }
+    /** On-disk container for serialize()/writeFile(). */
+    enum class Codec
+    {
+        Binary, ///< default: compressed section table
+        Json,   ///< --snapshot-json debug escape hatch
+    };
 
     /**
      * Identity key recorded in the header (the Checkpointer's
@@ -58,115 +72,73 @@ class Snapshot
     void setKey(std::string key) { key_ = std::move(key); }
     const std::string &key() const { return key_; }
 
-    /** FNV-1a 64-bit hash of the serialized payload. */
-    std::uint64_t contentHash() const;
+    /** Append one named section of raw codec bytes (order matters). */
+    void
+    addSection(std::string name, std::string bytes)
+    {
+        sections_.push_back({std::move(name), std::move(bytes)});
+    }
 
-    /** Full document (header + payload), compact single-line JSON. */
-    std::string serialize() const;
+    bool hasSection(const std::string &name) const;
+
+    /** Reader over @p name's bytes; panics if the section is absent. */
+    BinReader section(const std::string &name) const;
+
+    std::size_t sectionCount() const { return sections_.size(); }
+    const std::string &sectionName(std::size_t i) const
+    {
+        return sections_[i].name;
+    }
+
+    /** Total raw payload bytes across all sections. */
+    std::size_t payloadBytes() const;
 
     /**
-     * Parse a serialized document.  Rejects — with a clear *error —
-     * malformed JSON (truncation), a wrong magic tag, a format
+     * FNV-1a 64-bit hash over section names, lengths and raw bytes —
+     * codec-independent, so a binary file and its JSON escape-hatch
+     * twin carry the same hash.
+     */
+    std::uint64_t contentHash() const;
+
+    /** Full document (header + payload) in @p codec's container. */
+    std::string serialize(Codec codec = Codec::Binary) const;
+
+    /**
+     * Parse a serialized document of either container (binary is
+     * recognized by magic, JSON by its leading '{').  Rejects — with
+     * a clear *error — truncation, a wrong magic tag, a format
      * version other than kFormatVersion, and a payload whose content
      * hash does not match the header (corruption).
      */
-    static bool deserialize(const std::string &text, Snapshot *out,
+    static bool deserialize(const std::string &bytes, Snapshot *out,
                             std::string *error = nullptr);
 
     /** Write atomically (write-then-rename). @return false + *error. */
     bool writeFile(const std::string &path,
-                   std::string *error = nullptr) const;
+                   std::string *error = nullptr,
+                   Codec codec = Codec::Binary) const;
 
-    /** Read and deserialize @p path. */
+    /** Read and deserialize @p path (either container). */
     static bool readFile(const std::string &path, Snapshot *out,
                          std::string *error = nullptr);
 
   private:
+    struct Section
+    {
+        std::string name;
+        std::string data;
+    };
+
+    std::string serializeBinary() const;
+    std::string serializeJson() const;
+    static bool deserializeBinary(const std::string &bytes,
+                                  Snapshot *out, std::string *error);
+    static bool deserializeJson(const std::string &text, Snapshot *out,
+                                std::string *error);
+
     std::string key_;
-    Json state_;
+    std::vector<Section> sections_;
 };
-
-// ---- serialization helpers shared by the component save/restore ----
-
-/**
- * Exact 64-bit integer codec.  JSON numbers are doubles, which lose
- * precision above 2^53 — fatal for full-entropy values like PCG32
- * generator state or user-chosen workload seeds (a rounded RNG state
- * silently diverges the restored run).  Such fields travel as
- * decimal strings instead.  Counters, ticks and addresses stay plain
- * numbers: they are bounded far below 2^53, and the kTickMax / ~0
- * sentinels round-trip exactly through Json::asU64's saturation.
- */
-Json exactU64Json(std::uint64_t v);
-std::uint64_t exactU64From(const Json &j);
-
-/**
- * Packed unsigned-array codec: one space-separated decimal string —
- * a single Json node for N values — used for the bulk arrays (cache
- * lines, predictor tables, Execution Cache slots, register files)
- * that dominate both snapshot size and restore latency when encoded
- * as per-element Json numbers.  Decimal strings are exact at full
- * 64-bit range, so sentinels like kTickMax need no special casing.
- */
-template <typename T>
-inline Json
-packedU64Json(const std::vector<T> &v)
-{
-    std::string s;
-    s.reserve(v.size() * 8);
-    char buf[24];
-    for (const T &x : v) {
-        const int n = std::snprintf(
-            buf, sizeof(buf), "%llu",
-            static_cast<unsigned long long>(std::uint64_t(x)));
-        if (!s.empty())
-            s += ' ';
-        s.append(buf, static_cast<std::size_t>(n));
-    }
-    return Json(std::move(s));
-}
-
-/** Decode a packedU64Json string back into a value vector. */
-template <typename T>
-inline void
-packedU64From(const Json &j, std::vector<T> *out)
-{
-    out->clear();
-    const std::string &s = j.asString();
-    const char *p = s.c_str();
-    while (*p != '\0') {
-        char *end = nullptr;
-        const std::uint64_t v = std::strtoull(p, &end, 10);
-        if (end == p)
-            break;
-        out->push_back(static_cast<T>(v));
-        p = end;
-        while (*p == ' ')
-            ++p;
-    }
-}
-
-/** Serialize a vector of unsigned integers as a Json number array. */
-template <typename T>
-inline Json
-numArrayJson(const std::vector<T> &v)
-{
-    Json arr = Json::array();
-    for (const T &x : v)
-        arr.push(std::uint64_t(x));
-    return arr;
-}
-
-/** Restore a vector of unsigned integers from a Json number array. */
-template <typename T>
-inline void
-numArrayFrom(const Json &j, std::vector<T> *out)
-{
-    out->clear();
-    out->reserve(j.size());
-    for (const Json &x : j.items())
-        out->push_back(static_cast<T>(x.asU64()));
-}
 
 } // namespace flywheel
 

@@ -197,9 +197,13 @@ SweepTable::writeCsv(std::ostream &os) const
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(options), cache_(options.cachePath), pool_(options.jobs)
 {
-    if (!options_.checkpointDir.empty())
-        checkpointer_ =
-            std::make_unique<Checkpointer>(options_.checkpointDir);
+    if (!options_.checkpointDir.empty()) {
+        Checkpointer::Options store;
+        store.jsonFormat = options_.checkpointJson;
+        store.capBytes = options_.checkpointCapBytes;
+        checkpointer_ = std::make_unique<Checkpointer>(
+            options_.checkpointDir, store);
+    }
 }
 
 SweepRunner::~SweepRunner()

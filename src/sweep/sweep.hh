@@ -188,6 +188,16 @@ struct SweepOptions
      */
     std::string checkpointDir;
     /**
+     * Persist checkpoints as the JSON debug escape hatch instead of
+     * the binary container (--snapshot-json).
+     */
+    bool checkpointJson = false;
+    /**
+     * On-disk checkpoint store size cap in bytes; 0 = unlimited.
+     * Enforced after every persist by mtime-LRU pruning.
+     */
+    std::uint64_t checkpointCapBytes = 0;
+    /**
      * Progress callback, invoked after each point completes (in
      * completion order, serialized — never concurrently).
      */

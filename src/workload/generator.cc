@@ -1,7 +1,7 @@
 #include "workload/generator.hh"
 
 #include "common/log.hh"
-#include "snapshot/snapshot.hh"
+#include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
@@ -9,11 +9,12 @@ WorkloadStream::WorkloadStream(const StaticProgram &program,
                                std::uint64_t seed)
     : prog_(program),
       rng_(seed ^ program.profile().seed, 0x2545f491),
-      curBlock_(program.entryBlock()),
-      tripsLeft_(program.blocks().size(), 0),
-      baseTrips_(program.blocks().size(), 0),
-      cursors_(program.objects().size(), 0)
-{}
+      curBlock_(program.entryBlock())
+{
+    tripsLeft_.assign(program.blocks().size(), 0);
+    baseTrips_.assign(program.blocks().size(), 0);
+    cursors_.assign(program.objects().size(), 0);
+}
 
 void
 WorkloadStream::produce()
@@ -114,62 +115,56 @@ WorkloadStream::skip(std::uint64_t n)
 }
 
 void
-WorkloadStream::save(Json &out) const
+WorkloadStream::save(BinWriter &w) const
 {
-    out = Json::object();
     // Program identity guard: a snapshot restored over a different
     // program would silently desynchronize everything downstream.
-    out.add("profile", std::string(prog_.profile().name));
-    // Full-entropy 64-bit values: exact string codec, never doubles.
-    out.add("profileSeed", exactU64Json(prog_.profile().seed));
+    w.str(std::string(prog_.profile().name));
+    w.u64(prog_.profile().seed);
     const Pcg32::State rng = rng_.getState();
-    out.add("rngState", exactU64Json(rng.state));
-    out.add("rngInc", exactU64Json(rng.inc));
-    out.add("curBlock", std::uint64_t(curBlock_));
-    out.add("opIdx", std::uint64_t(opIdx_));
-    out.add("tripsLeft", packedU64Json(tripsLeft_));
-    out.add("baseTrips", packedU64Json(baseTrips_));
-    out.add("cursors", packedU64Json(cursors_));
-    Json pending = Json::array();
+    w.u64(rng.state);
+    w.u64(rng.inc);
+    w.u32(curBlock_);
+    w.u32(opIdx_);
+    w.podArray(tripsLeft_.data(), tripsLeft_.size());
+    w.podArray(baseTrips_.data(), baseTrips_.size());
+    w.podArray(cursors_.data(), cursors_.size());
+    w.u64(lookahead_.size() - head_);
     for (std::size_t i = head_; i < lookahead_.size(); ++i)
-        pending.push(dynInstToJson(lookahead_[i]));
-    out.add("lookahead", std::move(pending));
-    out.add("current", dynInstToJson(current_));
-    out.add("consumed", consumed_);
-    out.add("nextSeq", nextSeq_);
+        dynInstToBin(w, lookahead_[i]);
+    dynInstToBin(w, current_);
+    w.u64(consumed_);
+    w.u64(nextSeq_);
 }
 
 void
-WorkloadStream::restore(const Json &in)
+WorkloadStream::restore(BinReader &r)
 {
-    FW_ASSERT(in.isObject() && in.has("nextSeq"),
-              "malformed workload-stream snapshot");
-    FW_ASSERT(in["profile"].asString() == prog_.profile().name &&
-                  exactU64From(in["profileSeed"]) ==
-                      prog_.profile().seed,
-              "stream snapshot belongs to a different program (%s/%s)",
-              in["profile"].asString().c_str(),
-              in["profileSeed"].asString().c_str());
+    const std::string profile = r.str();
+    const std::uint64_t seed = r.u64();
+    FW_ASSERT(profile == prog_.profile().name &&
+                  seed == prog_.profile().seed,
+              "stream snapshot belongs to a different program (%s/%llu)",
+              profile.c_str(), (unsigned long long)seed);
     Pcg32::State rng;
-    rng.state = exactU64From(in["rngState"]);
-    rng.inc = exactU64From(in["rngInc"]);
+    rng.state = r.u64();
+    rng.inc = r.u64();
     rng_.setState(rng);
-    curBlock_ = static_cast<std::uint32_t>(in["curBlock"].asU64());
-    opIdx_ = static_cast<std::uint32_t>(in["opIdx"].asU64());
-    packedU64From(in["tripsLeft"], &tripsLeft_);
-    packedU64From(in["baseTrips"], &baseTrips_);
-    packedU64From(in["cursors"], &cursors_);
-    FW_ASSERT(tripsLeft_.size() == prog_.blocks().size() &&
-                  baseTrips_.size() == prog_.blocks().size() &&
-                  cursors_.size() == prog_.objects().size(),
-              "stream snapshot geometry mismatch");
+    curBlock_ = r.u32();
+    opIdx_ = r.u32();
+    // The cursor tables are geometry-fixed at construction; the
+    // stored counts must match the program exactly.
+    r.podArray(tripsLeft_.data(), tripsLeft_.size());
+    r.podArray(baseTrips_.data(), baseTrips_.size());
+    r.podArray(cursors_.data(), cursors_.size());
+    const std::uint64_t pending = r.u64();
     lookahead_.clear();
     head_ = 0;
-    for (const Json &d : in["lookahead"].items())
-        lookahead_.push_back(dynInstFromJson(d));
-    current_ = dynInstFromJson(in["current"]);
-    consumed_ = in["consumed"].asU64();
-    nextSeq_ = in["nextSeq"].asU64();
+    for (std::uint64_t i = 0; i < pending; ++i)
+        lookahead_.push_back(dynInstFromBin(r));
+    current_ = dynInstFromBin(r);
+    consumed_ = r.u64();
+    nextSeq_ = r.u64();
 }
 
 } // namespace flywheel

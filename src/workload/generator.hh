@@ -10,9 +10,8 @@
 #define FLYWHEEL_WORKLOAD_GENERATOR_HH
 
 #include <cstdint>
-#include <vector>
 
-#include "common/json.hh"
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
@@ -80,16 +79,16 @@ class WorkloadStream
 
     /**
      * Serialize the complete dynamic stream state (RNG, control-flow
-     * cursors, pending lookahead) into @p out.
+     * cursors, pending lookahead) into @p w.
      */
-    void save(Json &out) const;
+    void save(BinWriter &w) const;
 
     /**
      * Restore state saved by save().  The stream must have been
      * constructed over an identical program (same profile knobs and
      * seed); a mismatch is a panic, not a silent divergence.
      */
-    void restore(const Json &in);
+    void restore(BinReader &r);
 
     const StaticProgram &program() const { return prog_; }
 
@@ -110,9 +109,7 @@ class WorkloadStream
             lookahead_.clear();
             head_ = 0;
         } else if (head_ >= 4096) {
-            lookahead_.erase(lookahead_.begin(),
-                             lookahead_.begin() +
-                                 static_cast<std::ptrdiff_t>(head_));
+            lookahead_.eraseFront(head_);
             head_ = 0;
         }
     }
@@ -123,21 +120,29 @@ class WorkloadStream
     std::uint32_t curBlock_;
     std::uint32_t opIdx_ = 0;
 
+    /**
+     * The stream owns its arena (streams are constructed standalone
+     * in tests/benches and per measurement window, not only inside a
+     * core): the cursor tables and lookahead become contiguous
+     * trivially-copyable buffers the snapshot codec can bulk-copy.
+     */
+    Arena arena_;
+
     /** Remaining trips for each Loop terminator (by block id);
      *  0 means "not currently armed". */
-    std::vector<std::uint32_t> tripsLeft_;
+    ArenaVector<std::uint32_t> tripsLeft_{arena_};
 
     /** Stable per-loop base trip count (drawn on first activation).
      *  Real loops have largely stable trip counts, which is what
      *  makes their exit branches learnable by a g-share predictor;
      *  occasional re-draws model data-dependent variation. */
-    std::vector<std::uint32_t> baseTrips_;
+    ArenaVector<std::uint32_t> baseTrips_{arena_};
 
     /** Strided cursor per data object. */
-    std::vector<std::uint32_t> cursors_;
+    ArenaVector<std::uint32_t> cursors_{arena_};
 
     /** Lookahead buffer; [head_, size) are the pending instructions. */
-    std::vector<DynInst> lookahead_;
+    ArenaVector<DynInst> lookahead_{arena_};
     std::size_t head_ = 0;
     DynInst current_;
     std::uint64_t consumed_ = 0;

@@ -8,6 +8,7 @@
 
 #include "branch/btb.hh"
 #include "branch/gshare.hh"
+#include "common/arena.hh"
 #include "common/random.hh"
 
 namespace flywheel {
@@ -15,7 +16,8 @@ namespace {
 
 TEST(Gshare, LearnsAlwaysTaken)
 {
-    Gshare g;
+    Arena arena;
+    Gshare g(arena);
     const Addr pc = 0x4000;
     int correct = 0;
     for (int i = 0; i < 100; ++i) {
@@ -31,7 +33,8 @@ TEST(Gshare, LearnsAlwaysTaken)
 
 TEST(Gshare, LearnsAlwaysNotTaken)
 {
-    Gshare g;
+    Arena arena;
+    Gshare g(arena);
     const Addr pc = 0x4000;
     int correct = 0;
     for (int i = 0; i < 100; ++i) {
@@ -49,7 +52,8 @@ TEST(Gshare, LearnsShortLoopPattern)
 {
     // Pattern T T T N repeating: with history the exit context is
     // distinguishable and accuracy should approach 100%.
-    Gshare g;
+    Arena arena;
+    Gshare g(arena);
     const Addr pc = 0x4000;
     int correct = 0, total = 0;
     for (int i = 0; i < 4000; ++i) {
@@ -70,7 +74,8 @@ TEST(Gshare, HistoryDisambiguatesCorrelatedBranches)
 {
     // Branch B is taken exactly when the previous branch A was
     // taken; with global history, B becomes fully predictable.
-    Gshare g;
+    Arena arena;
+    Gshare g(arena);
     const Addr pc_a = 0x1000, pc_b = 0x2000;
     Pcg32 rng(3);
     int correct_b = 0, total_b = 0;
@@ -98,13 +103,15 @@ TEST(Gshare, TableSizeMustBePowerOfTwo)
 {
     GshareParams p;
     p.tableEntries = 2048;
-    Gshare ok(p);  // must not die
+    Arena arena;
+    Gshare ok(arena, p);  // must not die
     EXPECT_EQ(ok.lookups(), 0u);
 }
 
 TEST(Btb, MissThenHitAfterUpdate)
 {
-    Btb btb;
+    Arena arena;
+    Btb btb(arena);
     EXPECT_FALSE(btb.lookup(0x1234).has_value());
     btb.update(0x1234, 0x9999);
     auto t = btb.lookup(0x1234);
@@ -114,7 +121,8 @@ TEST(Btb, MissThenHitAfterUpdate)
 
 TEST(Btb, UpdateReplacesTarget)
 {
-    Btb btb;
+    Arena arena;
+    Btb btb(arena);
     btb.update(0x1234, 0x1111);
     btb.update(0x1234, 0x2222);
     EXPECT_EQ(*btb.lookup(0x1234), 0x2222u);
@@ -125,7 +133,8 @@ TEST(Btb, ConflictEvictsLruWithinSet)
     BtbParams p;
     p.entries = 8;
     p.assoc = 2;  // 4 sets
-    Btb btb(p);
+    Arena arena;
+    Btb btb(arena, p);
     // Three branches in the same set (pc >> 2 congruent mod 4).
     Addr a = 0x1000, b = 0x1010, c = 0x1020;
     btb.update(a, 1);

@@ -12,7 +12,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "sweep/sweep.hh"
 
 using namespace flywheel;
 
@@ -150,6 +153,28 @@ TEST(RequireValueDeathTest, MissingValueIsFatal)
                 ::testing::ExitedWithCode(1), "requires a value");
 }
 
+TEST(FormatEta, ClampsHugeEstimatesAndGuardsBadInput)
+{
+    EXPECT_EQ(cli::formatEta(5.0), " eta 5s");
+    EXPECT_EQ(cli::formatEta(5.4), " eta 5s");
+    EXPECT_EQ(cli::formatEta(90.0), " eta 1m30s");
+    EXPECT_EQ(cli::formatEta(3600.0), " eta 60m00s");
+    EXPECT_EQ(cli::formatEta(99.0 * 3600.0), " eta 5940m00s");
+
+    // Early in a run the rate extrapolation can produce absurd
+    // estimates; int(left) on those is UB.  Clamp the display
+    // instead of casting.
+    EXPECT_EQ(cli::formatEta(99.0 * 3600.0 + 1.0), " eta >99h");
+    EXPECT_EQ(cli::formatEta(1e18), " eta >99h");
+    EXPECT_EQ(cli::formatEta(std::numeric_limits<double>::infinity()),
+              " eta >99h");
+
+    // No estimate at all beats a bogus one.
+    EXPECT_EQ(cli::formatEta(-1.0), "");
+    EXPECT_EQ(cli::formatEta(std::numeric_limits<double>::quiet_NaN()),
+              "");
+}
+
 TEST(StderrProgress, MatchesSweepProgressSignature)
 {
     // The shared printer must stay assignable to the sweep/session
@@ -200,6 +225,31 @@ TEST(SnapshotFlags, ParsesTheSharedFlagSet)
     cli::SnapshotFlags other;
     EXPECT_FALSE(other.tryParse("--jobs", 6, argv, &j));
     EXPECT_EQ(j, 0);
+}
+
+TEST(SnapshotFlags, ParsesStoreFormatAndCapFlags)
+{
+    const char *argv_c[] = {"prog", "--snapshot-json",
+                            "--checkpoint-cap-mb", "256"};
+    char **argv = const_cast<char **>(argv_c);
+
+    cli::SnapshotFlags flags;
+    flags.dir = "/tmp/store";
+    flags.capBytes = 0;  // isolate from FLYWHEEL_CHECKPOINT_CAP_MB
+    int i = 1;
+    EXPECT_TRUE(flags.tryParse(argv[i], 4, argv, &i));
+    EXPECT_TRUE(flags.jsonFormat);
+    ++i;
+    EXPECT_TRUE(flags.tryParse(argv[i], 4, argv, &i));
+    EXPECT_EQ(flags.capBytes, 256ull << 20);
+
+    // apply() stamps all three store knobs onto any options struct
+    // with the shared field names.
+    SweepOptions opts;
+    flags.apply(&opts);
+    EXPECT_EQ(opts.checkpointDir, "/tmp/store");
+    EXPECT_TRUE(opts.checkpointJson);
+    EXPECT_EQ(opts.checkpointCapBytes, 256ull << 20);
 }
 
 TEST(SnapshotFlagsDeathTest, RejectsDegenerateSampleCounts)

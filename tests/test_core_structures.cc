@@ -20,7 +20,8 @@ namespace {
 
 TEST(RenameMap, IdentityAtReset)
 {
-    RenameMap rm(192);
+    Arena arena;
+    RenameMap rm(arena, 192);
     for (unsigned r = 0; r < kNumArchRegs; ++r)
         EXPECT_EQ(rm.lookup(static_cast<ArchReg>(r)), r);
     EXPECT_EQ(rm.freeCount(), 192u - kNumArchRegs);
@@ -28,7 +29,8 @@ TEST(RenameMap, IdentityAtReset)
 
 TEST(RenameMap, AllocateUpdatesMappingAndReturnsOld)
 {
-    RenameMap rm(192);
+    Arena arena;
+    RenameMap rm(arena, 192);
     auto [fresh, old] = rm.allocate(5);
     EXPECT_EQ(old, 5u);
     EXPECT_EQ(rm.lookup(5), fresh);
@@ -37,7 +39,8 @@ TEST(RenameMap, AllocateUpdatesMappingAndReturnsOld)
 
 TEST(RenameMap, ExhaustionAndRelease)
 {
-    RenameMap rm(kNumArchRegs + 2);
+    Arena arena;
+    RenameMap rm(arena, kNumArchRegs + 2);
     EXPECT_TRUE(rm.hasFree());
     auto [f1, o1] = rm.allocate(0);
     auto [f2, o2] = rm.allocate(0);
@@ -49,7 +52,8 @@ TEST(RenameMap, ExhaustionAndRelease)
 
 TEST(RenameMap, ChainedAllocationsFreeCorrectRegisters)
 {
-    RenameMap rm(kNumArchRegs + 4);
+    Arena arena;
+    RenameMap rm(arena, kNumArchRegs + 4);
     // Three writes to r7: releasing each old mapping in retire order
     // must return exactly the previous physical registers.
     auto [p1, o1] = rm.allocate(7);
@@ -67,7 +71,8 @@ TEST(RenameMap, ChainedAllocationsFreeCorrectRegisters)
 
 TEST(Lsq, LoadBlockedByUnknownStoreAddress)
 {
-    Lsq lsq(8);
+    Arena arena;
+    Lsq lsq(arena, 8);
     lsq.insert(1, true, 0x100);   // store, address unknown until issue
     lsq.insert(2, false, 0x200);  // load
     EXPECT_FALSE(lsq.loadMayIssue(2));
@@ -77,7 +82,8 @@ TEST(Lsq, LoadBlockedByUnknownStoreAddress)
 
 TEST(Lsq, LoadUnaffectedByYoungerStore)
 {
-    Lsq lsq(8);
+    Arena arena;
+    Lsq lsq(arena, 8);
     lsq.insert(1, false, 0x200);  // load
     lsq.insert(2, true, 0x100);   // younger store
     EXPECT_TRUE(lsq.loadMayIssue(1));
@@ -85,7 +91,8 @@ TEST(Lsq, LoadUnaffectedByYoungerStore)
 
 TEST(Lsq, ForwardingMatchesWordAddress)
 {
-    Lsq lsq(8);
+    Arena arena;
+    Lsq lsq(arena, 8);
     lsq.insert(1, true, 0x100);
     lsq.storeIssued(1);
     lsq.insert(2, false, 0x104);  // same 8-byte word
@@ -96,7 +103,8 @@ TEST(Lsq, ForwardingMatchesWordAddress)
 
 TEST(Lsq, CoIssuedStoreSatisfiesDisambiguation)
 {
-    Lsq lsq(8);
+    Arena arena;
+    Lsq lsq(arena, 8);
     lsq.insert(1, true, 0x100);
     lsq.insert(2, false, 0x200);
     EXPECT_FALSE(lsq.loadMayIssue(2));
@@ -105,7 +113,8 @@ TEST(Lsq, CoIssuedStoreSatisfiesDisambiguation)
 
 TEST(Lsq, RetireInOrder)
 {
-    Lsq lsq(4);
+    Arena arena;
+    Lsq lsq(arena, 4);
     lsq.insert(1, false, 0x0);
     lsq.insert(2, true, 0x8);
     EXPECT_EQ(lsq.size(), 2u);
@@ -117,7 +126,8 @@ TEST(Lsq, RetireInOrder)
 
 TEST(Lsq, SquashDropsYoungEntries)
 {
-    Lsq lsq(8);
+    Arena arena;
+    Lsq lsq(arena, 8);
     lsq.insert(1, false, 0x0);
     lsq.insert(2, true, 0x8);
     lsq.insert(3, false, 0x10);
@@ -128,7 +138,8 @@ TEST(Lsq, SquashDropsYoungEntries)
 
 TEST(Lsq, CapacityEnforced)
 {
-    Lsq lsq(2);
+    Arena arena;
+    Lsq lsq(arena, 2);
     lsq.insert(1, false, 0x0);
     EXPECT_FALSE(lsq.full());
     lsq.insert(2, false, 0x8);
@@ -141,7 +152,8 @@ TEST(Lsq, CapacityEnforced)
 
 TEST(IssueWindow, InsertRemoveOccupancy)
 {
-    IssueWindow iw(4);
+    Arena arena;
+    IssueWindow iw(arena, 4);
     InFlightInst a, b;
     a.arch.seq = 1;
     b.arch.seq = 2;
@@ -156,7 +168,8 @@ TEST(IssueWindow, InsertRemoveOccupancy)
 
 TEST(IssueWindow, VisibilityRespectsTicks)
 {
-    IssueWindow iw(4);
+    Arena arena;
+    IssueWindow iw(arena, 4);
     InFlightInst a, b;
     a.arch.seq = 1;
     a.iwVisible = 100;
@@ -175,7 +188,8 @@ TEST(IssueWindow, VisibilityRespectsTicks)
 
 TEST(IssueWindow, FullDetection)
 {
-    IssueWindow iw(2);
+    Arena arena;
+    IssueWindow iw(arena, 2);
     InFlightInst a, b;
     a.arch.seq = 1;
     b.arch.seq = 2;
@@ -187,7 +201,8 @@ TEST(IssueWindow, FullDetection)
 
 TEST(IssueWindow, DropSquashedEntries)
 {
-    IssueWindow iw(4);
+    Arena arena;
+    IssueWindow iw(arena, 4);
     InFlightInst a, b;
     a.arch.seq = 1;
     b.arch.seq = 2;
@@ -206,7 +221,8 @@ TEST(IssueWindow, DropSquashedEntries)
 TEST(FunctionalUnits, PerCycleWidthLimits)
 {
     FuParams fus;  // 4 int ALUs
-    FunctionalUnits fu(fus, {});
+    Arena arena;
+    FunctionalUnits fu(arena, fus, {});
     fu.beginCycle(0);
     for (int i = 0; i < 4; ++i)
         EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 0, 1000.0));
@@ -217,7 +233,8 @@ TEST(FunctionalUnits, PerCycleWidthLimits)
 
 TEST(FunctionalUnits, MemoryPortsShared)
 {
-    FunctionalUnits fu({}, {});
+    Arena arena;
+    FunctionalUnits fu(arena, {}, {});
     fu.beginCycle(0);
     EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0, 1000.0));
     EXPECT_TRUE(fu.tryIssue(OpClass::Store, 0, 1000.0));
@@ -230,7 +247,8 @@ TEST(FunctionalUnits, UnpipelinedDivideHoldsUnit)
     fus.fpMulDiv = 1;
     FuLatencies lat;
     lat.fpDiv = 12;
-    FunctionalUnits fu(fus, lat);
+    Arena arena;
+    FunctionalUnits fu(arena, fus, lat);
     fu.beginCycle(0);
     EXPECT_TRUE(fu.tryIssue(OpClass::FpDiv, 0, 1000.0));
     // Unit busy for 12 cycles; pipelined muls cannot slip in.
@@ -242,7 +260,8 @@ TEST(FunctionalUnits, UnpipelinedDivideHoldsUnit)
 
 TEST(FunctionalUnits, PipelinedMultiplyAcceptsBackToBack)
 {
-    FunctionalUnits fu({}, {});
+    Arena arena;
+    FunctionalUnits fu(arena, {}, {});
     fu.beginCycle(0);
     EXPECT_TRUE(fu.tryIssue(OpClass::IntMul, 0, 1000.0));
     fu.beginCycle(1000);
@@ -251,7 +270,8 @@ TEST(FunctionalUnits, PipelinedMultiplyAcceptsBackToBack)
 
 TEST(FunctionalUnits, SaveRestoreUndoesClaims)
 {
-    FunctionalUnits fu({}, {});
+    Arena arena;
+    FunctionalUnits fu(arena, {}, {});
     fu.beginCycle(0);
     FunctionalUnits::State snap;
     fu.save(snap);
@@ -265,7 +285,8 @@ TEST(FunctionalUnits, SaveRestoreUndoesClaims)
 
 TEST(FunctionalUnits, CanIssueCountsPriorClaims)
 {
-    FunctionalUnits fu({}, {});
+    Arena arena;
+    FunctionalUnits fu(arena, {}, {});
     fu.beginCycle(0);
     EXPECT_TRUE(fu.canIssue(OpClass::Load, 0, 0));
     EXPECT_TRUE(fu.canIssue(OpClass::Load, 0, 1));

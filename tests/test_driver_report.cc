@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "core/report.hh"
@@ -14,6 +15,23 @@
 
 namespace flywheel {
 namespace {
+
+/** Scoped setenv/unsetenv so env tests cannot leak into each other. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *var, const char *value) : var_(var)
+    {
+        if (value)
+            ::setenv(var, value, 1);
+        else
+            ::unsetenv(var);
+    }
+    ~ScopedEnv() { ::unsetenv(var_); }
+
+  private:
+    const char *var_;
+};
 
 RunConfig
 shortConfig(CoreKind kind)
@@ -25,6 +43,52 @@ shortConfig(CoreKind kind)
     cfg.warmupInstrs = 30000;
     cfg.measureInstrs = 50000;
     return cfg;
+}
+
+TEST(Driver, ParseInstrCountIsStrict)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseInstrCount("1", &v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(parseInstrCount("300000", &v));
+    EXPECT_EQ(v, 300000u);
+    EXPECT_TRUE(parseInstrCount("18446744073709551615", &v));
+    EXPECT_EQ(v, ~std::uint64_t(0));
+
+    // Everything strtoull would quietly half-accept is rejected:
+    // signs (negatives wrap to huge counts), unit suffixes, hex,
+    // whitespace, overflow, zero, and empty/null.
+    for (const char *bad :
+         {"", "0", "-1", "+5", " 7", "7 ", "100k", "0x10", "1e6",
+          "12.5", "18446744073709551616", "abc"})
+        EXPECT_FALSE(parseInstrCount(bad, &v)) << "'" << bad << "'";
+    EXPECT_FALSE(parseInstrCount(nullptr, &v));
+}
+
+TEST(Driver, InstrEnvVarsFallBackToDefaultsOnGarbage)
+{
+    {
+        ScopedEnv sim("FLYWHEEL_SIM_INSTRS", nullptr);
+        ScopedEnv warm("FLYWHEEL_WARMUP_INSTRS", nullptr);
+        EXPECT_EQ(defaultMeasureInstrs(), 300000u);
+        EXPECT_EQ(defaultWarmupInstrs(), 100000u);
+    }
+    {
+        ScopedEnv sim("FLYWHEEL_SIM_INSTRS", "42000");
+        ScopedEnv warm("FLYWHEEL_WARMUP_INSTRS", "7000");
+        EXPECT_EQ(defaultMeasureInstrs(), 42000u);
+        EXPECT_EQ(defaultWarmupInstrs(), 7000u);
+    }
+    // Garbage, negative, and overflowing values used to feed atoll's
+    // result straight into the run length; now they warn and fall
+    // back to the documented defaults.
+    for (const char *bad :
+         {"garbage", "-5", "0", "100k", "99999999999999999999"}) {
+        ScopedEnv sim("FLYWHEEL_SIM_INSTRS", bad);
+        ScopedEnv warm("FLYWHEEL_WARMUP_INSTRS", bad);
+        EXPECT_EQ(defaultMeasureInstrs(), 300000u) << bad;
+        EXPECT_EQ(defaultWarmupInstrs(), 100000u) << bad;
+    }
 }
 
 TEST(Driver, ClockedParamsMatchPaperNotation)

@@ -24,7 +24,8 @@ smallCache(std::uint32_t size, std::uint32_t assoc)
 
 TEST(Cache, ColdMissThenHit)
 {
-    Cache c(smallCache(1024, 2));
+    Arena arena;
+    Cache c(arena, smallCache(1024, 2));
     EXPECT_FALSE(c.access(0x100, false));
     EXPECT_TRUE(c.access(0x100, false));
     EXPECT_TRUE(c.access(0x11f, false));   // same 32B line
@@ -35,7 +36,8 @@ TEST(Cache, LruEvictsOldest)
 {
     // 1KB, 2-way, 32B lines -> 16 sets.  Lines mapping to set 0 are
     // 512 bytes apart.
-    Cache c(smallCache(1024, 2));
+    Arena arena;
+    Cache c(arena, smallCache(1024, 2));
     c.access(0 * 512, false);
     c.access(1 * 512, false);
     c.access(0 * 512, false);      // touch way 0 (now MRU)
@@ -47,7 +49,8 @@ TEST(Cache, LruEvictsOldest)
 
 TEST(Cache, ProbeDoesNotAllocate)
 {
-    Cache c(smallCache(1024, 2));
+    Arena arena;
+    Cache c(arena, smallCache(1024, 2));
     EXPECT_FALSE(c.probe(0x40));
     EXPECT_FALSE(c.probe(0x40));
     EXPECT_EQ(c.accesses(), 0u);
@@ -55,7 +58,8 @@ TEST(Cache, ProbeDoesNotAllocate)
 
 TEST(Cache, InvalidateAllEmptiesCache)
 {
-    Cache c(smallCache(1024, 2));
+    Arena arena;
+    Cache c(arena, smallCache(1024, 2));
     c.access(0x0, false);
     c.access(0x40, false);
     c.invalidateAll();
@@ -65,7 +69,8 @@ TEST(Cache, InvalidateAllEmptiesCache)
 
 TEST(Cache, MissRateAccounting)
 {
-    Cache c(smallCache(1024, 2));
+    Arena arena;
+    Cache c(arena, smallCache(1024, 2));
     c.access(0x0, false);   // miss
     c.access(0x0, false);   // hit
     c.access(0x0, true);    // hit (write)
@@ -83,8 +88,9 @@ class CacheCapacityProperty
 TEST_P(CacheCapacityProperty, BiggerIsNeverWorse)
 {
     const std::uint32_t size = GetParam();
-    Cache small(smallCache(size, 2));
-    Cache big(smallCache(size * 4, 2));
+    Arena arena;
+    Cache small(arena, smallCache(size, 2));
+    Cache big(arena, smallCache(size * 4, 2));
     // Deterministic pseudo-random stream with locality.
     std::uint64_t x = 12345;
     for (int i = 0; i < 20000; ++i) {
@@ -109,8 +115,9 @@ class CacheAssocProperty : public ::testing::TestWithParam<unsigned>
 TEST_P(CacheAssocProperty, MoreWaysNeverWorseOnStriding)
 {
     unsigned assoc = GetParam();
-    Cache low(smallCache(4096, assoc));
-    Cache high(smallCache(4096, assoc * 2));
+    Arena arena;
+    Cache low(arena, smallCache(4096, assoc));
+    Cache high(arena, smallCache(4096, assoc * 2));
     // Pathological strided pattern that thrashes low associativity.
     for (int round = 0; round < 200; ++round) {
         for (Addr a = 0; a < 4 * 4096; a += 4096) {
@@ -130,7 +137,8 @@ TEST(Hierarchy, LevelsReportedCorrectly)
     hp.icache.sizeBytes = 1024;
     hp.dcache.sizeBytes = 1024;
     hp.l2.sizeBytes = 8192;
-    MemoryHierarchy mem(hp);
+    Arena arena;
+    MemoryHierarchy mem(arena, hp);
 
     // Cold access goes to memory; second time L1.
     EXPECT_EQ(mem.data(0x1000, false), MemLevel::Memory);
@@ -148,7 +156,8 @@ TEST(Hierarchy, InstructionAndDataPathsAreSeparate)
     hp.icache.sizeBytes = 1024;
     hp.dcache.sizeBytes = 1024;
     hp.l2.sizeBytes = 8192;
-    MemoryHierarchy mem(hp);
+    Arena arena;
+    MemoryHierarchy mem(arena, hp);
     mem.fetch(0x2000);
     // The same line is not in the D-cache.
     EXPECT_NE(mem.data(0x2000, false), MemLevel::L1);

@@ -15,14 +15,16 @@ namespace {
 
 TEST(PoolRename, EqualInitialShares)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     for (unsigned r = 0; r < kNumArchRegs; ++r)
         EXPECT_EQ(pr.poolSize(static_cast<ArchReg>(r)), 512u / 64);
 }
 
 TEST(PoolRename, AllocationRotatesThroughPool)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     std::set<PhysReg> seen;
     std::uint16_t prev;
     unsigned size = pr.poolSize(3);
@@ -35,7 +37,8 @@ TEST(PoolRename, AllocationRotatesThroughPool)
 
 TEST(PoolRename, InFlightLimitIsSizeMinusOne)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     unsigned size = pr.poolSize(7);
     std::uint16_t prev;
     for (unsigned i = 0; i + 1 < size; ++i) {
@@ -50,7 +53,8 @@ TEST(PoolRename, InFlightLimitIsSizeMinusOne)
 
 TEST(PoolRename, CurrentTracksNewestAllocation)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     PhysReg before = pr.current(9);
     std::uint16_t prev;
     PhysReg a = pr.allocate(9, prev);
@@ -60,7 +64,8 @@ TEST(PoolRename, CurrentTracksNewestAllocation)
 
 TEST(PoolRename, RollbackRestoresCursor)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     PhysReg committed = pr.current(11);
     std::uint16_t prev1, prev2;
     pr.allocate(11, prev1);
@@ -74,7 +79,8 @@ TEST(PoolRename, RollbackRestoresCursor)
 
 TEST(PoolRename, PhysicalIndicesAreDisjointAcrossRegisters)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     std::uint16_t prev;
     std::set<PhysReg> seen;
     for (unsigned r = 0; r < kNumArchRegs; ++r) {
@@ -87,7 +93,8 @@ TEST(PoolRename, PhysicalIndicesAreDisjointAcrossRegisters)
 
 TEST(PoolRename, RedistributionPreservesTotalAndMinimum)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     std::uint16_t prev;
     // Concentrate writes on two registers and record stalls.
     for (int i = 0; i < 2000; ++i) {
@@ -115,14 +122,16 @@ TEST(PoolRename, RedistributionPreservesTotalAndMinimum)
 
 TEST(PoolRename, RedistributionWithoutDemandChangesNothing)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     EXPECT_FALSE(pr.redistribute());  // no writes recorded
     EXPECT_EQ(pr.poolSize(0), 8u);
 }
 
 TEST(PoolRename, PoolsLargerThanCountsCorrectly)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     // Initially uniform 8 > 4 for every register.
     EXPECT_EQ(pr.poolsLargerThan(4), kNumArchRegs);
     EXPECT_EQ(pr.poolsLargerThan(8), 0u);
@@ -130,7 +139,8 @@ TEST(PoolRename, PoolsLargerThanCountsCorrectly)
 
 TEST(PoolRename, StallWindowResets)
 {
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     pr.noteStall(3);
     pr.noteStall(3);
     EXPECT_EQ(pr.stallsSinceCheck(), 2u);
@@ -148,7 +158,8 @@ class RedistributionProperty
 TEST_P(RedistributionProperty, HotRegistersGrow)
 {
     const unsigned hot_count = GetParam();
-    PoolRenameUnit pr(512, 4);
+    Arena arena;
+    PoolRenameUnit pr(arena, 512, 4);
     std::uint16_t prev;
     for (int round = 0; round < 1000; ++round) {
         for (unsigned r = 0; r < hot_count; ++r) {

@@ -12,6 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <utime.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -146,9 +149,11 @@ TEST(SnapshotRoundTrip, RunSimRestoresCheckpointsBitIdentically)
     EXPECT_EQ(toJson(reference).dump(), toJson(warm).dump());
 }
 
-TEST(SnapshotFile, RejectsTruncationCorruptionAndVersionMismatch)
+/** A populated snapshot of @p kind's full simulator state. */
+Snapshot
+snapshotOf(CoreKind kind)
 {
-    const RunConfig config = smallConfig("gcc", CoreKind::Baseline);
+    const RunConfig config = smallConfig("gcc", kind);
     StaticProgram program(config.profile);
     WorkloadStream stream(program);
     auto core = makeCore(config, stream);
@@ -156,31 +161,109 @@ TEST(SnapshotFile, RejectsTruncationCorruptionAndVersionMismatch)
     Snapshot snap;
     snap.setKey("test-key");
     core->save(snap);
-    const std::string text = snap.serialize();
+    return snap;
+}
+
+TEST(SnapshotFile, BinaryRejectsTruncationCorruptionAndVersionMismatch)
+{
+    // Every snapshot kind: the container hardening must not depend on
+    // which core's sections happen to be inside.
+    for (CoreKind kind : {CoreKind::Baseline,
+                          CoreKind::RegisterAllocation,
+                          CoreKind::Flywheel}) {
+        SCOPED_TRACE(coreKindName(kind));
+        const Snapshot snap = snapshotOf(kind);
+        const std::string bytes = snap.serialize();
+
+        Snapshot out;
+        std::string error;
+
+        // Intact bytes parse (the baseline for the mutations below).
+        EXPECT_TRUE(Snapshot::deserialize(bytes, &out, &error))
+            << error;
+
+        // Truncation at several depths: header, section table, and
+        // mid-payload.
+        for (std::size_t keep :
+             {std::size_t(4), std::size_t(20), bytes.size() / 2,
+              bytes.size() - 1}) {
+            EXPECT_FALSE(Snapshot::deserialize(bytes.substr(0, keep),
+                                               &out, &error))
+                << "kept " << keep << " of " << bytes.size();
+        }
+
+        // Corruption: flip one payload byte near the end (inside
+        // section data, past the header).  Either the LZSS stream
+        // breaks or the content hash no longer matches; both must
+        // reject with a "corrupt"-class error.
+        std::string corrupt = bytes;
+        corrupt[corrupt.size() - 3] =
+            static_cast<char>(corrupt[corrupt.size() - 3] ^ 0x5A);
+        EXPECT_FALSE(Snapshot::deserialize(corrupt, &out, &error));
+        EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
+
+        // Version bump: clear error naming both versions.  The u32
+        // version field sits right after the magic bytes.
+        std::string versioned = bytes;
+        versioned[18] = 99;
+        EXPECT_FALSE(Snapshot::deserialize(versioned, &out, &error));
+        EXPECT_NE(error.find("version 99"), std::string::npos)
+            << error;
+        EXPECT_NE(error.find(std::to_string(Snapshot::kFormatVersion)),
+                  std::string::npos)
+            << error;
+
+        // Wrong magic: not a snapshot at all.
+        std::string magic = bytes;
+        magic.replace(0, 8, "deadbeef");
+        EXPECT_FALSE(Snapshot::deserialize(magic, &out, &error));
+        EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+        // Trailing garbage after the payload.
+        EXPECT_FALSE(
+            Snapshot::deserialize(bytes + "extra", &out, &error));
+        EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+    }
+
+    // readFile: missing file reports the path.
+    Snapshot out;
+    std::string error;
+    EXPECT_FALSE(Snapshot::readFile("/nonexistent/snap.fws", &out,
+                                    &error));
+    EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST(SnapshotFile, JsonEscapeHatchRejectsTheSameClasses)
+{
+    const Snapshot snap = snapshotOf(CoreKind::Flywheel);
+    const std::string text = snap.serialize(Snapshot::Codec::Json);
 
     Snapshot out;
     std::string error;
+    EXPECT_TRUE(Snapshot::deserialize(text, &out, &error)) << error;
 
     // Truncation: not parseable JSON.
-    EXPECT_FALSE(
-        Snapshot::deserialize(text.substr(0, text.size() / 2), &out,
-                              &error));
+    EXPECT_FALSE(Snapshot::deserialize(text.substr(0, text.size() / 2),
+                                       &out, &error));
     EXPECT_NE(error.find("unreadable"), std::string::npos) << error;
 
-    // Corruption: flip one digit inside the payload; the document
-    // stays valid JSON but the content hash no longer matches.
+    // Corruption: flip one decimal digit inside a section's byte
+    // string; the document stays valid JSON but the content hash no
+    // longer matches.
     std::string corrupt = text;
-    const std::size_t pos = corrupt.find("\"rngState\":");
+    const std::size_t pos = corrupt.find("\"data\": \"");
     ASSERT_NE(pos, std::string::npos);
-    std::size_t digit = corrupt.find_first_of("0123456789", pos + 11);
+    const std::size_t digit =
+        corrupt.find_first_of("0123456789", pos + 9);
     ASSERT_NE(digit, std::string::npos);
     corrupt[digit] = corrupt[digit] == '9' ? '3' : '9';
     EXPECT_FALSE(Snapshot::deserialize(corrupt, &out, &error));
-    EXPECT_NE(error.find("hash mismatch"), std::string::npos) << error;
+    EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
 
     // Version mismatch: clear error naming both versions.
     std::string versioned = text;
-    const std::string vtag = "\"version\": 1";
+    const std::string vtag =
+        "\"version\": " + std::to_string(Snapshot::kFormatVersion);
     const std::size_t vpos = versioned.find(vtag);
     ASSERT_NE(vpos, std::string::npos);
     versioned.replace(vpos, vtag.size(), "\"version\": 99");
@@ -194,11 +277,49 @@ TEST(SnapshotFile, RejectsTruncationCorruptionAndVersionMismatch)
     magic.replace(mpos, 8, "deadbeef");
     EXPECT_FALSE(Snapshot::deserialize(magic, &out, &error));
     EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
 
-    // readFile: missing file reports the path.
-    EXPECT_FALSE(Snapshot::readFile("/nonexistent/snap.json", &out,
-                                    &error));
-    EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+TEST(SnapshotCodec, BinaryAndJsonDecodeEqualWithIdenticalHash)
+{
+    // Differential check across the two containers, for every
+    // snapshot kind: the same state serialized through either codec
+    // must decode to equal snapshots carrying the identical content
+    // hash (the hash covers the raw section bytes, not the encoding).
+    for (CoreKind kind : {CoreKind::Baseline,
+                          CoreKind::RegisterAllocation,
+                          CoreKind::Flywheel}) {
+        SCOPED_TRACE(coreKindName(kind));
+        const Snapshot snap = snapshotOf(kind);
+
+        const std::string bin = snap.serialize(Snapshot::Codec::Binary);
+        const std::string json = snap.serialize(Snapshot::Codec::Json);
+        ASSERT_NE(bin, json);
+
+        Snapshot from_bin, from_json;
+        std::string error;
+        ASSERT_TRUE(Snapshot::deserialize(bin, &from_bin, &error))
+            << error;
+        ASSERT_TRUE(Snapshot::deserialize(json, &from_json, &error))
+            << error;
+
+        EXPECT_EQ(from_bin.key(), snap.key());
+        EXPECT_EQ(from_json.key(), snap.key());
+        EXPECT_EQ(from_bin.contentHash(), snap.contentHash());
+        EXPECT_EQ(from_json.contentHash(), snap.contentHash());
+        EXPECT_EQ(from_bin.sectionCount(), from_json.sectionCount());
+        for (std::size_t i = 0; i < from_bin.sectionCount(); ++i)
+            EXPECT_EQ(from_bin.sectionName(i), from_json.sectionName(i));
+
+        // Decode-equal, byte for byte: re-serializing both decoded
+        // snapshots through one codec must produce identical bytes.
+        EXPECT_EQ(from_bin.serialize(Snapshot::Codec::Binary),
+                  from_json.serialize(Snapshot::Codec::Binary));
+
+        // And the binary container must actually be the compact one.
+        EXPECT_LT(bin.size(), json.size() / 5)
+            << "binary " << bin.size() << " B vs JSON " << json.size()
+            << " B";
+    }
 }
 
 TEST(CheckpointerTest, ComputesOncePerKeyAndReloadsFromDisk)
@@ -214,7 +335,9 @@ TEST(CheckpointerTest, ComputesOncePerKeyAndReloadsFromDisk)
         ++factory_runs;
         auto s = std::make_shared<Snapshot>();
         s->setKey(key);
-        s->state().set("payload", 42);
+        BinWriter w;
+        w.u64(42);
+        s->addSection("payload", w.take());
         return std::shared_ptr<const Snapshot>(std::move(s));
     };
 
@@ -235,7 +358,8 @@ TEST(CheckpointerTest, ComputesOncePerKeyAndReloadsFromDisk)
     EXPECT_FALSE(created);
     EXPECT_EQ(factory_runs, 1u);
     EXPECT_EQ(reopened.diskHits(), 1u);
-    EXPECT_EQ(third->state()["payload"].asU64(), 42u);
+    BinReader payload = third->section("payload");
+    EXPECT_EQ(payload.u64(), 42u);
 
     // refresh recomputes and overwrites even though both tiers hit.
     auto fourth = reopened.acquire(key, factory, true, &created);
@@ -246,6 +370,153 @@ TEST(CheckpointerTest, ComputesOncePerKeyAndReloadsFromDisk)
     Checkpointer memory(Checkpointer::kMemoryOnly);
     EXPECT_FALSE(memory.onDisk());
     EXPECT_EQ(memory.pathFor(key), "");
+}
+
+TEST(CheckpointerTest, CreatesNestedStoreDirectories)
+{
+    // A single-level ::mkdir used to fail for --checkpoint-dir a/b/c,
+    // silently dropping every persist.  The store now creates the
+    // whole parent chain.
+    const std::string dir =
+        ::testing::TempDir() + "fw_ckpt_nested/a/b/c";
+    const std::string key = "ckptv=2;nested;unit=1;";
+
+    Checkpointer store(dir);
+    auto factory = [&] {
+        auto s = std::make_shared<Snapshot>();
+        s->setKey(key);
+        BinWriter w;
+        w.u64(7);
+        s->addSection("payload", w.take());
+        return std::shared_ptr<const Snapshot>(std::move(s));
+    };
+    store.acquire(key, factory);
+    EXPECT_EQ(store.persistFailures(), 0u);
+
+    std::ifstream saved(store.pathFor(key),
+                        std::ios::binary);
+    EXPECT_TRUE(saved.good()) << store.pathFor(key);
+
+    Checkpointer reopened(dir);
+    bool created = true;
+    reopened.acquire(key, factory, false, &created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(reopened.diskHits(), 1u);
+}
+
+TEST(CheckpointerTest, SizeCapPrunesOldestCheckpointsFirst)
+{
+    const std::string dir = ::testing::TempDir() + "fw_ckpt_cap";
+    Checkpointer::pruneStore(dir, 0);  // start from an empty store
+
+    // Three checkpoints with distinct, explicit mtimes (the LRU
+    // ordering key), oldest first.
+    Checkpointer seed(dir);
+    std::vector<std::string> paths;
+    std::vector<std::uint64_t> sizes;
+    for (int i = 0; i < 3; ++i) {
+        const std::string key = "ckptv=2;cap;unit=" +
+                                std::to_string(i) + ";";
+        auto factory = [&] {
+            auto s = std::make_shared<Snapshot>();
+            s->setKey(key);
+            BinWriter w;
+            for (int j = 0; j < 64; ++j)
+                w.u64(std::uint64_t(i) * 64 + j);
+            s->addSection("payload", w.take());
+            return std::shared_ptr<const Snapshot>(std::move(s));
+        };
+        seed.acquire(key, factory);
+        paths.push_back(seed.pathFor(key));
+        struct ::stat st;
+        ASSERT_EQ(::stat(paths.back().c_str(), &st), 0);
+        sizes.push_back(std::uint64_t(st.st_size));
+        struct ::utimbuf times;
+        times.actime = times.modtime = 1000000 + i;
+        ASSERT_EQ(::utime(paths.back().c_str(), &times), 0);
+    }
+
+    // Cap at the two newest files' worth: exactly the oldest goes.
+    const std::uint64_t cap = sizes[1] + sizes[2];
+    std::uint64_t bytes_removed = 0;
+    const std::size_t removed =
+        Checkpointer::pruneStore(dir, cap, &bytes_removed);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_EQ(bytes_removed, sizes[0]);
+    struct ::stat st;
+    EXPECT_NE(::stat(paths[0].c_str(), &st), 0);  // oldest pruned
+    EXPECT_EQ(::stat(paths[1].c_str(), &st), 0);
+    EXPECT_EQ(::stat(paths[2].c_str(), &st), 0);
+
+    // A capped store prunes as part of persist and counts evictions.
+    Checkpointer::Options opts;
+    opts.capBytes = cap;
+    Checkpointer capped(dir, opts);
+    const std::string key = "ckptv=2;cap;unit=9;";
+    auto factory = [&] {
+        auto s = std::make_shared<Snapshot>();
+        s->setKey(key);
+        BinWriter w;
+        for (int j = 0; j < 64; ++j)
+            w.u64(std::uint64_t(j));
+        s->addSection("payload", w.take());
+        return std::shared_ptr<const Snapshot>(std::move(s));
+    };
+    capped.acquire(key, factory);
+    EXPECT_GE(capped.evictions(), 1u);
+    EXPECT_EQ(capped.persistFailures(), 0u);
+}
+
+TEST(CheckpointerTest, PersistFailuresAreCountedNotFatal)
+{
+    // Point the store at a path that is an existing *file*: every
+    // persist fails, but acquire still serves from memory and the
+    // failure is counted for the session summary.
+    const std::string dir = ::testing::TempDir() + "fw_ckpt_blocked";
+    { std::ofstream(dir) << "not a directory"; }
+
+    Checkpointer store(dir);
+    const std::string key = "ckptv=2;blocked;unit=1;";
+    unsigned factory_runs = 0;
+    auto factory = [&] {
+        ++factory_runs;
+        auto s = std::make_shared<Snapshot>();
+        s->setKey(key);
+        BinWriter w;
+        w.u64(1);
+        s->addSection("payload", w.take());
+        return std::shared_ptr<const Snapshot>(std::move(s));
+    };
+
+    bool created = false;
+    auto snap = store.acquire(key, factory, false, &created);
+    EXPECT_TRUE(created);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(store.persistFailures(), 1u);
+
+    // The memory tier still works despite the dead disk tier.
+    store.acquire(key, factory, false, &created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(factory_runs, 1u);
+    EXPECT_NE(store.summaryLine().find("persist failure"),
+              std::string::npos);
+    std::remove(dir.c_str());
+}
+
+TEST(CheckpointerTest, ParseCapMegabytesIsStrict)
+{
+    std::uint64_t bytes = 123;
+    EXPECT_TRUE(Checkpointer::parseCapMegabytes("0", &bytes));
+    EXPECT_EQ(bytes, 0u);
+    EXPECT_TRUE(Checkpointer::parseCapMegabytes("512", &bytes));
+    EXPECT_EQ(bytes, 512ull << 20);
+
+    // Garbage, signs, trailing text, and overflow are rejected.
+    for (const char *bad :
+         {"", "-1", "+4", "12q", "4 ", "abc", "0x10",
+          "18446744073709551615", "99999999999999999999"})
+        EXPECT_FALSE(Checkpointer::parseCapMegabytes(bad, &bytes))
+            << bad;
 }
 
 TEST(CheckpointKeyTest, CanonicalizesResultNeutralAxes)

@@ -25,6 +25,7 @@
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 #include "perf/bench_report.hh"
+#include "snapshot/checkpointer.hh"
 #include "sweep/sweep.hh"
 #include "sweep/thread_pool.hh"
 
@@ -36,6 +37,31 @@ using flywheel::perf::HostInfo;
 using flywheel::perf::collectHostInfo;
 using flywheel::perf::geomean;
 using flywheel::perf::median;
+
+/**
+ * Render a remaining-seconds estimate as the progress line's ETA
+ * suffix.  Clamps before the int casts: a pathological rate (one
+ * completion after a very long stall, or a huge grid) can push
+ * @p left_seconds past INT_MAX, and a float-to-int cast that
+ * overflows is undefined behaviour.  Beyond 99 hours the digits
+ * carry no information anyway, so the display caps at ">99h".
+ */
+inline std::string
+formatEta(double left_seconds)
+{
+    char eta[32];
+    if (!(left_seconds >= 0.0))  // negative or NaN: no estimate
+        return "";
+    if (left_seconds > 99.0 * 3600.0)
+        std::snprintf(eta, sizeof(eta), " eta >99h");
+    else if (left_seconds >= 60.0)
+        std::snprintf(eta, sizeof(eta), " eta %dm%02ds",
+                      int(left_seconds) / 60, int(left_seconds) % 60);
+    else
+        std::snprintf(eta, sizeof(eta), " eta %ds",
+                      int(left_seconds + 0.5));
+    return eta;
+}
 
 /**
  * The per-point progress printer every grid-running CLI uses
@@ -65,22 +91,15 @@ stderrProgress(std::size_t done, std::size_t total,
         calls = 0;  // a new grid restarts the rate window
     const auto now = Clock::now();
 
-    char eta[32] = "";
+    std::string eta;
     if (calls > 0 && done < total) {
         const std::size_t oldest =
             calls < kWindow ? 0 : calls % kWindow;
         const double dt =
             std::chrono::duration<double>(now - when[oldest]).count();
         const double dp = double(done) - double(doneAt[oldest]);
-        if (dt > 0.0 && dp > 0.0) {
-            const double left = double(total - done) * dt / dp;
-            if (left >= 60.0)
-                std::snprintf(eta, sizeof(eta), " eta %dm%02ds",
-                              int(left) / 60, int(left) % 60);
-            else
-                std::snprintf(eta, sizeof(eta), " eta %ds",
-                              int(left + 0.5));
-        }
+        if (dt > 0.0 && dp > 0.0)
+            eta = formatEta(double(total - done) * dt / dp);
     }
     when[calls % kWindow] = now;
     doneAt[calls % kWindow] = done;
@@ -92,7 +111,7 @@ stderrProgress(std::size_t done, std::size_t total,
                  done, total, pt.bench.c_str(), coreKindName(pt.kind),
                  techName(pt.config.node), pt.clock.feBoost * 100.0,
                  pt.clock.beBoost * 100.0, double(r.timePs) / 1e6,
-                 from_cache ? " (cached)" : "", eta);
+                 from_cache ? " (cached)" : "", eta.c_str());
 }
 
 /** Split a comma-separated list; empty items are dropped. */
@@ -214,21 +233,34 @@ rejectUnknownFlag(const char *argv0, const std::string &flag,
  * The snapshot/checkpoint flag set shared by the grid-running CLIs
  * (flywheel_bench, flywheel_sweep, flywheel_perf):
  *
- *   --checkpoint-dir DIR  warm checkpoint store (default: the
- *                         FLYWHEEL_CHECKPOINTS environment variable)
- *   --no-checkpoints      disable checkpoint reuse entirely
- *   --sample N            interval sampling with N detailed windows
+ *   --checkpoint-dir DIR    warm checkpoint store (default: the
+ *                           FLYWHEEL_CHECKPOINTS environment variable)
+ *   --no-checkpoints        disable checkpoint reuse entirely
+ *   --snapshot-json         persist checkpoints as JSON (debugging)
+ *   --checkpoint-cap-mb N   cap the on-disk store, LRU-pruned
+ *                           (default: FLYWHEEL_CHECKPOINT_CAP_MB)
+ *   --sample N              interval sampling with N detailed windows
  */
 struct SnapshotFlags
 {
     std::string dir;
     bool disabled = false;
+    bool jsonFormat = false;
+    std::uint64_t capBytes = 0;
     unsigned sampleWindows = 0;
 
     SnapshotFlags()
     {
         if (const char *env = std::getenv("FLYWHEEL_CHECKPOINTS"))
             dir = env;
+        if (const char *cap =
+                std::getenv("FLYWHEEL_CHECKPOINT_CAP_MB")) {
+            if (!Checkpointer::parseCapMegabytes(cap, &capBytes))
+                FW_WARN("ignoring FLYWHEEL_CHECKPOINT_CAP_MB='%s' "
+                        "(want a decimal megabyte count); store "
+                        "stays uncapped",
+                        cap);
+        }
     }
 
     /** Consume one argv flag; true if it was one of ours. */
@@ -241,6 +273,18 @@ struct SnapshotFlags
         }
         if (flag == "--no-checkpoints") {
             disabled = true;
+            return true;
+        }
+        if (flag == "--snapshot-json") {
+            jsonFormat = true;
+            return true;
+        }
+        if (flag == "--checkpoint-cap-mb") {
+            const std::string arg = requireValue(argc, argv, i, flag);
+            if (!Checkpointer::parseCapMegabytes(arg.c_str(),
+                                                 &capBytes))
+                FW_FATAL("--checkpoint-cap-mb: expected a decimal "
+                         "megabyte count, got '%s'", arg.c_str());
             return true;
         }
         if (flag == "--sample") {
@@ -262,6 +306,16 @@ struct SnapshotFlags
         return disabled ? std::string() : dir;
     }
 
+    /** Stamp the store knobs onto a sweep's options. */
+    template <typename Options>
+    void
+    apply(Options *opts) const
+    {
+        opts->checkpointDir = checkpointDir();
+        opts->checkpointJson = jsonFormat;
+        opts->checkpointCapBytes = capBytes;
+    }
+
     /** Shared --help block for these flags. */
     static const char *
     usageText()
@@ -272,6 +326,16 @@ struct SnapshotFlags
             "DIR\n"
             "                        (default: FLYWHEEL_CHECKPOINTS)\n"
             "  --no-checkpoints      always simulate the warmup\n"
+            "  --snapshot-json       persist checkpoints as JSON "
+            "instead of the\n"
+            "                        binary container (debug escape "
+            "hatch)\n"
+            "  --checkpoint-cap-mb N cap the on-disk store at N MB, "
+            "pruning\n"
+            "                        oldest checkpoints first "
+            "(default:\n"
+            "                        FLYWHEEL_CHECKPOINT_CAP_MB; 0 = "
+            "uncapped)\n"
             "  --sample N            interval sampling: N detailed "
             "windows\n";
     }

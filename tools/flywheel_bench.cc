@@ -75,7 +75,13 @@ usage(const char *argv0)
         "  --check-golden DIR    rebuild snapshots and diff against "
         "DIR\n"
         "  --refresh-golden DIR  rebuild and overwrite the snapshots "
-        "in DIR\n",
+        "in DIR\n"
+        "\n"
+        "store maintenance:\n"
+        "  --prune-checkpoints   prune the checkpoint store at "
+        "--checkpoint-dir\n"
+        "                        down to --checkpoint-cap-mb "
+        "(0 = empty it)\n",
         argv0, cli::SnapshotFlags::usageText(),
         cli::ObsFlags::usageText());
 }
@@ -184,6 +190,7 @@ main(int argc, char **argv)
     bool list_only = false;
     bool run_all = false;
     bool progress = false;
+    bool prune_checkpoints = false;
     cli::SnapshotFlags snapshot;
     cli::ObsFlags obs_flags;
 
@@ -223,6 +230,8 @@ main(int argc, char **argv)
             check_golden_dir = value();
         } else if (flag == "--refresh-golden") {
             refresh_golden_dir = value();
+        } else if (flag == "--prune-checkpoints") {
+            prune_checkpoints = true;
         } else if (flag == "--help" || flag == "-h") {
             usage(argv[0]);
             return 0;
@@ -230,7 +239,7 @@ main(int argc, char **argv)
             cli::rejectUnknownFlag(argv[0], flag, usage);
         }
     }
-    opts.checkpointDir = snapshot.checkpointDir();
+    snapshot.apply(&opts);
 
     // One mode per invocation: silently dropping a requested figure
     // run because --list/--validate-spec/... also appeared would let
@@ -240,6 +249,7 @@ main(int argc, char **argv)
                       (!validate_paths.empty() ? 1 : 0) +
                       (!check_golden_dir.empty() ? 1 : 0) +
                       (!refresh_golden_dir.empty() ? 1 : 0) +
+                      (prune_checkpoints ? 1 : 0) +
                       (run_all || !figure_names.empty() ||
                                !spec_paths.empty()
                            ? 1
@@ -248,8 +258,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "choose one mode: --list, --dump-spec, "
                      "--validate-spec, --check-golden, "
-                     "--refresh-golden, or a --figure/--all/--spec "
-                     "run\n");
+                     "--refresh-golden, --prune-checkpoints, or a "
+                     "--figure/--all/--spec run\n");
         return 2;
     }
     // Run-only flags must not be silently ignored by other modes.
@@ -267,6 +277,25 @@ main(int argc, char **argv)
     // ---- modes that need no simulation ----------------------------
     if (list_only) {
         listFigures();
+        return 0;
+    }
+    if (prune_checkpoints) {
+        const std::string dir = snapshot.checkpointDir();
+        if (dir.empty() ||
+            dir == std::string(Checkpointer::kMemoryOnly)) {
+            std::fprintf(stderr,
+                         "--prune-checkpoints needs an on-disk store: "
+                         "--checkpoint-dir DIR (or "
+                         "FLYWHEEL_CHECKPOINTS)\n");
+            return 2;
+        }
+        std::uint64_t bytes = 0;
+        const std::size_t removed =
+            Checkpointer::pruneStore(dir, snapshot.capBytes, &bytes);
+        std::printf("pruned %zu checkpoint file(s) (%llu bytes) from "
+                    "%s; cap %llu MB\n",
+                    removed, (unsigned long long)bytes, dir.c_str(),
+                    (unsigned long long)(snapshot.capBytes >> 20));
         return 0;
     }
     if (!dump_spec_name.empty()) {

@@ -206,7 +206,7 @@ main(int argc, char **argv)
     // Checkpoints only shorten the *untimed* warmups (restores are
     // bit-identical), so the timed windows measure the same work
     // either way.
-    options.checkpointDir = snapshot.checkpointDir();
+    snapshot.apply(&options);
     options.sampleWindows = snapshot.sampleWindows;
 
     perf::BenchReport baseline;

@@ -162,7 +162,7 @@ main(int argc, char **argv)
     if (quiet)
         setLogLevel(LogLevel::Quiet);
 
-    opts.checkpointDir = snapshot.checkpointDir();
+    snapshot.apply(&opts);
     if (snapshot.sampleWindows) {
         axes.snapshot.mode = SnapshotPolicy::Mode::Sample;
         axes.snapshot.sampleWindows = snapshot.sampleWindows;
