@@ -69,9 +69,9 @@ class Gshare
   private:
     std::uint32_t index(Addr pc, std::uint16_t history) const;
 
-    GshareParams params_;
-    std::uint16_t historyMask_;
-    std::uint32_t tableMask_;
+    GshareParams params_;       // lint: nosnapshot(construction-time config)
+    std::uint16_t historyMask_; // lint: nosnapshot(derived from params)
+    std::uint32_t tableMask_;   // lint: nosnapshot(derived from params)
     std::uint16_t history_ = 0;
     ArenaVector<std::uint8_t> table_;  ///< 2-bit counters
 

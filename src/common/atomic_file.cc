@@ -1,0 +1,56 @@
+#include "common/atomic_file.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace flywheel {
+
+namespace {
+
+std::string
+uniqueTempPath(const std::string &path)
+{
+    // pid disambiguates processes sharing a store; the counter
+    // disambiguates concurrent writers (threads) within one process.
+    static std::atomic<unsigned long> counter{0};
+    return path + ".tmp." + std::to_string(long(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &bytes,
+                std::string *error)
+{
+    const std::string tmp = uniqueTempPath(path);
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out) {
+            if (error)
+                *error = "cannot write " + tmp;
+            return false;
+        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            if (error)
+                *error = "short write to " + tmp;
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot move " + tmp + " into place at " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flywheel

@@ -35,7 +35,7 @@ class BaselineCore : public CoreBase
 
   private:
     RenameMap renameMap_;
-    Tick period_;
+    Tick period_;  // lint: nosnapshot(construction-time config)
     std::uint64_t cycle_ = 0;
 };
 

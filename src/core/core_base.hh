@@ -245,7 +245,7 @@ class CoreBase
 
     Tick memTicks() const { return memTicks_; }
 
-    CoreParams params_;
+    CoreParams params_;  // lint: nosnapshot(geometry checked by restore, not mutated)
     WorkloadStream &stream_;
 
     /**
@@ -253,7 +253,7 @@ class CoreBase
      * components): state lives exactly as long as the core, laid out
      * contiguously for the hot loops and the binary snapshot codec.
      */
-    Arena arena_;
+    Arena arena_;  // lint: nosnapshot(backing store; contents saved via the components)
 
     MemoryHierarchy hier_;
     Gshare gshare_;
@@ -262,11 +262,14 @@ class CoreBase
     Lsq lsq_;
     IssueWindow iw_;
 
+    static_assert(std::is_trivially_copyable_v<InFlightInst>,
+                  "arena containers memcpy entries on snapshot save");
+
     /** Reorder buffer, program order, element-stable. */
     ArenaRing<InFlightInst> rob_;
     /** Front-end latches between Fetch and Dispatch. */
     ArenaRing<InFlightInst> feQueue_;
-    std::size_t feQueueCap_;
+    std::size_t feQueueCap_;  // lint: nosnapshot(derived from params in ctor)
 
     /** Physical register readiness scoreboard (ticks). */
     ArenaVector<Tick> regReady_;
@@ -274,24 +277,26 @@ class CoreBase
     EnergyEvents events_;
     CoreStats stats_;
 
-    obs::StatsRegistry statsRegistry_;
-    obs::Tracer *tracer_ = nullptr;
+    obs::StatsRegistry statsRegistry_;  // lint: nosnapshot(live pointers, rebuilt per run)
+    obs::Tracer *tracer_ = nullptr;  // lint: nosnapshot(observer attachment, not sim state)
 
     Tick fetchStallUntil_ = 0;
     bool waitingOnMispredict_ = false;
-    unsigned feDepth_;     ///< cycles from fetch to earliest dispatch
+    unsigned feDepth_;  // lint: nosnapshot(derived from params in ctor)
 
     std::uint64_t lastProgressRetired_ = 0;
     Tick lastProgressTick_ = 0;
 
-    RetireHook retireHook_;
+    RetireHook retireHook_;  // lint: nosnapshot(callback, re-attached by the driver)
 
   private:
+    // lint: nosnapshot(per-cycle scratch, cleared before use)
     std::vector<InFlightInst *> eligible_;   // scratch for stepIssue
-    std::vector<InFlightInst *> issuedGroup_;
-    Tick memTicks_;
+    std::vector<InFlightInst *> issuedGroup_;  // lint: nosnapshot(per-cycle scratch)
+    Tick memTicks_;  // lint: nosnapshot(derived from params in ctor)
+    // lint: nosnapshot(derived from params in ctor)
     Tick l2StallTicks_;       ///< fetch-miss stall, hoisted from the loop
-    Tick progressHorizonTicks_;
+    Tick progressHorizonTicks_;  // lint: nosnapshot(derived from params in ctor)
 
     /**
      * Issued-but-incomplete instructions (ROB pointers; the ring

@@ -84,7 +84,7 @@ class FunctionalUnits
     Pool &poolFor(OpClass op);
     bool claim(Pool &pool, Tick now, Tick busy_until);
 
-    FuLatencies lat_;
+    FuLatencies lat_;  // lint: nosnapshot(construction-time latency config)
     Pool intAlu_;
     Pool intMulDiv_;
     Pool memPort_;

@@ -89,8 +89,8 @@ class IssueWindow
 
     /** Live entries in age order, nullptr = tombstone. */
     ArenaVector<InFlightInst *> order_;
-    unsigned capacity_;
-    unsigned used_ = 0;
+    unsigned capacity_;  // lint: nosnapshot(geometry checked by restore, not mutated)
+    unsigned used_ = 0;  // lint: nosnapshot(recounted from entries in restore)
     InstSeqNum lastSeq_ = 0;   ///< insertion-order guard
 };
 

@@ -255,6 +255,7 @@ runSim(const RunConfig &config, Checkpointer *checkpoints)
                                                config.obs.traceCapacity);
     }
 
+    // lint: wallclock(telemetry only; simulated results never read it)
     using Clock = std::chrono::steady_clock;
     const auto seconds = [](Clock::time_point a, Clock::time_point b) {
         return std::chrono::duration<double>(b - a).count();

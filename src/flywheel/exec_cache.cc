@@ -65,6 +65,7 @@ bool
 ExecCache::evictLru()
 {
     auto victim = traces_.end();
+    // lint: detorder(min over unique lastUse stamps; order-independent)
     for (auto it = traces_.begin(); it != traces_.end(); ++it) {
         if (isPinned(it->first))
             continue;
@@ -131,7 +132,7 @@ ExecCache::tracePcs() const
 {
     std::vector<Addr> pcs;
     pcs.reserve(traces_.size());
-    for (const auto &e : traces_)
+    for (const auto &e : traces_)  // lint: detorder(sorted below)
         pcs.push_back(e.first);
     std::sort(pcs.begin(), pcs.end());
     return pcs;

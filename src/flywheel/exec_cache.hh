@@ -177,9 +177,9 @@ class ExecCache
     /** @return false if every resident trace is pinned. */
     bool evictLru();
 
-    unsigned totalBlocks_;
-    unsigned blockSlots_;
-    unsigned taEntries_;
+    unsigned totalBlocks_;  // lint: nosnapshot(geometry checked by restore, not mutated)
+    unsigned blockSlots_;   // lint: nosnapshot(construction-time config)
+    unsigned taEntries_;    // lint: nosnapshot(construction-time config)
     unsigned usedBlocks_ = 0;
     std::uint64_t useClock_ = 0;
     std::unordered_map<Addr, Entry> traces_;

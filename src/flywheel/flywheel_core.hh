@@ -199,9 +199,9 @@ class FlywheelCore : public CoreBase
     ExecCache ec_;
 
     Mode mode_ = Mode::Create;
-    Tick feP_;
-    Tick beBase_;
-    Tick beFast_;
+    Tick feP_;     // lint: nosnapshot(derived from params in ctor)
+    Tick beBase_;  // lint: nosnapshot(derived from params in ctor)
+    Tick beFast_;  // lint: nosnapshot(derived from params in ctor)
     Tick beCur_;
     Tick nextFe_ = 0;
     Tick nextBe_ = 0;
@@ -220,10 +220,10 @@ class FlywheelCore : public CoreBase
 
     // Per-cycle scratch for replayIssue (reused, never reallocated on
     // the trace-execution hot path).
-    std::vector<InFlightInst *> gatedScratch_;
-    std::vector<InFlightInst *> freeSlotsScratch_;
-    std::vector<InstSeqNum> coStoresScratch_;
-    FunctionalUnits::State fuStateScratch_;
+    std::vector<InFlightInst *> gatedScratch_;      // lint: nosnapshot(per-cycle scratch)
+    std::vector<InFlightInst *> freeSlotsScratch_;  // lint: nosnapshot(per-cycle scratch)
+    std::vector<InstSeqNum> coStoresScratch_;       // lint: nosnapshot(per-cycle scratch)
+    FunctionalUnits::State fuStateScratch_;         // lint: nosnapshot(per-cycle scratch)
 };
 
 } // namespace flywheel

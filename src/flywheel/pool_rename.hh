@@ -110,8 +110,10 @@ class PoolRenameUnit
 
     void layoutPools(const std::vector<std::uint32_t> &sizes);
 
-    unsigned physRegs_;
-    unsigned minPool_;
+    unsigned physRegs_;  // lint: nosnapshot(geometry checked by restore, not mutated)
+    unsigned minPool_;   // lint: nosnapshot(construction-time config)
+    static_assert(std::is_trivially_copyable_v<Pool>,
+                  "arena containers memcpy entries on snapshot save");
     ArenaVector<Pool> pools_;
     std::uint64_t stallsSinceCheck_ = 0;
 };

@@ -91,14 +91,16 @@ class Cache
 
     Addr tagOf(Addr addr) const { return addr >> tagShift_; }
 
-    CacheParams params_;
-    std::uint32_t numSets_;
+    CacheParams params_;     // lint: nosnapshot(geometry checked by restore, not mutated)
+    std::uint32_t numSets_;  // lint: nosnapshot(derived from params)
     // Line size and set count are asserted powers of two, so the
     // index/tag split is pure shift/mask (this is fetch-path code:
     // one lookup per simulated fetch group and data access).
-    unsigned lineShift_ = 0;
-    unsigned tagShift_ = 0;
-    std::uint32_t setMask_ = 0;
+    unsigned lineShift_ = 0;     // lint: nosnapshot(derived from params)
+    unsigned tagShift_ = 0;      // lint: nosnapshot(derived from params)
+    std::uint32_t setMask_ = 0;  // lint: nosnapshot(derived from params)
+    static_assert(std::is_trivially_copyable_v<Line>,
+                  "arena containers memcpy entries on snapshot save");
     ArenaVector<Line> lines_;  ///< numSets_ x assoc, row-major
     std::uint64_t useClock_ = 0;
 

@@ -71,7 +71,7 @@ class MemoryHierarchy
     void restore(BinReader &r);
 
   private:
-    HierarchyParams params_;
+    HierarchyParams params_;  // lint: nosnapshot(construction-time config)
     Cache icache_;
     Cache dcache_;
     Cache l2_;

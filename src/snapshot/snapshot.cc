@@ -1,12 +1,11 @@
 #include "snapshot/snapshot.hh"
 
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 
@@ -385,26 +384,17 @@ bool
 Snapshot::writeFile(const std::string &path, std::string *error,
                     Codec codec) const
 {
-    // Per-process tmp name: several processes may share one
-    // checkpoint store and cold-start the same key concurrently; a
-    // fixed ".tmp" would let their writes interleave before the
-    // rename and publish a corrupt (hash-rejected) file.
-    const std::string tmp =
-        path + ".tmp." + std::to_string(long(::getpid()));
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (!out)
-            return fail(error, "cannot write " + tmp);
-        const std::string doc = serialize(codec);
-        out.write(doc.data(),
-                  static_cast<std::streamsize>(doc.size()));
-        if (codec == Codec::Json)
-            out << '\n';
-        if (!out.good())
-            return fail(error, "short write to " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        return fail(error, "cannot move snapshot into place at " + path);
+    // Unique-temp + rename (common/atomic_file.hh): several
+    // processes may share one checkpoint store and cold-start the
+    // same key concurrently; a fixed ".tmp" would let their writes
+    // interleave before the rename and publish a corrupt
+    // (hash-rejected) file.
+    std::string doc = serialize(codec);
+    if (codec == Codec::Json)
+        doc += '\n';
+    std::string inner;
+    if (!atomicWriteFile(path, doc, &inner))
+        return fail(error, inner);
     return true;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "core/report.hh"
@@ -282,7 +283,7 @@ ResultCache::save() const
     // matter which worker finished first.
     std::vector<const std::string *> keys;
     keys.reserve(entries_.size());
-    for (const auto &e : entries_)
+    for (const auto &e : entries_)  // lint: detorder(sorted below)
         keys.push_back(&e.first);
     std::sort(keys.begin(), keys.end(),
               [](const std::string *a, const std::string *b) {
@@ -293,25 +294,15 @@ ResultCache::save() const
         ents.add(*key, toJson(entries_.at(*key)));
     doc.set("entries", std::move(ents));
 
-    // Write-then-rename so a killed run or a concurrent saver never
-    // leaves a truncated cache behind.
-    const std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp);
-        if (!out) {
-            FW_WARN("cannot write result cache %s", tmp.c_str());
-            return false;
-        }
-        doc.write(out, 2);
-        out << '\n';
-        if (!out.good()) {
-            FW_WARN("short write to result cache %s", tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        FW_WARN("cannot move result cache into place at %s",
-                path_.c_str());
+    // Unique-temp + rename: concurrent sweep processes sharing the
+    // cache file may save at the same moment; each publishes a
+    // complete document and the last rename wins.
+    std::ostringstream text;
+    doc.write(text, 2);
+    text << '\n';
+    std::string error;
+    if (!atomicWriteFile(path_, text.str(), &error)) {
+        FW_WARN("result cache save failed: %s", error.c_str());
         return false;
     }
     return true;

@@ -245,6 +245,7 @@ SweepRunner::runOne(const RunConfig &config, bool *from_cache)
 SweepTable
 SweepRunner::run(const std::vector<SweepPoint> &points)
 {
+    // lint: wallclock(telemetry only; simulated results never read it)
     using Clock = std::chrono::steady_clock;
     const auto sweep_start = Clock::now();
 

@@ -126,7 +126,10 @@ class WorkloadStream
      * core): the cursor tables and lookahead become contiguous
      * trivially-copyable buffers the snapshot codec can bulk-copy.
      */
-    Arena arena_;
+    Arena arena_;  // lint: nosnapshot(backing store; contents saved via the buffers)
+
+    static_assert(std::is_trivially_copyable_v<DynInst>,
+                  "arena containers memcpy entries on snapshot save");
 
     /** Remaining trips for each Loop terminator (by block id);
      *  0 means "not currently armed". */

@@ -1,0 +1,32 @@
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace flywheel {
+
+std::unordered_map<unsigned long, int> table_;
+
+int
+pickVictim()
+{
+    return rand() % 7;
+}
+
+double
+stamp()
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+std::vector<unsigned long>
+keysInHashOrder()
+{
+    std::vector<unsigned long> keys;
+    for (const auto &e : table_)
+        keys.push_back(e.first);
+    return keys;
+}
+
+} // namespace flywheel

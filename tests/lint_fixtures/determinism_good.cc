@@ -1,0 +1,19 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace flywheel {
+
+std::unordered_map<unsigned long, int> table_;
+
+std::vector<unsigned long>
+sortedKeys()
+{
+    std::vector<unsigned long> keys;
+    for (const auto &e : table_)  // lint: detorder(sorted below)
+        keys.push_back(e.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace flywheel

@@ -1,0 +1,9 @@
+// No include guard at all, and a using-namespace leak.
+
+#include <vector>
+
+using namespace std;
+
+namespace flywheel {
+inline int answer() { return 42; }
+} // namespace flywheel

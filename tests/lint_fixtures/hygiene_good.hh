@@ -1,0 +1,8 @@
+#ifndef FLYWHEEL_FIXTURE_HYGIENE_GOOD_HH
+#define FLYWHEEL_FIXTURE_HYGIENE_GOOD_HH
+
+namespace flywheel {
+inline int answer() { return 42; }
+} // namespace flywheel
+
+#endif // FLYWHEEL_FIXTURE_HYGIENE_GOOD_HH

@@ -1,0 +1,31 @@
+#ifndef FLYWHEEL_FIXTURE_SNAPSHOT_BAD_HH
+#define FLYWHEEL_FIXTURE_SNAPSHOT_BAD_HH
+
+namespace flywheel {
+
+class BadComponent
+{
+  public:
+    void save(BinWriter &w) const
+    {
+        w.u64(count_);
+        // cursor_ forgotten here: the checker must flag it even
+        // though this comment names it.
+    }
+    void restore(BinReader &r)
+    {
+        count_ = r.u64();
+        cursor_ = 0;
+    }
+
+  private:
+    unsigned long count_ = 0;
+    unsigned long cursor_ = 0;   ///< missing from save()
+    unsigned capacity_;          ///< bare annotation below is invalid too
+    // lint: nosnapshot()
+    unsigned scratch_;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_FIXTURE_SNAPSHOT_BAD_HH

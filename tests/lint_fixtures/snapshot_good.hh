@@ -1,0 +1,28 @@
+#ifndef FLYWHEEL_FIXTURE_SNAPSHOT_GOOD_HH
+#define FLYWHEEL_FIXTURE_SNAPSHOT_GOOD_HH
+
+namespace flywheel {
+
+class GoodComponent
+{
+  public:
+    void save(BinWriter &w) const
+    {
+        w.u64(count_);
+        w.u64(cursor_);
+    }
+    void restore(BinReader &r)
+    {
+        count_ = r.u64();
+        cursor_ = r.u64();
+    }
+
+  private:
+    unsigned capacity_;  // lint: nosnapshot(construction-time config)
+    unsigned long count_ = 0;
+    unsigned long cursor_ = 0;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_FIXTURE_SNAPSHOT_GOOD_HH

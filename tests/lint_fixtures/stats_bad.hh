@@ -1,0 +1,27 @@
+#ifndef FLYWHEEL_FIXTURE_STATS_BAD_HH
+#define FLYWHEEL_FIXTURE_STATS_BAD_HH
+
+namespace flywheel {
+
+class BadStats
+{
+  public:
+    void registerStats(obs::StatsGroup &g) const
+    {
+        g.counter("hits", &hits_);
+    }
+
+  private:
+    Counter hits_;
+    Counter misses_;   ///< declared but never registered
+};
+
+class NoRegister
+{
+  private:
+    Counter lonely_;   ///< stat wrapper but no registerStats() at all
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_FIXTURE_STATS_BAD_HH

@@ -1,0 +1,24 @@
+#ifndef FLYWHEEL_FIXTURE_STATS_GOOD_HH
+#define FLYWHEEL_FIXTURE_STATS_GOOD_HH
+
+namespace flywheel {
+
+class GoodStats
+{
+  public:
+    void registerStats(obs::StatsGroup &g) const
+    {
+        g.counter("hits", &hits_);
+        g.formula("misses", [this] { return misses(); });
+    }
+    unsigned long misses() const { return misses_.value(); }
+
+  private:
+    Counter hits_;
+    Counter misses_;   ///< registered through the misses() accessor
+    Counter debugOnly_;  // lint: nostat(internal debugging aid)
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_FIXTURE_STATS_GOOD_HH

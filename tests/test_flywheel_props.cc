@@ -44,7 +44,7 @@ TEST_P(BeBoostMonotone, FasterBackEndNeverHurts)
 INSTANTIATE_TEST_SUITE_P(Benchmarks, BeBoostMonotone,
                          ::testing::Values("ijpeg", "gzip", "mesa",
                                            "vortex", "turb3d"),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) { return param_info.param; });
 
 /** Property: front-end boosts never hurt either. */
 class FeBoostMonotone : public ::testing::TestWithParam<double>
@@ -61,9 +61,9 @@ TEST_P(FeBoostMonotone, FasterFrontEndNeverHurts)
 
 INSTANTIATE_TEST_SUITE_P(Boosts, FeBoostMonotone,
                          ::testing::Values(0.25, 0.5, 0.75, 1.0),
-                         [](const auto &info) {
+                         [](const auto &param_info) {
                              return "fe" + std::to_string(int(
-                                 info.param * 100));
+                                 param_info.param * 100));
                          });
 
 TEST(FlywheelProps, SrtReducesTraceChangePenalty)

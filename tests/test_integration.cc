@@ -91,13 +91,13 @@ allCombos()
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, AllCoresAllBenchmarks, ::testing::ValuesIn(allCombos()),
-    [](const auto &info) {
+    [](const auto &param_info) {
         const char *kind =
-            std::get<1>(info.param) == CoreKind::Baseline ? "base"
-            : std::get<1>(info.param) == CoreKind::RegisterAllocation
+            std::get<1>(param_info.param) == CoreKind::Baseline ? "base"
+            : std::get<1>(param_info.param) == CoreKind::RegisterAllocation
                 ? "ra"
                 : "fly";
-        return std::get<0>(info.param) + "_" + kind;
+        return std::get<0>(param_info.param) + "_" + kind;
     });
 
 TEST(Integration, FlywheelOnlyCountsEcEventsWhenEnabled)

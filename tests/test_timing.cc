@@ -57,8 +57,8 @@ TEST_P(Table1Calibration, FrequenciesWithinSixPercent)
 
 INSTANTIATE_TEST_SUITE_P(Rows, Table1Calibration,
                          ::testing::Range(0, 6),
-                         [](const auto &info) {
-                             return kTable1[info.param].name;
+                         [](const auto &param_info) {
+                             return kTable1[param_info.param].name;
                          });
 
 TEST(Fig1, CacheMuchSlowerThanIssueWindowAtLargeNodes)
@@ -124,8 +124,8 @@ TEST_P(LatencyMonotonicity, WakeupDominatesSelectForLargeWindows)
 
 INSTANTIATE_TEST_SUITE_P(Nodes, LatencyMonotonicity,
                          ::testing::ValuesIn(allTechNodes()),
-                         [](const auto &info) {
-                             return std::string(techName(info.param))
+                         [](const auto &param_info) {
+                             return std::string(techName(param_info.param))
                                  .substr(2, 4);
                          });
 

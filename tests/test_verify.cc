@@ -85,8 +85,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FaultKind::CorruptPc, FaultKind::CorruptDest,
                       FaultKind::CorruptEffAddr, FaultKind::FlipTaken,
                       FaultKind::DropRetire),
-    [](const auto &info) {
-        switch (info.param) {
+    [](const auto &param_info) {
+        switch (param_info.param) {
           case FaultKind::CorruptPc: return "CorruptPc";
           case FaultKind::CorruptDest: return "CorruptDest";
           case FaultKind::CorruptEffAddr: return "CorruptEffAddr";

@@ -89,7 +89,7 @@ TEST_P(ProgramInvariants, BlockSizesWithinCaps)
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProgramInvariants,
                          ::testing::ValuesIn(benchmarkNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) { return param_info.param; });
 
 class StreamInvariants : public ::testing::TestWithParam<std::string>
 {
@@ -202,7 +202,7 @@ TEST_P(StreamInvariants, BranchesHaveCondSources)
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamInvariants,
                          ::testing::ValuesIn(benchmarkNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) { return param_info.param; });
 
 bool
 sameInst(const DynInst &a, const DynInst &b)
@@ -276,8 +276,8 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, StreamLookahead,
     ::testing::Values(0ULL, 1ULL, 0xfeedULL, 0xdeadbeefULL,
                       0x123456789abcdefULL),
-    [](const auto &info) {
-        return "seed" + std::to_string(info.index);
+    [](const auto &param_info) {
+        return "seed" + std::to_string(param_info.index);
     });
 
 TEST(StreamLookahead, DifferentStreamSeedsDiverge)

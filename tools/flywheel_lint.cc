@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CLI for the flywheel_lint invariant checkers (see tools/lint/lint.hh).
+ *
+ * Usage:
+ *   flywheel_lint [--quiet] [--src DIR]... [FILE]...
+ *
+ * With no --src/FILE arguments, lints ./src.  Exit codes: 0 clean,
+ * 1 findings, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--quiet] [--src DIR]... [FILE]...\n"
+                 "  --src DIR   lint all .hh/.cc under DIR (repeatable;"
+                 " default ./src)\n"
+                 "  --quiet     print only the summary line\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace flywheel::lint;
+
+    std::vector<std::string> dirs;
+    std::vector<std::string> files;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--src") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            dirs.push_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (dirs.empty() && files.empty())
+        dirs.push_back("src");
+
+    std::vector<LintInput> inputs;
+    std::string error;
+    for (const std::string &dir : dirs) {
+        if (!collectSources(dir, &inputs, &error)) {
+            std::fprintf(stderr, "flywheel_lint: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    for (const std::string &path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "flywheel_lint: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        inputs.push_back({path, text.str()});
+    }
+
+    const std::vector<Finding> findings = runLint(inputs);
+    if (!quiet)
+        for (const Finding &f : findings)
+            std::printf("%s\n", formatFinding(f).c_str());
+    std::printf("flywheel_lint: %zu file(s), %zu finding(s)\n",
+                inputs.size(), findings.size());
+    return findings.empty() ? 0 : 1;
+}
