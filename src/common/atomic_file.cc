@@ -1,9 +1,12 @@
 #include "common/atomic_file.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 
 namespace flywheel {
@@ -51,6 +54,32 @@ atomicWriteFile(const std::string &path, const std::string &bytes,
         return false;
     }
     return true;
+}
+
+bool
+makeDirectories(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    std::string prefix;
+    prefix.reserve(dir.size());
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            prefix += dir[i];
+            continue;
+        }
+        if (!prefix.empty() &&
+            ::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+            struct ::stat st;
+            if (::stat(prefix.c_str(), &st) != 0 ||
+                !S_ISDIR(st.st_mode))
+                return false;
+        }
+        if (i < dir.size())
+            prefix += '/';
+    }
+    struct ::stat st;
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 } // namespace flywheel

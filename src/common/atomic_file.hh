@@ -27,6 +27,14 @@ namespace flywheel {
 bool atomicWriteFile(const std::string &path, const std::string &bytes,
                      std::string *error = nullptr);
 
+/**
+ * mkdir -p: create @p dir and every missing parent; true if @p dir
+ * exists as a directory afterwards.  Shared by every on-disk store
+ * (checkpoints, serve results, job journals) so a nested store path
+ * never makes persists fail silently.
+ */
+bool makeDirectories(const std::string &dir);
+
 } // namespace flywheel
 
 #endif // FLYWHEEL_COMMON_ATOMIC_FILE_HH

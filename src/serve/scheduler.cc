@@ -1,0 +1,187 @@
+#include "serve/scheduler.hh"
+
+#include <limits>
+
+namespace flywheel::serve {
+
+double
+JobScheduler::Job::predictedWall(std::size_t cell) const
+{
+    const std::string &bench = cellBench[cell];
+    auto samples = benchSamples.find(bench);
+    if (samples == benchSamples.end() || samples->second == 0)
+        return std::numeric_limits<double>::infinity();
+    return benchWall.at(bench) / double(samples->second);
+}
+
+bool
+JobScheduler::addJob(const std::string &jobId,
+                     const std::vector<std::string> &cellBench,
+                     const std::set<std::size_t> &completed)
+{
+    if (jobs_.count(jobId))
+        return false;
+    Job job;
+    job.cellBench = cellBench;
+    for (std::size_t cell = 0; cell < cellBench.size(); ++cell) {
+        if (completed.count(cell))
+            job.done.insert(cell);
+        else
+            job.pending.insert(cell);
+    }
+    order_.push_back(jobId);
+    jobs_.emplace(jobId, std::move(job));
+    return true;
+}
+
+bool
+JobScheduler::hasJob(const std::string &jobId) const
+{
+    return jobs_.count(jobId) != 0;
+}
+
+bool
+JobScheduler::lease(const std::string &worker, double now, WorkUnit *out)
+{
+    // FIFO across jobs: drain the oldest job with pending work first.
+    for (const std::string &jobId : order_) {
+        Job &job = jobs_.at(jobId);
+        if (job.pending.empty())
+            continue;
+        // LPT greedy: heaviest predicted cell; ties break to the
+        // lowest cell index (std::set iteration order).
+        std::size_t best = *job.pending.begin();
+        double best_wall = job.predictedWall(best);
+        for (std::size_t cell : job.pending) {
+            const double wall = job.predictedWall(cell);
+            if (wall > best_wall) {
+                best = cell;
+                best_wall = wall;
+            }
+        }
+        job.pending.erase(best);
+        job.leased[best] = Lease{worker, now + leaseTimeout_};
+        out->jobId = jobId;
+        out->cell = best;
+        return true;
+    }
+    return false;
+}
+
+void
+JobScheduler::completed(const std::string &jobId, std::size_t cell,
+                        double wallSeconds)
+{
+    auto it = jobs_.find(jobId);
+    if (it == jobs_.end() || cell >= it->second.cellBench.size())
+        return;
+    Job &job = it->second;
+    job.pending.erase(cell);
+    job.leased.erase(cell);
+    if (!job.done.insert(cell).second)
+        return;  // duplicate completion: count the sample once
+    const std::string &bench = job.cellBench[cell];
+    job.benchWall[bench] += wallSeconds;
+    job.benchSamples[bench] += 1;
+}
+
+void
+JobScheduler::heartbeat(const std::string &worker, double now)
+{
+    for (auto &entry : jobs_)
+        for (auto &lease : entry.second.leased)
+            if (lease.second.worker == worker)
+                lease.second.deadline = now + leaseTimeout_;
+}
+
+std::vector<WorkUnit>
+JobScheduler::expireLeases(double now)
+{
+    std::vector<WorkUnit> expired;
+    for (auto &entry : jobs_) {
+        Job &job = entry.second;
+        for (auto it = job.leased.begin(); it != job.leased.end();) {
+            if (it->second.deadline < now) {
+                expired.push_back(WorkUnit{entry.first, it->first});
+                job.pending.insert(it->first);
+                it = job.leased.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return expired;
+}
+
+std::vector<WorkUnit>
+JobScheduler::releaseWorker(const std::string &worker)
+{
+    std::vector<WorkUnit> released;
+    for (auto &entry : jobs_) {
+        Job &job = entry.second;
+        for (auto it = job.leased.begin(); it != job.leased.end();) {
+            if (it->second.worker == worker) {
+                released.push_back(WorkUnit{entry.first, it->first});
+                job.pending.insert(it->first);
+                it = job.leased.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return released;
+}
+
+bool
+JobScheduler::cancel(const std::string &jobId)
+{
+    auto it = jobs_.find(jobId);
+    if (it == jobs_.end())
+        return false;
+    it->second.pending.clear();
+    it->second.leased.clear();
+    it->second.cancelled = true;
+    return true;
+}
+
+JobProgress
+JobScheduler::progress(const std::string &jobId) const
+{
+    JobProgress p;
+    auto it = jobs_.find(jobId);
+    if (it == jobs_.end())
+        return p;
+    const Job &job = it->second;
+    p.cells = job.cellBench.size();
+    p.done = job.done.size();
+    p.pending = job.pending.size();
+    p.leased = job.leased.size();
+    p.cancelled = job.cancelled;
+    return p;
+}
+
+std::vector<std::string>
+JobScheduler::jobIds() const
+{
+    return order_;
+}
+
+std::size_t
+JobScheduler::pendingCells() const
+{
+    std::size_t n = 0;
+    for (const auto &entry : jobs_)
+        n += entry.second.pending.size();
+    return n;
+}
+
+std::size_t
+JobScheduler::leasedCells() const
+{
+    std::size_t n = 0;
+    for (const auto &entry : jobs_)
+        n += entry.second.leased.size();
+    return n;
+}
+
+} // namespace flywheel::serve

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Work-unit scheduler for the sweep service.
+ *
+ * The unit of distribution is one grid cell — a (job, cell-index)
+ * pair into the job spec's expansion — and scheduling is pull-based:
+ * idle workers ask for work, so a slow machine simply asks less often
+ * and fast ones steal the remainder.  Nothing is pre-partitioned.
+ *
+ * Each handout is a *lease*, not a transfer: the cell stays owned by
+ * the scheduler until a completion lands, and a lease whose worker
+ * misses its heartbeat window is expired back to pending so another
+ * worker picks it up.  Work can therefore be executed twice after a
+ * worker dies mid-cell; that is safe because cell execution is
+ * deterministic and results are published atomically to a shared
+ * store keyed by config — duplicates collapse to the same bytes.
+ *
+ * Handout order is longest-predicted-first (classic LPT greedy):
+ * cells are weighted by the running mean wall-clock of completed
+ * cells on the same benchmark within the job — the sweep telemetry
+ * signal — so the heavy benchmarks start early and the tail of the
+ * sweep is short cells, not a straggler.  Unsampled benchmarks are
+ * treated as heaviest (schedule-early), which both seeds the means
+ * quickly and is the conservative bound.  Jobs are served FIFO.
+ *
+ * Time is injected as a double-seconds value by the caller (the
+ * server's poll loop, or a unit test), so lease-expiry behaviour is
+ * exactly testable without sleeping.  The scheduler itself is
+ * single-threaded state owned by the server loop — no locks here.
+ */
+
+#ifndef FLYWHEEL_SERVE_SCHEDULER_HH
+#define FLYWHEEL_SERVE_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flywheel::serve {
+
+/** One leased work unit. */
+struct WorkUnit
+{
+    std::string jobId;
+    std::size_t cell = 0;
+};
+
+/** Progress counters for one job (status frames, journal gating). */
+struct JobProgress
+{
+    std::size_t cells = 0;
+    std::size_t done = 0;
+    std::size_t pending = 0;
+    std::size_t leased = 0;
+    bool cancelled = false;
+
+    bool complete() const { return !cancelled && done == cells; }
+};
+
+class JobScheduler
+{
+  public:
+    /** Lease lifetime in injected-time seconds. */
+    explicit JobScheduler(double leaseTimeout = 60.0)
+        : leaseTimeout_(leaseTimeout) {}
+
+    double leaseTimeout() const { return leaseTimeout_; }
+
+    /**
+     * Register a job: one bench name per cell (LPT weight key), with
+     * @p completed cells (journal replay) already done.  Re-adding a
+     * known job id is a no-op (idempotent resubmission = attach).
+     * Returns false on the no-op.
+     */
+    bool addJob(const std::string &jobId,
+                const std::vector<std::string> &cellBench,
+                const std::set<std::size_t> &completed = {});
+
+    bool hasJob(const std::string &jobId) const;
+
+    /**
+     * Lease the heaviest-predicted pending cell to @p worker; false
+     * when nothing is pending (all done, all leased, or no jobs).
+     */
+    bool lease(const std::string &worker, double now, WorkUnit *out);
+
+    /**
+     * Record a completed cell with its wall-clock sample (feeds the
+     * LPT weights) and release any lease on it.  Idempotent: repeats
+     * and completions for unknown cells are ignored.
+     */
+    void completed(const std::string &jobId, std::size_t cell,
+                   double wallSeconds);
+
+    /** Refresh every lease held by @p worker. */
+    void heartbeat(const std::string &worker, double now);
+
+    /**
+     * Re-pend leases whose heartbeat window passed; returns the
+     * expired units so the server can log them.
+     */
+    std::vector<WorkUnit> expireLeases(double now);
+
+    /** Immediately re-pend everything @p worker holds (clean detach). */
+    std::vector<WorkUnit> releaseWorker(const std::string &worker);
+
+    /**
+     * Drop a job's pending and leased cells; done cells stay counted.
+     * False for unknown jobs.
+     */
+    bool cancel(const std::string &jobId);
+
+    /** Progress for one job; zeroes for unknown ids. */
+    JobProgress progress(const std::string &jobId) const;
+
+    /** Job ids in submission order. */
+    std::vector<std::string> jobIds() const;
+
+    /** Total pending cells across jobs. */
+    std::size_t pendingCells() const;
+    /** Total leased cells across jobs. */
+    std::size_t leasedCells() const;
+
+  private:
+    struct Lease
+    {
+        std::string worker;
+        double deadline = 0.0;
+    };
+
+    struct Job
+    {
+        std::vector<std::string> cellBench;
+        std::set<std::size_t> pending;        // ordered: stable ties
+        std::map<std::size_t, Lease> leased;
+        std::set<std::size_t> done;
+        // LPT signal: summed wall / sample count per benchmark.
+        std::map<std::string, double> benchWall;
+        std::map<std::string, std::uint64_t> benchSamples;
+        bool cancelled = false;
+
+        double predictedWall(std::size_t cell) const;
+    };
+
+    double leaseTimeout_;
+    std::vector<std::string> order_;      // FIFO across jobs
+    std::map<std::string, Job> jobs_;
+};
+
+} // namespace flywheel::serve
+
+#endif // FLYWHEEL_SERVE_SCHEDULER_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ServeDaemon — the long-running sweep service behind
+ * `flywheel_serve`.
+ *
+ * One single-threaded poll(2) loop owns everything: the listening
+ * socket (TCP or Unix-domain), every client and worker connection,
+ * the JobScheduler, the job journals and the in-memory result
+ * assembly.  Workers and clients speak the NDJSON protocol from
+ * serve/protocol.hh; simulation happens only in worker processes
+ * (spawned locally by the daemon, or attached remotely with
+ * `flywheel_serve --worker --connect`), so a slow cell never stalls
+ * frame handling.
+ *
+ * Job lifecycle:
+ *  - submit: run lengths are resolved against this server's
+ *    environment *before* hashing and journaling, so every worker —
+ *    whatever its env — expands the identical grid; the job id is
+ *    the FNV-1a digest of that resolved spec, making resubmission
+ *    idempotent: the same spec resumes its journal instead of
+ *    starting over.
+ *  - execute: cells are leased to pulling workers (LPT order, see
+ *    scheduler.hh), results are published to the shared store and
+ *    echoed inline in `done` frames, and every completion is
+ *    journaled durably before it is acknowledged.
+ *  - finalize: when the last cell lands, rows are assembled in
+ *    expansion order with the same (configKey|label) dedup rule as
+ *    `flywheel_bench` exports, so the served table is byte-identical
+ *    to a single-process run of the same spec.
+ *
+ * Crash story: kill -9 the daemon at any point; restarting it and
+ * resubmitting the same spec replays the journal, reloads completed
+ * cells from the result store (a journaled cell whose result file is
+ * missing simply re-pends) and re-leases only the remainder.
+ *
+ * Store layout under --store DIR:
+ *   job-<id>.json      per-job journal (serve/journal.hh)
+ *   results/           per-cell RunResult files (serve/store.hh)
+ *   checkpoints/       workers' shared warm-up checkpoint store
+ */
+
+#ifndef FLYWHEEL_SERVE_SERVER_HH
+#define FLYWHEEL_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "api/experiment.hh"
+#include "obs/stats_registry.hh"
+#include "serve/journal.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/store.hh"
+
+namespace flywheel::serve {
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Shared store directory (journals, results, checkpoints). */
+    std::string storeDir;
+    /** Listen address; TCP port 0 picks an ephemeral port. */
+    ServeAddress listen;
+    /** Local worker processes to spawn (0 = remote workers only). */
+    unsigned localWorkers = 0;
+    /**
+     * argv to exec for each local worker (typically this binary with
+     * --worker --connect).  Required when localWorkers > 0.
+     */
+    std::vector<std::string> workerArgv;
+    /** Lease lifetime: a silent worker's cells re-pend after this. */
+    double leaseTimeout = 60.0;
+    /** Worker heartbeat interval handed out in `welcome` frames. */
+    double heartbeatSeconds = 5.0;
+};
+
+/** Resolve @p spec's run lengths against this process's defaults. */
+ExperimentSpec resolveSpec(const ExperimentSpec &spec);
+
+/** Job id: 16-hex FNV-1a digest of the resolved spec document. */
+std::string jobIdFor(const ExperimentSpec &resolved);
+
+class ServeDaemon
+{
+  public:
+    explicit ServeDaemon(ServeOptions options);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /**
+     * Create the store, bind + listen, spawn local workers.  False +
+     * *error leaves the daemon inert (run() returns immediately).
+     */
+    bool start(std::string *error);
+
+    /** Serve until shutdown is requested (frame or stop()). */
+    void run();
+
+    /** Thread-safe shutdown request (self-pipe into the poll loop). */
+    void stop();
+
+    /** Bound address — the real port when listening on TCP port 0. */
+    const ServeAddress &boundAddress() const { return bound_; }
+
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        FrameBuffer inbuf;
+        bool isWorker = false;
+        std::string worker;            ///< hello name (workers only)
+        std::set<std::string> sentSpecs; ///< jobs whose spec was sent
+        bool closed = false;
+    };
+
+    /** Per-worker shard counters surfaced via the stats frame. */
+    struct ShardStats
+    {
+        std::uint64_t cellsCompleted = 0;
+        std::uint64_t storeHits = 0;
+        std::uint64_t leasesGranted = 0;
+        std::uint64_t leasesExpired = 0;
+        double wallSeconds = 0.0;
+    };
+
+    struct Job
+    {
+        ExperimentSpec spec;               ///< resolved
+        std::vector<SweepPoint> points;
+        std::vector<std::string> keys;     ///< configKey per cell
+        std::map<std::size_t, RunResult> results;
+        std::unique_ptr<JournalWriter> journal;
+        bool finalized = false;
+        std::string tableJson;
+        std::string tableCsv;
+    };
+
+    double nowSeconds() const;
+
+    bool openListenSocket(std::string *error);
+    pid_t spawnLocalWorker();
+    void reapLocalWorkers();
+    void killLocalWorkers();
+
+    void acceptConnections();
+    void serviceConnection(Connection &conn);
+    void handleFrame(Connection &conn, const Json &frame);
+
+    // client-side frames
+    void handleSubmit(Connection &conn, const Json &frame);
+    void handleStatus(Connection &conn, const Json &frame);
+    void handleResults(Connection &conn, const Json &frame);
+    void handleCancel(Connection &conn, const Json &frame);
+    void handleStats(Connection &conn);
+    void handleShutdown(Connection &conn);
+
+    // worker-side frames
+    void handleHello(Connection &conn, const Json &frame);
+    void handleLease(Connection &conn, const Json &frame);
+    void handleDone(Connection &conn, const Json &frame);
+    void handlePing(const Json &frame);
+
+    void sendReply(Connection &conn, const Json &frame);
+    void sendError(Connection &conn, const std::string &message);
+    void dropConnection(Connection &conn);
+
+    ShardStats &shard(const std::string &worker);
+    void maybeFinalize(const std::string &jobId);
+    std::string jobState(const std::string &jobId) const;
+
+    ServeOptions options_;
+    ServeAddress bound_;
+    ResultStore store_;
+    JobScheduler scheduler_;
+    obs::StatsRegistry stats_;
+
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    bool stopping_ = false;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    std::map<pid_t, bool> localWorkers_;
+    unsigned respawnBudget_ = 0;
+
+    std::map<std::string, Job> jobs_;
+    std::map<std::string, std::unique_ptr<ShardStats>> shards_;
+
+    // daemon-level counters (stats group "serve")
+    std::uint64_t jobsSubmitted_ = 0;
+    std::uint64_t jobsResumed_ = 0;
+    std::uint64_t jobsCompleted_ = 0;
+    std::uint64_t framesHandled_ = 0;
+    std::uint64_t framesRejected_ = 0;
+    std::uint64_t leasesExpired_ = 0;
+
+    double epoch_ = 0.0;  ///< steady-clock origin for injected time
+};
+
+} // namespace flywheel::serve
+
+#endif // FLYWHEEL_SERVE_SERVER_HH

@@ -1,0 +1,71 @@
+#include "serve/store.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "core/report.hh"
+#include "sweep/result_cache.hh"
+
+namespace flywheel::serve {
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultStore::pathFor(const std::string &key) const
+{
+    char digest[20];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir_ + "/result-" + digest + ".json";
+}
+
+bool
+ResultStore::lookup(const std::string &key, RunResult *out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(pathFor(key));
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Json doc;
+    if (!Json::parse(text.str(), doc, nullptr) || !doc.isObject())
+        return false;
+    if (!doc["v"].isString() || doc["v"].asString() != kResultSchema)
+        return false;
+    if (!doc["key"].isString() || doc["key"].asString() != key)
+        return false;  // digest collision or foreign file: a miss
+    if (!runResultJsonComplete(doc["result"]))
+        return false;
+    *out = runResultFromJson(doc["result"]);
+    return true;
+}
+
+bool
+ResultStore::save(const std::string &key, const RunResult &result) const
+{
+    if (!enabled())
+        return false;
+    if (!makeDirectories(dir_)) {
+        FW_WARN("result store: cannot create %s", dir_.c_str());
+        return false;
+    }
+    Json doc = Json::object();
+    doc.add("v", kResultSchema);
+    doc.add("key", key);
+    doc.add("result", toJson(result));
+    std::string error;
+    if (!atomicWriteFile(pathFor(key), doc.dump(0) + "\n", &error)) {
+        FW_WARN("result store: %s", error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flywheel::serve

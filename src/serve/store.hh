@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared per-cell result store for the distributed sweep service.
+ *
+ * One finished RunResult per file, named by the FNV-1a digest of the
+ * cell's full configKey and published with unique-temp + rename
+ * (common/atomic_file.hh) — the same concurrency story as the
+ * checkpoint store, so any number of worker processes on one
+ * directory (local disk or NFS) never tear each other's files.  The
+ * payload records the complete key alongside the result, so a digest
+ * collision or foreign file reads as a miss, never as a wrong result.
+ *
+ * This is the durability layer under the job journal: a worker
+ * persists the cell result *before* reporting completion, so a
+ * server killed between a worker finishing and the journal append
+ * re-leases the cell — and the re-leased run is satisfied from this
+ * store instead of re-simulating.
+ */
+
+#ifndef FLYWHEEL_SERVE_STORE_HH
+#define FLYWHEEL_SERVE_STORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/sim_driver.hh"
+
+namespace flywheel::serve {
+
+/** Result-file format tag. */
+inline constexpr const char *kResultSchema =
+    "flywheel.serve.result.v1";
+
+class ResultStore
+{
+  public:
+    /** Store rooted at @p dir; "" disables (lookups miss, saves drop). */
+    explicit ResultStore(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Result-file path for a cell's configKey. */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * Load the stored result for @p key; false on missing file,
+     * malformed payload, version or key mismatch, or an incomplete
+     * field set (older writer) — all of which simply mean "rerun".
+     */
+    bool lookup(const std::string &key, RunResult *out) const;
+
+    /** Atomically publish @p result under @p key; false on IO error. */
+    bool save(const std::string &key, const RunResult &result) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace flywheel::serve
+
+#endif // FLYWHEEL_SERVE_STORE_HH

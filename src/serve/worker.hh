@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Worker side of the sweep service: connect to a ServeDaemon, pull
+ * leased cells, simulate them, publish results.
+ *
+ * A worker is intentionally stateless between cells — everything it
+ * knows (the job spec, the shared store path, the heartbeat interval)
+ * arrives over the wire, so `flywheel_serve --worker --connect
+ * HOST:PORT` on another machine joins a sweep with no shared
+ * filesystem assumption beyond the store directory itself.  Cells
+ * run through the same CellExecutor as a local SweepRunner (with the
+ * shared warm-checkpoint store), which is what keeps distributed
+ * results byte-identical to single-process ones.
+ *
+ * Per cell: check the shared ResultStore first (another worker, or a
+ * previous life of this sweep, may have done it), otherwise simulate
+ * and publish to the store *before* reporting `done` — the server's
+ * journal append must never precede result durability.  A heartbeat
+ * thread pings the server so leases survive long cells.
+ */
+
+#ifndef FLYWHEEL_SERVE_WORKER_HH
+#define FLYWHEEL_SERVE_WORKER_HH
+
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace flywheel::serve {
+
+/** Worker configuration. */
+struct WorkerOptions
+{
+    /** Server to attach to. */
+    ServeAddress connect;
+    /** Shard name in server stats; "" derives one from the pid. */
+    std::string name;
+    /**
+     * Store directory override for workers that mount the shared
+     * store at a different path; "" uses the path the server's
+     * `welcome` frame announces.
+     */
+    std::string storeDir;
+};
+
+/**
+ * Run the pull loop until the server says `bye` (0) or the
+ * connection/protocol fails (1).  Runnable from several threads of
+ * one process with distinct names (the in-process tests do).
+ */
+int runWorker(const WorkerOptions &options);
+
+} // namespace flywheel::serve
+
+#endif // FLYWHEEL_SERVE_WORKER_HH

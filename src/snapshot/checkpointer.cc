@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "common/log.hh"
 #include "core/sim_driver.hh"
 #include "obs/stats_registry.hh"
@@ -73,37 +74,6 @@ fileBytes(const std::string &path)
     if (::stat(path.c_str(), &st) != 0)
         return 0;
     return static_cast<std::uint64_t>(st.st_size);
-}
-
-/**
- * mkdir -p: create @p dir and every missing parent.  A single-level
- * ::mkdir fails with ENOENT for a nested --checkpoint-dir a/b/c,
- * which used to make every persist in such a store fail silently.
- */
-bool
-makeDirs(const std::string &dir)
-{
-    if (dir.empty())
-        return false;
-    std::string prefix;
-    prefix.reserve(dir.size());
-    for (std::size_t i = 0; i <= dir.size(); ++i) {
-        if (i < dir.size() && dir[i] != '/') {
-            prefix += dir[i];
-            continue;
-        }
-        if (!prefix.empty() &&
-            ::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
-            struct ::stat st;
-            if (::stat(prefix.c_str(), &st) != 0 ||
-                !S_ISDIR(st.st_mode))
-                return false;
-        }
-        if (i < dir.size())
-            prefix += '/';
-    }
-    struct ::stat st;
-    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 /** True iff @p name looks like a checkpoint store file. */
@@ -292,7 +262,7 @@ Checkpointer::persist(const std::shared_ptr<const Snapshot> &snap,
     const std::string path = pathFor(key);
     std::string error;
     const bool wrote =
-        makeDirs(dir_)
+        makeDirectories(dir_)
             ? snap->writeFile(path, &error,
                               options_.jsonFormat
                                   ? Snapshot::Codec::Json

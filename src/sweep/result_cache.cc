@@ -224,21 +224,25 @@ ResultCache::size() const
     return entries_.size();
 }
 
-void
-ResultCache::load()
+ResultCache::LoadStatus
+ResultCache::tryLoad(std::string *error)
 {
     std::ifstream in(path_);
     if (!in)
-        return; // first use: the file does not exist yet
+        return LoadStatus::Missing; // first use: no file yet
     std::ostringstream text;
     text << in.rdbuf();
 
     Json doc;
-    std::string error;
-    if (!Json::parse(text.str(), doc, &error) || !doc.isObject()) {
-        FW_WARN("result cache %s unreadable (%s); starting empty",
-                path_.c_str(), error.c_str());
-        return;
+    if (!Json::parse(text.str(), doc, error))
+        return LoadStatus::ParseError;
+    if (!doc.isObject()) {
+        // Parsed fine but is not a cache document — deterministic,
+        // unlike a torn read, so it must not trigger the retry.
+        FW_WARN("result cache %s is not a JSON object; starting "
+                "empty",
+                path_.c_str());
+        return LoadStatus::BadShape;
     }
     if (doc["version"].asU64() != std::uint64_t(kFormatVersion)) {
         FW_WARN("result cache %s has format version %llu (want %d); "
@@ -246,13 +250,13 @@ ResultCache::load()
                 path_.c_str(),
                 (unsigned long long)doc["version"].asU64(),
                 kFormatVersion);
-        return;
+        return LoadStatus::BadVersion;
     }
     if (!doc["entries"].isObject()) {
         FW_WARN("result cache %s has no usable entries section; "
                 "starting empty",
                 path_.c_str());
-        return;
+        return LoadStatus::BadShape;
     }
     std::size_t incomplete = 0;
     for (const auto &m : doc["entries"].members()) {
@@ -269,6 +273,34 @@ ResultCache::load()
                 path_.c_str(), incomplete);
     FW_INFORM("result cache %s: loaded %zu entries", path_.c_str(),
               entries_.size());
+    return LoadStatus::Ok;
+}
+
+void
+ResultCache::load()
+{
+    std::string error;
+    LoadStatus status = tryLoad(&error);
+    if (status == LoadStatus::ParseError) {
+        // On filesystems where the writer's rename(2) is not
+        // atomically visible to concurrent readers (NFS and friends),
+        // a load can glimpse a torn document even though every writer
+        // publishes via temp + rename.  The race window is one
+        // rename, so a single immediate retry reads the settled file;
+        // only a parse failure earns it — a version or shape mismatch
+        // is deterministic and would just fail identically again.
+        ++loadRetries_;
+        std::string retry_error;
+        status = tryLoad(&retry_error);
+        if (status == LoadStatus::ParseError)
+            FW_WARN("result cache %s unreadable after retry (%s); "
+                    "starting empty",
+                    path_.c_str(), retry_error.c_str());
+        else if (status == LoadStatus::Ok)
+            FW_WARN("result cache %s read torn (%s) but settled on "
+                    "retry",
+                    path_.c_str(), error.c_str());
+    }
 }
 
 bool

@@ -60,6 +60,8 @@ class ResultCache
     std::size_t size() const;
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Times the on-disk load retried after a parse failure. */
+    std::uint64_t loadRetries() const { return loadRetries_; }
     const std::string &path() const { return path_; }
 
     /** On-disk format version (bump when serialization changes).
@@ -67,13 +69,18 @@ class ResultCache
     static constexpr int kFormatVersion = 2;
 
   private:
+    enum class LoadStatus { Ok, Missing, ParseError, BadVersion,
+                            BadShape };
+
     void load();
+    LoadStatus tryLoad(std::string *error);
 
     std::string path_;
     mutable std::mutex mutex_;
     std::unordered_map<std::string, RunResult> entries_;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
+    std::uint64_t loadRetries_ = 0;
 };
 
 } // namespace flywheel

@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Tests for the distributed sweep service: the NDJSON frame codec
+ * (round-trip, malformed-frame rejection, buffer overflow poisoning),
+ * server-address parsing, the durable job journal (replay, torn-tail
+ * tolerance, resume validation), the shared result store, the
+ * lease-based scheduler (LPT order, expiry reassignment, worker
+ * release), and an in-process end-to-end run — one ServeDaemon on a
+ * Unix socket plus two worker threads must produce a table
+ * byte-identical to a single-process Session::run of the same spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hh"
+#include "serve/client.hh"
+#include "serve/journal.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+#include "serve/store.hh"
+#include "serve/worker.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/sweep.hh"
+
+namespace flywheel {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::FrameBuffer;
+using serve::JobScheduler;
+using serve::JournalState;
+using serve::JournalWriter;
+using serve::ResultStore;
+using serve::ServeAddress;
+using serve::ServeClient;
+using serve::ServeDaemon;
+using serve::ServeOptions;
+using serve::WorkUnit;
+
+/** Self-cleaning scratch directory (sockets, journals, stores). */
+struct TempDir
+{
+    TempDir()
+    {
+        std::random_device rd;
+        dir = fs::temp_directory_path() /
+              ("flywheel_serve_test_" + std::to_string(rd()));
+        fs::create_directories(dir);
+    }
+    ~TempDir() { fs::remove_all(dir); }
+
+    std::string operator/(const std::string &name) const
+    {
+        return (dir / name).string();
+    }
+
+    fs::path dir;
+};
+
+/** Cheap 4-cell spec (2 benches x {baseline, flywheel}). */
+ExperimentSpec
+tinySpec()
+{
+    ExperimentSpec spec;
+    spec.name = "serve_e2e";
+    spec.title = "serve end-to-end test";
+    GridSpec grid;
+    grid.benchmarks = {"gzip", "gcc"};
+    grid.kinds = {CoreKind::Baseline, CoreKind::Flywheel};
+    spec.grids.push_back(grid);
+    // Pin run lengths so resolveSpec() leaves the spec untouched and
+    // the job id is environment-independent.
+    spec.warmupInstrs = 2000;
+    spec.measureInstrs = 5000;
+    return spec;
+}
+
+// ------------------------------------------------------------- codec
+
+TEST(ServeProtocol, FrameRoundTripsThroughEncodeAndDecode)
+{
+    Json frame = Json::object();
+    frame.add("type", "submit");
+    frame.add("v", serve::kServeSchema);
+    frame.add("cells", std::uint64_t(42));
+
+    const std::string wire = serve::encodeFrame(frame);
+    ASSERT_FALSE(wire.empty());
+    EXPECT_EQ(wire.back(), '\n');
+    // Compact encoding: a frame is exactly one line.
+    EXPECT_EQ(wire.find('\n'), wire.size() - 1);
+
+    Json back;
+    std::string error;
+    ASSERT_TRUE(serve::decodeFrame(wire.substr(0, wire.size() - 1),
+                                   &back, &error))
+        << error;
+    EXPECT_EQ(back["type"].asString(), "submit");
+    EXPECT_EQ(back["cells"].asU64(), 42u);
+    EXPECT_TRUE(serve::checkFrameVersion(back, &error)) << error;
+}
+
+TEST(ServeProtocol, MalformedFramesAreRejected)
+{
+    Json out;
+    std::string error;
+    // Non-JSON, non-object, and missing/empty/non-string "type" all
+    // fail without touching *out.
+    EXPECT_FALSE(serve::decodeFrame("not json", &out, &error));
+    EXPECT_FALSE(serve::decodeFrame("[1, 2, 3]", &out, &error));
+    EXPECT_FALSE(serve::decodeFrame("{\"cells\": 1}", &out, &error));
+    EXPECT_FALSE(serve::decodeFrame("{\"type\": 7}", &out, &error));
+    EXPECT_FALSE(serve::decodeFrame("{\"type\": \"\"}", &out, &error));
+    EXPECT_FALSE(serve::decodeFrame("", &out, &error));
+
+    Json noVersion = Json::object();
+    noVersion.add("type", "submit");
+    EXPECT_FALSE(serve::checkFrameVersion(noVersion, &error));
+    noVersion.add("v", "flywheel.serve.v999");
+    EXPECT_FALSE(serve::checkFrameVersion(noVersion, &error));
+}
+
+TEST(ServeProtocol, FrameBufferSplitsLinesAcrossAppends)
+{
+    FrameBuffer buf;
+    std::string line;
+    buf.append("{\"type\": \"a\"}\n{\"ty", 18);
+    EXPECT_TRUE(buf.nextLine(&line));
+    EXPECT_EQ(line, "{\"type\": \"a\"}");
+    EXPECT_FALSE(buf.nextLine(&line));  // second frame incomplete
+    buf.append("pe\": \"b\"}\n", 10);
+    EXPECT_TRUE(buf.nextLine(&line));
+    EXPECT_EQ(line, "{\"type\": \"b\"}");
+    EXPECT_FALSE(buf.overflowed());
+}
+
+TEST(ServeProtocol, OversizedLinePoisonsTheBuffer)
+{
+    FrameBuffer buf;
+    // One un-delimited line past the cap can never become a legal
+    // frame; the buffer latches overflowed and stops producing.
+    const std::string chunk(1u << 20, 'x');
+    for (int i = 0; i < 9; ++i)
+        buf.append(chunk.data(), chunk.size());
+    EXPECT_TRUE(buf.overflowed());
+    std::string line;
+    EXPECT_FALSE(buf.nextLine(&line));
+    buf.append("\n", 1);  // a late delimiter does not un-poison
+    EXPECT_FALSE(buf.nextLine(&line));
+}
+
+TEST(ServeProtocol, ParseServeAddressSelectsTransport)
+{
+    ServeAddress addr;
+    std::string error;
+
+    ASSERT_TRUE(serve::parseServeAddress("10.0.0.7:4711", &addr,
+                                         &error));
+    EXPECT_TRUE(addr.tcp);
+    EXPECT_EQ(addr.host, "10.0.0.7");
+    EXPECT_EQ(addr.port, 4711);
+    EXPECT_EQ(addr.display(), "10.0.0.7:4711");
+
+    // Port 0 asks a listener for an ephemeral port.
+    ASSERT_TRUE(serve::parseServeAddress("localhost:0", &addr, &error));
+    EXPECT_TRUE(addr.tcp);
+    EXPECT_EQ(addr.port, 0);
+
+    EXPECT_FALSE(serve::parseServeAddress("host:70000", &addr, &error));
+    EXPECT_FALSE(serve::parseServeAddress("", &addr, &error));
+
+    // A '/' anywhere, or a non-numeric tail, means a socket path.
+    ASSERT_TRUE(serve::parseServeAddress("/tmp/store/serve.sock",
+                                         &addr, &error));
+    EXPECT_FALSE(addr.tcp);
+    EXPECT_EQ(addr.path, "/tmp/store/serve.sock");
+    ASSERT_TRUE(serve::parseServeAddress("./x:0/sock", &addr, &error));
+    EXPECT_FALSE(addr.tcp);
+    ASSERT_TRUE(serve::parseServeAddress("serve.sock", &addr, &error));
+    EXPECT_FALSE(addr.tcp);
+}
+
+// ----------------------------------------------------------- journal
+
+TEST(ServeJournal, WriteThenReplayRoundTrips)
+{
+    TempDir td;
+    const ExperimentSpec spec = tinySpec();
+    std::string error;
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(td.dir.string(), "deadbeef00000001", spec,
+                            4, &error))
+        << error;
+    EXPECT_TRUE(writer.append(2, "key-two", 1.5));
+    EXPECT_TRUE(writer.append(0, "key-zero", 0.25));
+
+    JournalState state;
+    ASSERT_TRUE(serve::journalLoad(writer.path(), &state, &error))
+        << error;
+    EXPECT_EQ(state.jobId, "deadbeef00000001");
+    EXPECT_EQ(state.cells, 4u);
+    EXPECT_EQ(state.spec.name, spec.name);
+    ASSERT_EQ(state.entries.size(), 2u);
+    EXPECT_EQ(state.entries[0].cell, 2u);
+    EXPECT_EQ(state.entries[0].key, "key-two");
+    EXPECT_DOUBLE_EQ(state.entries[0].wallSeconds, 1.5);
+    EXPECT_FALSE(state.complete);
+    EXPECT_EQ(state.ignoredLines, 0u);
+    EXPECT_EQ(state.uniqueCompleted(), 2u);
+
+    EXPECT_TRUE(writer.markComplete());
+    ASSERT_TRUE(serve::journalLoad(writer.path(), &state, &error));
+    EXPECT_TRUE(state.complete);
+}
+
+TEST(ServeJournal, TornTailIsIgnoredButPrefixLoads)
+{
+    TempDir td;
+    std::string error;
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(td.dir.string(), "deadbeef00000002",
+                            tinySpec(), 4, &error))
+        << error;
+    EXPECT_TRUE(writer.append(0, "key-zero", 0.5));
+    EXPECT_TRUE(writer.append(1, "key-one", 0.5));
+
+    // A kill -9 mid-append leaves a torn final line; replay must keep
+    // the readable prefix and only count the damage.
+    {
+        std::ofstream out(writer.path(), std::ios::app);
+        out << "{\"cell\": 2, \"ke";
+    }
+    JournalState state;
+    ASSERT_TRUE(serve::journalLoad(writer.path(), &state, &error))
+        << error;
+    EXPECT_EQ(state.entries.size(), 2u);
+    EXPECT_EQ(state.ignoredLines, 1u);
+    EXPECT_FALSE(state.complete);
+}
+
+TEST(ServeJournal, UnusableHeaderFailsTheLoad)
+{
+    TempDir td;
+    const std::string path = td / "job-badc0ffee0000000.json";
+    JournalState state;
+    std::string error;
+
+    EXPECT_FALSE(serve::journalLoad(td / "job-missing.json", &state,
+                                    &error));
+
+    {
+        std::ofstream out(path);
+        out << "{\"v\": \"flywheel.serve.journal.v999\", "
+               "\"job\": \"badc0ffee0000000\", \"cells\": 1, "
+               "\"spec\": {}}\n";
+    }
+    EXPECT_FALSE(serve::journalLoad(path, &state, &error));
+
+    {
+        std::ofstream out(path);
+        out << "not a header\n";
+    }
+    EXPECT_FALSE(serve::journalLoad(path, &state, &error));
+}
+
+TEST(ServeJournal, ResumeOpenRejectsAForeignJournal)
+{
+    TempDir td;
+    std::string error;
+    {
+        JournalWriter writer;
+        ASSERT_TRUE(writer.open(td.dir.string(), "deadbeef00000003",
+                                tinySpec(), 4, &error))
+            << error;
+        EXPECT_TRUE(writer.append(0, "key-zero", 0.5));
+    }
+    // Same id and cell count resumes...
+    {
+        JournalWriter writer;
+        EXPECT_TRUE(writer.open(td.dir.string(), "deadbeef00000003",
+                                tinySpec(), 4, &error))
+            << error;
+    }
+    // ...a different cell count under the same name must refuse (the
+    // file describes some other job; mixing records would corrupt).
+    {
+        JournalWriter writer;
+        EXPECT_FALSE(writer.open(td.dir.string(), "deadbeef00000003",
+                                 tinySpec(), 5, &error));
+    }
+}
+
+TEST(ServeJournal, NameParsingIsStrict)
+{
+    std::string id;
+    EXPECT_TRUE(
+        serve::journalIdFromName("job-0123456789abcdef.json", &id));
+    EXPECT_EQ(id, "0123456789abcdef");
+    EXPECT_FALSE(serve::journalIdFromName("job-.json", &id));
+    EXPECT_FALSE(serve::journalIdFromName("result-abc.json", &id));
+    EXPECT_FALSE(serve::journalIdFromName("job-abc", &id));
+}
+
+// ------------------------------------------------------------- store
+
+TEST(ServeStore, SaveThenLookupRoundTrips)
+{
+    TempDir td;
+    ResultStore store(td / "results");
+    ASSERT_TRUE(store.enabled());
+
+    RunResult r;
+    r.instructions = 123;
+    r.timePs = 456;
+    ASSERT_TRUE(store.save("key-a", r));
+
+    RunResult out;
+    ASSERT_TRUE(store.lookup("key-a", &out));
+    EXPECT_EQ(out.instructions, 123u);
+    EXPECT_EQ(out.timePs, 456u);
+    EXPECT_FALSE(store.lookup("key-b", &out));  // distinct digest
+}
+
+TEST(ServeStore, KeyMismatchAndGarbageReadAsMisses)
+{
+    TempDir td;
+    ResultStore store(td / "results");
+    RunResult r;
+    ASSERT_TRUE(store.save("key-a", r));
+
+    // A digest collision (or a file copied from another store) holds
+    // a different full key; it must miss, never return wrong bytes.
+    {
+        std::ifstream in(store.pathFor("key-a"));
+        std::stringstream text;
+        text << in.rdbuf();
+        std::ofstream out(store.pathFor("key-b"));
+        out << text.str();
+    }
+    RunResult out;
+    EXPECT_FALSE(store.lookup("key-b", &out));
+    EXPECT_TRUE(store.lookup("key-a", &out));
+
+    {
+        std::ofstream corrupt(store.pathFor("key-c"));
+        corrupt << "{\"v\": \"flywheel.serve.result.v1\", garbage";
+    }
+    EXPECT_FALSE(store.lookup("key-c", &out));
+
+    ResultStore disabled("");
+    EXPECT_FALSE(disabled.enabled());
+    EXPECT_FALSE(disabled.lookup("key-a", &out));
+}
+
+// --------------------------------------------------------- scheduler
+
+TEST(ServeScheduler, LeasesDrainAJobExactlyOnce)
+{
+    JobScheduler sched(60.0);
+    ASSERT_TRUE(sched.addJob("job1", {"gzip", "gcc", "gzip"}));
+    EXPECT_FALSE(sched.addJob("job1", {"gzip", "gcc", "gzip"}));
+
+    std::set<std::size_t> leased;
+    WorkUnit unit;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+        EXPECT_EQ(unit.jobId, "job1");
+        EXPECT_TRUE(leased.insert(unit.cell).second);
+    }
+    EXPECT_FALSE(sched.lease("w1", 0.0, &unit));  // all leased
+
+    for (std::size_t cell : leased)
+        sched.completed("job1", cell, 0.1);
+    const serve::JobProgress p = sched.progress("job1");
+    EXPECT_TRUE(p.complete());
+    EXPECT_EQ(p.done, 3u);
+
+    // Completion is idempotent; repeats and unknown cells are noise.
+    sched.completed("job1", 0, 0.1);
+    sched.completed("job1", 99, 0.1);
+    sched.completed("nope", 0, 0.1);
+    EXPECT_EQ(sched.progress("job1").done, 3u);
+}
+
+TEST(ServeScheduler, HeaviestPredictedBenchLeasesFirst)
+{
+    JobScheduler sched(60.0);
+    ASSERT_TRUE(sched.addJob(
+        "job1", {"slow", "slow", "fast", "fast", "slow"}));
+
+    WorkUnit unit;
+    // Nothing is measured yet: unknown-everywhere ties break to the
+    // lowest cell index.
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 0u);
+    sched.completed("job1", 0, 5.0);  // slow mean = 5s
+
+    // An unmeasured bench is the conservative heaviest, so it leases
+    // ahead of the measured 5s one.
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 2u);
+    sched.completed("job1", 2, 0.1);  // fast mean = 0.1s
+
+    // Both measured: LPT hands out the slow cells first, lowest
+    // index breaking the tie.
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 1u);
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 4u);
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 3u);
+}
+
+TEST(ServeScheduler, ExpiredLeasesReassignToAnotherWorker)
+{
+    JobScheduler sched(/*leaseTimeout=*/10.0);
+    ASSERT_TRUE(sched.addJob("job1", {"gzip"}));
+
+    WorkUnit unit;
+    ASSERT_TRUE(sched.lease("w1", /*now=*/0.0, &unit));
+    EXPECT_FALSE(sched.lease("w2", 1.0, &unit));  // cell is leased
+
+    // Heartbeats keep the lease alive past its original deadline...
+    sched.heartbeat("w1", 8.0);
+    EXPECT_TRUE(sched.expireLeases(12.0).empty());
+
+    // ...then the worker goes silent and the cell re-pends.
+    const std::vector<WorkUnit> expired = sched.expireLeases(18.1);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].jobId, "job1");
+    EXPECT_EQ(expired[0].cell, 0u);
+    EXPECT_EQ(sched.progress("job1").pending, 1u);
+
+    ASSERT_TRUE(sched.lease("w2", 19.0, &unit));
+    EXPECT_EQ(unit.cell, 0u);
+
+    // A completion from the expired holder still lands (the store
+    // already has the result; duplicates collapse).
+    sched.completed("job1", 0, 2.0);
+    EXPECT_TRUE(sched.progress("job1").complete());
+}
+
+TEST(ServeScheduler, ReleaseWorkerRePendsItsLeasesImmediately)
+{
+    JobScheduler sched(60.0);
+    ASSERT_TRUE(sched.addJob("job1", {"gzip", "gcc"}));
+    WorkUnit unit;
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    ASSERT_TRUE(sched.lease("w2", 0.0, &unit));
+
+    const std::vector<WorkUnit> released = sched.releaseWorker("w1");
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(sched.progress("job1").pending, 1u);
+    EXPECT_EQ(sched.progress("job1").leased, 1u);
+    EXPECT_TRUE(sched.releaseWorker("w1").empty());  // nothing left
+}
+
+TEST(ServeScheduler, CancelDropsPendingAndLeasedCells)
+{
+    JobScheduler sched(60.0);
+    ASSERT_TRUE(sched.addJob("job1", {"gzip", "gcc", "vpr"}));
+    WorkUnit unit;
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    sched.completed("job1", unit.cell, 0.1);
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+
+    ASSERT_TRUE(sched.cancel("job1"));
+    EXPECT_FALSE(sched.cancel("nope"));
+    const serve::JobProgress p = sched.progress("job1");
+    EXPECT_TRUE(p.cancelled);
+    EXPECT_FALSE(p.complete());
+    EXPECT_EQ(p.done, 1u);
+    EXPECT_EQ(p.pending + p.leased, 0u);
+    EXPECT_FALSE(sched.lease("w1", 0.0, &unit));
+}
+
+TEST(ServeScheduler, JournalReplayedCellsNeverLease)
+{
+    JobScheduler sched(60.0);
+    ASSERT_TRUE(sched.addJob("job1", {"gzip", "gcc", "vpr"},
+                             /*completed=*/{0, 2}));
+    const serve::JobProgress p = sched.progress("job1");
+    EXPECT_EQ(p.done, 2u);
+    EXPECT_EQ(p.pending, 1u);
+
+    WorkUnit unit;
+    ASSERT_TRUE(sched.lease("w1", 0.0, &unit));
+    EXPECT_EQ(unit.cell, 1u);
+    EXPECT_FALSE(sched.lease("w1", 0.0, &unit));
+}
+
+// -------------------------------------------------------- end-to-end
+
+TEST(ServeEndToEnd, DistributedRunMatchesLocalByteForByte)
+{
+    TempDir td;
+    ServeOptions options;
+    options.storeDir = td / "store";
+    std::string error;
+    ASSERT_TRUE(serve::parseServeAddress(td / "serve.sock",
+                                         &options.listen, &error))
+        << error;
+
+    ServeDaemon daemon(options);
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    std::thread serverThread([&daemon] { daemon.run(); });
+
+    // Two in-process workers sharing the daemon's store.
+    serve::WorkerOptions wo;
+    wo.connect = daemon.boundAddress();
+    wo.name = "wA";
+    serve::WorkerOptions wo2 = wo;
+    wo2.name = "wB";
+    int rcA = -1;
+    int rcB = -1;
+    std::thread workerA([&] { rcA = serve::runWorker(wo); });
+    std::thread workerB([&] { rcB = serve::runWorker(wo2); });
+
+    const ExperimentSpec spec = tinySpec();
+    ServeClient client;
+    ASSERT_TRUE(client.connect(daemon.boundAddress(), &error))
+        << error;
+    ServeClient::Submitted submitted;
+    ASSERT_TRUE(client.submit(spec, &submitted, &error)) << error;
+    EXPECT_EQ(submitted.cells, 4u);
+    EXPECT_FALSE(submitted.resumed);
+
+    ASSERT_TRUE(client.waitForCompletion(submitted.jobId, 0.02,
+                                         nullptr, &error))
+        << error;
+    std::string servedJson;
+    std::string servedCsv;
+    ASSERT_TRUE(client.results(submitted.jobId, &servedJson,
+                               &servedCsv, &error))
+        << error;
+
+    // Resubmitting a finished spec attaches: same id, same table,
+    // nothing re-runs.
+    ServeClient::Submitted again;
+    ASSERT_TRUE(client.submit(spec, &again, &error)) << error;
+    EXPECT_EQ(again.jobId, submitted.jobId);
+    EXPECT_TRUE(again.resumed);
+
+    // Shard stats surfaced through the stats frame.
+    Json statsDoc;
+    ASSERT_TRUE(client.stats(&statsDoc, &error)) << error;
+    EXPECT_TRUE(statsDoc["groups"].isArray());
+
+    ASSERT_TRUE(client.shutdown(&error)) << error;
+    serverThread.join();
+    workerA.join();
+    workerB.join();
+    EXPECT_EQ(rcA, 0);  // both workers got a clean `bye`
+    EXPECT_EQ(rcB, 0);
+
+    // The distributed table must be byte-identical to a
+    // single-process run of the same spec.
+    Session session(SessionOptions{});
+    SweepTable local = session.run(spec);
+    std::ostringstream localJson;
+    local.writeJson(localJson);
+    EXPECT_EQ(servedJson, localJson.str());
+    std::ostringstream localCsv;
+    local.writeCsv(localCsv);
+    EXPECT_EQ(servedCsv, localCsv.str());
+
+    // The journal on disk records the whole job as complete.
+    JournalState state;
+    ASSERT_TRUE(serve::journalLoad(
+        serve::journalPath(options.storeDir, submitted.jobId), &state,
+        &error))
+        << error;
+    EXPECT_TRUE(state.complete);
+    EXPECT_EQ(state.uniqueCompleted(), 4u);
+}
+
+TEST(ServeEndToEnd, RestartedServerResumesFromTheJournal)
+{
+    TempDir td;
+    const ExperimentSpec spec = tinySpec();
+    const std::string store = td / "store";
+    std::string error;
+
+    // First life: run half the job, then stop the daemon the polite
+    // way (the journal survives either way — kill -9 is exercised in
+    // CI where a process boundary exists).
+    const ExperimentSpec resolved = serve::resolveSpec(spec);
+    const std::string jobId = serve::jobIdFor(resolved);
+    {
+        std::vector<SweepPoint> points = resolved.expand();
+        ASSERT_EQ(points.size(), 4u);
+        fs::create_directories(store);  // the daemon is not up yet
+        ResultStore rs(store + "/results");
+        JournalWriter writer;
+        ASSERT_TRUE(writer.open(store, jobId, resolved,
+                                points.size(), &error))
+            << error;
+        // Complete cells 0 and 2 by hand: result first, then journal
+        // — exactly the worker/server ordering.
+        for (std::size_t cell : {std::size_t(0), std::size_t(2)}) {
+            CellExecutor exec(nullptr, nullptr);
+            const RunResult r = exec.run(points[cell].config);
+            const std::string key = configKey(points[cell].config);
+            ASSERT_TRUE(rs.save(key, r));
+            ASSERT_TRUE(writer.append(cell, key, 0.01));
+        }
+    }
+
+    // Second life: a fresh daemon + worker on the same store must
+    // resume (2 cells replayed), run only the rest, and finalize.
+    ServeOptions options;
+    options.storeDir = store;
+    ASSERT_TRUE(serve::parseServeAddress(td / "serve2.sock",
+                                         &options.listen, &error));
+    ServeDaemon daemon(options);
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    std::thread serverThread([&daemon] { daemon.run(); });
+    serve::WorkerOptions wo;
+    wo.connect = daemon.boundAddress();
+    wo.name = "wR";
+    int rc = -1;
+    std::thread worker([&] { rc = serve::runWorker(wo); });
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(daemon.boundAddress(), &error))
+        << error;
+    ServeClient::Submitted submitted;
+    ASSERT_TRUE(client.submit(spec, &submitted, &error)) << error;
+    EXPECT_EQ(submitted.jobId, jobId);
+    EXPECT_TRUE(submitted.resumed);
+    ASSERT_TRUE(client.waitForCompletion(submitted.jobId, 0.02,
+                                         nullptr, &error))
+        << error;
+    std::string servedJson;
+    ASSERT_TRUE(client.results(submitted.jobId, &servedJson, nullptr,
+                               &error))
+        << error;
+    ASSERT_TRUE(client.shutdown(&error)) << error;
+    serverThread.join();
+    worker.join();
+    EXPECT_EQ(rc, 0);
+
+    // Byte-identical to an uninterrupted local run.
+    Session session(SessionOptions{});
+    std::ostringstream localJson;
+    session.run(spec).writeJson(localJson);
+    EXPECT_EQ(servedJson, localJson.str());
+
+    // The journal only ever grew: 2 replayed + 2 fresh completions.
+    JournalState state;
+    ASSERT_TRUE(serve::journalLoad(serve::journalPath(store, jobId),
+                                   &state, &error))
+        << error;
+    EXPECT_TRUE(state.complete);
+    EXPECT_EQ(state.uniqueCompleted(), 4u);
+}
+
+} // namespace
+} // namespace flywheel

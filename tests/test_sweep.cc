@@ -532,6 +532,49 @@ TEST_F(ResultCacheDiskCorruption, IncompleteEntriesAreDropped)
     EXPECT_FALSE(cache.lookup("partial", &out));
 }
 
+TEST_F(ResultCacheDiskCorruption, ParseFailureRetriesExactlyOnce)
+{
+    // On a rename-lagging filesystem (NFS and friends) a reader can
+    // glimpse a torn document even though every writer publishes via
+    // temp + rename; the load retries once.  A persistently garbage
+    // file still starts cold, with the retry visible in the counter.
+    writeFile("{\"version\": 2, \"entries\": {\"k\": {\"instr");
+    ResultCache cache(kPath);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.loadRetries(), 1u);
+}
+
+TEST_F(ResultCacheDiskCorruption, DeterministicMismatchNeverRetries)
+{
+    // Version and shape mismatches re-read identically, so only a
+    // parse failure earns the second attempt.
+    writeFile("{\"version\": 999, \"entries\": {}}");
+    {
+        ResultCache cache(kPath);
+        EXPECT_EQ(cache.loadRetries(), 0u);
+    }
+    writeFile("[1, 2, 3]");
+    {
+        ResultCache cache(kPath);
+        EXPECT_EQ(cache.loadRetries(), 0u);
+    }
+}
+
+TEST_F(ResultCacheDiskCorruption, CleanAndMissingLoadsNeverRetry)
+{
+    {
+        ResultCache cache(kPath);  // no file yet
+        EXPECT_EQ(cache.loadRetries(), 0u);
+        RunResult r;
+        r.instructions = 7;
+        cache.store("k", r);
+        EXPECT_TRUE(cache.save());
+    }
+    ResultCache cache(kPath);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.loadRetries(), 0u);
+}
+
 TEST(ResultCache, LookupMissThenHit)
 {
     ResultCache cache;

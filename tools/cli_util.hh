@@ -25,6 +25,7 @@
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 #include "perf/bench_report.hh"
+#include "serve/protocol.hh"
 #include "snapshot/checkpointer.hh"
 #include "sweep/sweep.hh"
 #include "sweep/thread_pool.hh"
@@ -179,6 +180,35 @@ parseJobs(const std::string &s, const char *flag)
         FW_FATAL("%s: expected an integer in 1..%u, got '%s'", flag,
                  ThreadPool::kMaxJobs, s.c_str());
     return v;
+}
+
+/**
+ * Parse a positive seconds value (decimal, fractions allowed) for
+ * timing flags like --lease-timeout / --heartbeat; fatal on garbage.
+ */
+inline double
+parseSeconds(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size() || !(v > 0.0))
+        FW_FATAL("%s: expected a positive seconds value, got '%s'",
+                 flag, s.c_str());
+    return v;
+}
+
+/**
+ * Parse a serve address ("HOST:PORT" or a Unix socket path) for
+ * --listen / --connect; fatal with the parser's message on garbage.
+ */
+inline serve::ServeAddress
+parseAddress(const std::string &s, const char *flag)
+{
+    serve::ServeAddress address;
+    std::string error;
+    if (!serve::parseServeAddress(s, &address, &error))
+        FW_FATAL("%s: %s", flag, error.c_str());
+    return address;
 }
 
 /** Open @p path for writing, or map "-" to stdout. */
