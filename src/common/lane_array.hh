@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-width per-lane array: the structure-of-arrays backbone of the
+ * batched simulation engine (core/batch.hh).  A lane group keeps its
+ * hot per-lane scheduling state in LaneArrays — one contiguous,
+ * cache-dense block per field group — while cold per-lane objects
+ * (cores, streams, tracers) stay in ordinary owning vectors.
+ *
+ * Elements must be trivially copyable, mirroring the ArenaVector /
+ * ArenaRing snapshot discipline: lane state may be captured with
+ * memcpy (and flywheel_lint enforces a same-file static_assert at
+ * every use site, exactly as it does for the arena containers).
+ */
+
+#ifndef FLYWHEEL_COMMON_LANE_ARRAY_HH
+#define FLYWHEEL_COMMON_LANE_ARRAY_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace flywheel {
+
+/** Fixed-size array of per-lane state, value-initialized. */
+template <typename T>
+class LaneArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "LaneArray elements are captured with memcpy; keep "
+                  "lane state trivially copyable");
+
+  public:
+    LaneArray() = default;
+
+    explicit LaneArray(std::size_t lanes) { reset(lanes); }
+
+    /** Drop the old contents and allocate @p lanes fresh elements. */
+    void
+    reset(std::size_t lanes)
+    {
+        data_ = std::make_unique<T[]>(lanes);
+        size_ = lanes;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *data() { return data_.get(); }
+    const T *data() const { return data_.get(); }
+
+    T *begin() { return data_.get(); }
+    T *end() { return data_.get() + size_; }
+    const T *begin() const { return data_.get(); }
+    const T *end() const { return data_.get() + size_; }
+
+  private:
+    std::unique_ptr<T[]> data_;
+    std::size_t size_ = 0;
+};
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_COMMON_LANE_ARRAY_HH

@@ -1,0 +1,364 @@
+#include "core/batch.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json.hh"
+#include "snapshot/checkpointer.hh"
+#include "workload/generator.hh"
+
+namespace flywheel {
+
+namespace {
+
+/** Lane phase machine, mirroring runSim's warmup/measure structure. */
+enum class LanePhase : std::uint8_t
+{
+    Warmup,      ///< pre-measurement warmup (quantum-split or atomic)
+    Rewarm,      ///< detailed re-warm after a sampling fast-forward
+    WindowBody,  ///< measured detailed window
+    Done,        ///< RunResult produced
+};
+
+/**
+ * Structural profile equality: lanes whose profiles match share one
+ * immutable StaticProgram (construction is deterministic in the
+ * profile, so sharing is observationally identical to rebuilding).
+ */
+bool
+sameProfile(const BenchProfile &a, const BenchProfile &b)
+{
+    return std::strcmp(a.name, b.name) == 0 && a.seed == b.seed &&
+           a.staticBlocks == b.staticBlocks &&
+           a.avgBlockSize == b.avgBlockSize && a.regions == b.regions &&
+           a.loadFrac == b.loadFrac && a.storeFrac == b.storeFrac &&
+           a.fpFrac == b.fpFrac && a.mulFrac == b.mulFrac &&
+           a.divFrac == b.divFrac && a.avgDepDist == b.avgDepDist &&
+           a.diamondFrac == b.diamondFrac &&
+           a.branchBias == b.branchBias &&
+           a.loopTripMean == b.loopTripMean && a.callProb == b.callProb &&
+           a.regWorkingSet == b.regWorkingSet &&
+           a.dataFootprintKB == b.dataFootprintKB &&
+           a.memRandomFrac == b.memRandomFrac;
+}
+
+// lint: wallclock(telemetry only; simulated results never read it)
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Run @p core until @p remaining more instructions retire or @p budget
+ * is exhausted, whichever is first, and charge the ACTUAL retired
+ * count (a cycle retires up to the commit width, so run() overshoots
+ * its goal) against both counters.  Tracking the real delta keeps the
+ * phase's cumulative goal equal to the scalar driver's single
+ * run(remaining) call: the final chunk targets
+ * phase_start + remaining_original exactly, and since run() stops at
+ * cycle boundaries with no side effects, the core passes through the
+ * same cycle states either way — byte identity follows.
+ */
+void
+runCharged(CoreBase &core, std::uint64_t *remaining,
+           std::uint64_t *budget)
+{
+    const std::uint64_t n = std::min(*budget, *remaining);
+    if (n == 0)
+        return;
+    const std::uint64_t before = core.stats().retired;
+    core.run(n);
+    const std::uint64_t delta = core.stats().retired - before;
+    *remaining -= std::min(delta, *remaining);
+    *budget -= std::min(delta, *budget);
+}
+
+} // namespace
+
+/** Cold per-lane state: everything not scanned every round. */
+struct BatchedCore::LaneBox
+{
+    RunConfig config;
+    std::shared_ptr<const StaticProgram> program;
+    std::unique_ptr<WorkloadStream> stream;
+    std::unique_ptr<CoreBase> core;
+    std::unique_ptr<obs::Tracer> tracer;
+    /** Transient store for a lane with a snapshot dir but no shared
+     *  Checkpointer — the scalar runSim behaviour, per lane. */
+    std::unique_ptr<Checkpointer> localStore;
+    /** Warmup goes through Checkpointer::acquire in one shot. */
+    bool atomicWarmup = false;
+    SampleSchedule sched;
+    EnergyEvents events{}, beforeEvents{};
+    CoreStats stats{}, beforeStats{};
+    RunTelemetry telemetry;
+    RunResult result;
+};
+
+BatchedCore::BatchedCore(const std::vector<RunConfig> &configs,
+                         Checkpointer *checkpoints, BatchOptions options)
+    : checkpoints_(checkpoints), options_(options)
+{
+    hot_.reset(configs.size());
+    cold_.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        auto box = std::make_unique<LaneBox>();
+        box->config = configs[i];
+        const SnapshotPolicy &policy = box->config.snapshot;
+        if (checkpoints_ == nullptr &&
+            policy.mode != SnapshotPolicy::Mode::Off &&
+            !policy.dir.empty()) {
+            box->localStore = std::make_unique<Checkpointer>(policy.dir);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (sameProfile(cold_[j]->config.profile,
+                            box->config.profile)) {
+                box->program = cold_[j]->program;
+                break;
+            }
+        }
+        if (!box->program) {
+            box->program = std::make_shared<const StaticProgram>(
+                box->config.profile);
+        }
+        box->stream = std::make_unique<WorkloadStream>(*box->program);
+        box->core = makeCore(box->config, *box->stream);
+        if (box->config.obs.traceSink != nullptr) {
+            box->tracer = std::make_unique<obs::Tracer>(
+                box->config.obs.traceMask, box->config.obs.traceCapacity);
+        }
+        box->sched = deriveSampleSchedule(policy,
+                                          box->config.measureInstrs);
+        const Checkpointer *store =
+            box->localStore ? box->localStore.get() : checkpoints_;
+        box->atomicWarmup = store != nullptr &&
+                            policy.mode != SnapshotPolicy::Mode::Off &&
+                            box->config.warmupInstrs > 0;
+
+        BatchLaneState &hs = hot_[i];
+        hs.active = true;
+        hs.phase = static_cast<std::uint8_t>(LanePhase::Warmup);
+        hs.remaining = box->atomicWarmup ? 0 : box->config.warmupInstrs;
+        cold_.push_back(std::move(box));
+        ++activeLanes_;
+    }
+}
+
+BatchedCore::~BatchedCore() = default;
+
+void
+BatchedCore::beginWindow(std::size_t lane)
+{
+    BatchLaneState &hs = hot_[lane];
+    LaneBox &box = *cold_[lane];
+    if (hs.window > 0) {
+        // Sampling gap: fast-forward the stream and re-warm a fresh
+        // core, exactly as forEachMeasureWindow does between windows.
+        box.stream->skip(box.sched.gap);
+        box.core = makeCore(box.config, *box.stream);
+        hs.phase = static_cast<std::uint8_t>(LanePhase::Rewarm);
+        hs.remaining = box.sched.rewarm;
+        return;
+    }
+    // First window: the warm core measures directly.
+    box.core->setTracer(box.tracer.get());
+    box.beforeEvents = box.core->events();
+    box.beforeStats = box.core->stats();
+    hs.phase = static_cast<std::uint8_t>(LanePhase::WindowBody);
+    hs.remaining = hs.window + 1 == box.sched.windows
+                       ? box.sched.lastWindow
+                       : box.sched.window;
+}
+
+void
+BatchedCore::finishWindow(std::size_t lane)
+{
+    BatchLaneState &hs = hot_[lane];
+    LaneBox &box = *cold_[lane];
+    box.events += box.core->events() - box.beforeEvents;
+    box.stats += box.core->stats() - box.beforeStats;
+    ++hs.window;
+    if (hs.window >= box.sched.windows) {
+        finishLane(lane);
+        return;
+    }
+    beginWindow(lane);
+}
+
+void
+BatchedCore::finishLane(std::size_t lane)
+{
+    BatchLaneState &hs = hot_[lane];
+    LaneBox &box = *cold_[lane];
+    const auto t0 = Clock::now();
+    box.result = reduceToResult(box.config, box.events, box.stats);
+    if (box.config.obs.collectStats) {
+        box.result.statsDoc = std::make_shared<const Json>(
+            box.core->statsRegistry().dump());
+    }
+    if (box.tracer) {
+        box.config.obs.traceSink->add(
+            box.config.obs.traceLabel.empty()
+                ? box.config.profile.name
+                : box.config.obs.traceLabel,
+            *box.tracer);
+    }
+    box.telemetry.reduceSeconds = secondsSince(t0);
+    box.result.telemetry = box.telemetry;
+    hs.phase = static_cast<std::uint8_t>(LanePhase::Done);
+    hs.active = false;
+    --activeLanes_;
+}
+
+void
+BatchedCore::runWarmupSlice(std::size_t lane, std::uint64_t *budget)
+{
+    BatchLaneState &hs = hot_[lane];
+    LaneBox &box = *cold_[lane];
+    const auto t0 = Clock::now();
+    if (box.atomicWarmup) {
+        // The checkpoint store's acquire is all-or-nothing: restore
+        // is instant, and the creating lane pays the full warmup once
+        // (then shares it with every lane whose checkpoint key
+        // matches).
+        box.telemetry.warmupRestored = runSimWarmup(
+            box.config, *box.core,
+            box.localStore ? box.localStore.get() : checkpoints_);
+        *budget = 0;
+    } else {
+        runCharged(*box.core, &hs.remaining, budget);
+    }
+    box.telemetry.warmupSeconds += secondsSince(t0);
+    if (hs.remaining == 0)
+        beginWindow(lane);
+}
+
+void
+BatchedCore::advance(std::size_t lane)
+{
+    BatchLaneState &hs = hot_[lane];
+    LaneBox &box = *cold_[lane];
+    std::uint64_t budget =
+        options_.quantumInstrs > 0 ? options_.quantumInstrs : 1;
+
+    // Phase transitions consume no budget but advance monotonically
+    // (warmup -> windows -> done), so the loop always terminates.
+    while (hs.active && budget > 0) {
+        const auto t0 = Clock::now();
+        switch (static_cast<LanePhase>(hs.phase)) {
+          case LanePhase::Warmup:
+            runWarmupSlice(lane, &budget);
+            break;
+          case LanePhase::Rewarm: {
+            runCharged(*box.core, &hs.remaining, &budget);
+            box.telemetry.measureSeconds += secondsSince(t0);
+            if (hs.remaining == 0) {
+                box.core->setTracer(box.tracer.get());
+                box.beforeEvents = box.core->events();
+                box.beforeStats = box.core->stats();
+                hs.phase =
+                    static_cast<std::uint8_t>(LanePhase::WindowBody);
+                hs.remaining = hs.window + 1 == box.sched.windows
+                                   ? box.sched.lastWindow
+                                   : box.sched.window;
+            }
+            break;
+          }
+          case LanePhase::WindowBody: {
+            runCharged(*box.core, &hs.remaining, &budget);
+            box.telemetry.measureSeconds += secondsSince(t0);
+            if (hs.remaining == 0)
+                finishWindow(lane);
+            break;
+          }
+          case LanePhase::Done:
+            return;
+        }
+    }
+}
+
+void
+BatchedCore::step()
+{
+    for (std::size_t i = 0; i < hot_.size(); ++i) {
+        if (hot_[i].active)
+            advance(i);
+    }
+}
+
+void
+BatchedCore::runAll()
+{
+    while (!done())
+        step();
+}
+
+void
+BatchedCore::finishWarmups()
+{
+    for (std::size_t i = 0; i < hot_.size(); ++i) {
+        while (hot_[i].active &&
+               static_cast<LanePhase>(hot_[i].phase) ==
+                   LanePhase::Warmup) {
+            // Unmetered slice: one pass either restores the checkpoint
+            // or simulates the whole remaining warmup, then crosses
+            // into the first window without touching it.
+            std::uint64_t budget = ~std::uint64_t(0);
+            runWarmupSlice(i, &budget);
+        }
+    }
+}
+
+std::uint64_t
+BatchedCore::retiredInWindows() const
+{
+    std::uint64_t retired = 0;
+    for (const auto &box : cold_)
+        retired += box->stats.retired;
+    return retired;
+}
+
+std::vector<RunResult>
+BatchedCore::takeResults()
+{
+    std::vector<RunResult> results;
+    results.reserve(cold_.size());
+    for (auto &box : cold_)
+        results.push_back(std::move(box->result));
+    return results;
+}
+
+std::vector<RunResult>
+runSimBatch(const std::vector<RunConfig> &configs,
+            Checkpointer *checkpoints, const BatchOptions &options)
+{
+    BatchedCore batch(configs, checkpoints, options);
+    batch.runAll();
+    return batch.takeResults();
+}
+
+bool
+parseBatchWidth(const char *text, unsigned *out)
+{
+    if (!text || !*text)
+        return false;
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || *end != '\0')
+        return false;
+    if (v < 1 || v > 256)
+        return false;
+    *out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace flywheel

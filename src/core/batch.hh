@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Batched multi-cell simulation engine.  A BatchedCore runs W
+ * independent grid cells ("lanes") on one thread, round-robining the
+ * lanes in retired-instruction quanta instead of running each cell to
+ * completion.  The lanes are fully independent simulations — own
+ * program, stream, core and arena — so per-lane results are
+ * byte-identical to scalar runSim() by construction: CoreBase::run()
+ * steps whole cycles until its retirement goal and stopping has no
+ * side effects, so quantum chunks charged with the actual retired
+ * counts (run() overshoots by up to the commit width per cycle) pass
+ * through exactly the cycle states of one contiguous call.
+ *
+ * What batching buys (see README "Batched simulation & data layout"):
+ *  - same-benchmark lanes share one immutable StaticProgram, so the
+ *    interpreter's code-footprint working set is paid once per group;
+ *  - the engine's per-lane scheduling state is kept in a LaneArray
+ *    (structure-of-arrays, common/lane_array.hh), so the scheduler
+ *    scan touches one dense block instead of W scattered objects;
+ *  - quantum interleaving keeps the simulator's hot per-cycle loops
+ *    (issued-pending completion gate, issue-window wakeup, LSQ
+ *    search, cache index/tag) resident in the host instruction cache
+ *    across lane switches, and amortizes per-cell task overhead.
+ *
+ * The sweep engine (sweep/sweep.hh, SweepOptions::batchWidth) groups
+ * same-benchmark cells into lane sets and submits each set as one
+ * thread-pool task, falling back to the scalar CellExecutor for
+ * leftovers and observability-attached cells.
+ */
+
+#ifndef FLYWHEEL_CORE_BATCH_HH
+#define FLYWHEEL_CORE_BATCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/lane_array.hh"
+#include "core/sim_driver.hh"
+
+namespace flywheel {
+
+class Checkpointer;
+
+/** Knobs for a BatchedCore / runSimBatch(). */
+struct BatchOptions
+{
+    /**
+     * Retired instructions a lane simulates before the engine rotates
+     * to the next lane.  Any value produces identical results (chunks
+     * are charged with actual retired counts, so every phase ends at
+     * the scalar driver's exact retirement goal); it only tunes how
+     * often the host working set switches lanes.
+     */
+    std::uint64_t quantumInstrs = 4096;
+};
+
+/**
+ * Per-lane hot scheduling state, kept dense in a LaneArray so the
+ * round-robin scan walks one contiguous block.  Cold per-lane objects
+ * live in BatchedCore's lane boxes.
+ */
+struct BatchLaneState
+{
+    /** Detailed instructions left in the current phase. */
+    std::uint64_t remaining = 0;
+    /** Current measurement window, 0-based. */
+    std::uint32_t window = 0;
+    /** LanePhase, stored narrow to keep the scan dense. */
+    std::uint8_t phase = 0;
+    /** False once the lane has produced its RunResult. */
+    bool active = false;
+};
+
+static_assert(std::is_trivially_copyable_v<BatchLaneState>,
+              "LaneArray elements are captured with memcpy");
+
+/**
+ * A lane group: W independent RunConfigs advanced in quanta.  Usable
+ * incrementally (step()) for engines that interleave other work, or
+ * in one shot through runSimBatch().
+ */
+class BatchedCore
+{
+  public:
+    /**
+     * @param configs one RunConfig per lane (any mix of benchmarks,
+     *        kinds and snapshot policies; same-profile lanes share a
+     *        StaticProgram)
+     * @param checkpoints shared warm checkpoint store (may be null;
+     *        lanes with a snapshot dir but no store get a transient
+     *        per-lane store, exactly like scalar runSim)
+     */
+    BatchedCore(const std::vector<RunConfig> &configs,
+                Checkpointer *checkpoints, BatchOptions options = {});
+    ~BatchedCore();
+
+    BatchedCore(const BatchedCore &) = delete;
+    BatchedCore &operator=(const BatchedCore &) = delete;
+
+    std::size_t lanes() const { return hot_.size(); }
+    bool done() const { return activeLanes_ == 0; }
+
+    /** Advance every active lane by one quantum (round-robin pass). */
+    void step();
+
+    /** Run every lane to completion. */
+    void runAll();
+
+    /**
+     * Drive every lane through its untimed warmup only, leaving each
+     * at the start of its first measurement window.  The perf harness
+     * uses this to keep warmups out of the timed region, matching the
+     * scalar timeOneRun() discipline; results are unaffected
+     * (finishWarmups() + runAll() equals runAll() alone).
+     */
+    void finishWarmups();
+
+    /**
+     * Instructions retired inside measured windows, summed over every
+     * lane.  Only meaningful once done().
+     */
+    std::uint64_t retiredInWindows() const;
+
+    /**
+     * Per-lane results, index-aligned with the constructor configs.
+     * Only valid once done(); each element equals the RunResult a
+     * scalar runSim(configs[i], checkpoints) produces.
+     */
+    std::vector<RunResult> takeResults();
+
+  private:
+    struct LaneBox;
+
+    void advance(std::size_t lane);
+    void runWarmupSlice(std::size_t lane, std::uint64_t *budget);
+    void beginWindow(std::size_t lane);
+    void finishWindow(std::size_t lane);
+    void finishLane(std::size_t lane);
+
+    // Lane-state SoA: scanned every scheduler round.
+    LaneArray<BatchLaneState> hot_;
+    std::vector<std::unique_ptr<LaneBox>> cold_;
+    Checkpointer *checkpoints_;
+    BatchOptions options_;
+    std::size_t activeLanes_ = 0;
+};
+
+/**
+ * Run @p configs as one lane group and return the per-lane results in
+ * input order.  Byte-identical to calling runSim(config, checkpoints)
+ * per config, at a fraction of the per-cell overhead.
+ */
+std::vector<RunResult> runSimBatch(const std::vector<RunConfig> &configs,
+                                   Checkpointer *checkpoints,
+                                   const BatchOptions &options = {});
+
+/**
+ * Strict batch-width parser shared by every --batch CLI flag: decimal
+ * digits only, 1 <= W <= 256.  Mirrors parseInstrCount's discipline.
+ */
+bool parseBatchWidth(const char *text, unsigned *out);
+
+} // namespace flywheel
+
+#endif // FLYWHEEL_CORE_BATCH_HH

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "core/report.hh"
+#include "obs/layout_profile.hh"
 #include "snapshot/snapshot.hh"
 
 namespace flywheel {
@@ -310,8 +311,10 @@ CoreBase::stepDispatch(Tick now, Tick visible_delay)
 bool
 CoreBase::operandsReady(const InFlightInst &inst, Tick now) const
 {
+    FW_LAYOUT_TOUCH(InFlightInst, src1Phys);
     if (inst.src1Phys != kNoPhysReg && regReady_[inst.src1Phys] > now)
         return false;
+    FW_LAYOUT_TOUCH(InFlightInst, src2Phys);
     if (inst.src2Phys != kNoPhysReg && regReady_[inst.src2Phys] > now)
         return false;
     return true;
@@ -413,6 +416,7 @@ CoreBase::stepIssue(Tick now, Tick be_period)
             break;
         if (!operandsReady(*p, now))
             continue;
+        FW_LAYOUT_TOUCH(InFlightInst, arch.op);
         if (p->isLoad() && !lsq_.loadMayIssue(p->arch.seq))
             continue;
         if (!fus_.tryIssue(p->arch.op, now, double(be_period)))
@@ -464,6 +468,7 @@ CoreBase::stepComplete(Tick now, Tick)
     std::uint64_t completed_n = 0;
     while (i < issuedPending_.size()) {
         InFlightInst *p = issuedPending_[i];
+        FW_LAYOUT_TOUCH(InFlightInst, completeTick);
         if (p->completeTick > now) {
             ++i;
             continue;
@@ -472,6 +477,7 @@ CoreBase::stepComplete(Tick now, Tick)
         issuedPending_.pop_back();
         p->completed = true;
         ++completed_n;
+        FW_LAYOUT_TOUCH(InFlightInst, mispredicted);
         if (p->mispredicted && !p->squashed) {
             onMispredictResolved(*p, now);
             i = 0;
@@ -483,6 +489,7 @@ CoreBase::stepComplete(Tick now, Tick)
 
     minCompleteTick_ = kTickMax;
     for (const InFlightInst *p : issuedPending_) {
+        FW_LAYOUT_TOUCH(InFlightInst, completeTick);
         if (p->completeTick < minCompleteTick_)
             minCompleteTick_ = p->completeTick;
     }

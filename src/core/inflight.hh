@@ -17,40 +17,47 @@
 
 namespace flywheel {
 
-/** In-flight instruction state. */
+/**
+ * In-flight instruction state.
+ *
+ * Field order is profile-guided (flywheel.layout.v1; see
+ * obs/layout_profile.hh): the wake-up scan, operand-readiness check
+ * and completion gate touch src1Phys/src2Phys, issued and
+ * completeTick millions of times per simulated second, so the
+ * scheduling state leads the struct (one cache line), the
+ * architectural payload follows, and the rarely-read rollback/branch
+ * bookkeeping trails.  Snapshots serialize field by field
+ * (inflightToBin), so the order here is free to chase the profile.
+ */
 struct InFlightInst
 {
-    DynInst arch;
-
-    // Renamed registers: indices into the physical readiness array.
-    PhysReg destPhys = kNoPhysReg;
-    PhysReg oldDestPhys = kNoPhysReg;  ///< freed at retire (baseline)
-    PhysReg src1Phys = kNoPhysReg;
-    PhysReg src2Phys = kNoPhysReg;
-
-    // Pool renaming rollback info (Flywheel).
-    std::uint16_t poolPrevSlot = 0;
-
-    // Timestamps (picoseconds).
-    Tick dispatchReady = 0;   ///< earliest dispatch (front-end depth)
+    // Hot scheduling state: wake-up, select, completion.
     Tick iwVisible = kTickMax; ///< visible to Wake-Up/Select (sync)
-    Tick issueTick = kTickMax;
     Tick completeTick = kTickMax;  ///< result write / branch resolve
-
-    // Status.
-    bool inIw = false;
-    std::uint32_t iwPos = 0;  ///< slot in the window's age array
     bool issued = false;
     bool completed = false;
     bool squashed = false;    ///< wrong-path trace replay slot
+    bool inIw = false;
+    std::uint32_t iwPos = 0;  ///< slot in the window's age array
 
-    // Branch bookkeeping.
+    // Renamed registers: indices into the physical readiness array.
+    PhysReg destPhys = kNoPhysReg;
+    PhysReg src1Phys = kNoPhysReg;
+    PhysReg src2Phys = kNoPhysReg;
+
+    DynInst arch;
+
+    // Warm but not per-cycle: dispatch and issue bookkeeping.
+    Tick dispatchReady = 0;   ///< earliest dispatch (front-end depth)
+    Tick issueTick = kTickMax;
+
+    // Cold tail: rollback and branch/trace bookkeeping.
+    PhysReg oldDestPhys = kNoPhysReg;  ///< freed at retire (baseline)
+    std::uint16_t poolPrevSlot = 0;    ///< pool rollback (Flywheel)
     bool mispredicted = false;      ///< direction mispredict
     bool predictedTaken = false;
     bool btbMissBubble = false;
     std::uint16_t historyAtPredict = 0;
-
-    // Flywheel bookkeeping.
     bool fromEc = false;      ///< issued on the alternative path
     std::uint32_t traceRank = 0;  ///< program-order rank inside a trace
 

@@ -1,15 +1,17 @@
 #include "core/issue_window.hh"
 
 #include "common/log.hh"
+#include "obs/layout_profile.hh"
 #include "obs/stats_registry.hh"
 #include "snapshot/bincodec.hh"
 
 namespace flywheel {
 
 IssueWindow::IssueWindow(Arena &arena, unsigned entries)
-    : order_(arena), capacity_(entries)
+    : order_(arena), visible_(arena), capacity_(entries)
 {
     order_.reserve(static_cast<std::size_t>(entries) * 2);
+    visible_.reserve(static_cast<std::size_t>(entries) * 2);
 }
 
 void
@@ -23,6 +25,7 @@ IssueWindow::insert(InFlightInst *inst)
         compact();
     inst->iwPos = static_cast<std::uint32_t>(order_.size());
     order_.push_back(inst);
+    visible_.push_back(inst->iwVisible);
     inst->inIw = true;
     ++used_;
 }
@@ -34,24 +37,32 @@ IssueWindow::remove(InFlightInst *inst)
                   order_[inst->iwPos] == inst,
               "removing instruction not in the window");
     order_[inst->iwPos] = nullptr;
+    visible_[inst->iwPos] = kTickMax;
     inst->inIw = false;
     --used_;
-    if (used_ == 0)
+    if (used_ == 0) {
         order_.clear();
+        visible_.clear();
+    }
 }
 
 void
 IssueWindow::dropSquashed()
 {
-    for (auto &slot : order_) {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        InFlightInst *slot = order_[i];
         if (slot != nullptr && slot->squashed) {
+            FW_LAYOUT_TOUCH(InFlightInst, squashed);
             slot->inIw = false;
-            slot = nullptr;
+            order_[i] = nullptr;
+            visible_[i] = kTickMax;
             --used_;
         }
     }
-    if (used_ == 0)
+    if (used_ == 0) {
         order_.clear();
+        visible_.clear();
+    }
 }
 
 void
@@ -62,9 +73,12 @@ IssueWindow::compact()
         if (order_[i] == nullptr)
             continue;
         order_[i]->iwPos = static_cast<std::uint32_t>(live);
-        order_[live++] = order_[i];
+        order_[live] = order_[i];
+        visible_[live] = visible_[i];
+        ++live;
     }
     order_.resize(live);
+    visible_.resize(live);
 }
 
 void
@@ -74,7 +88,8 @@ IssueWindow::save(BinWriter &w,
 {
     // Tombstones are kept (as all-ones sentinels) so the restored
     // array matches slot for slot: every entry's recorded iwPos
-    // remains valid without re-deriving anything.
+    // remains valid without re-deriving anything.  The visibility
+    // mirror is derived state and is not serialized.
     constexpr std::uint64_t kNone = ~std::uint64_t(0);
     w.u64(order_.size());
     for (const InFlightInst *p : order_)
@@ -90,12 +105,15 @@ IssueWindow::restore(BinReader &r,
     constexpr std::uint64_t kNone = ~std::uint64_t(0);
     order_.clear();
     order_.reserve(static_cast<std::size_t>(capacity_) * 2);
+    visible_.clear();
+    visible_.reserve(static_cast<std::size_t>(capacity_) * 2);
     used_ = 0;
     const std::uint64_t slots = r.u64();
     for (std::uint64_t i = 0; i < slots; ++i) {
         const std::uint64_t idx = r.u64();
         if (idx == kNone) {
             order_.push_back(nullptr);
+            visible_.push_back(kTickMax);
             continue;
         }
         InFlightInst *p = at(idx);
@@ -103,6 +121,7 @@ IssueWindow::restore(BinReader &r,
                       p->iwPos == order_.size(),
                   "issue-window snapshot inconsistent with the ROB");
         order_.push_back(p);
+        visible_.push_back(p->iwVisible);
         ++used_;
     }
     FW_ASSERT(used_ <= capacity_, "issue-window snapshot overflows");
@@ -114,10 +133,17 @@ IssueWindow::visibleOldestFirst(Tick now,
                                 std::vector<InFlightInst *> &out) const
 {
     // order_ is age-ordered by construction, so this is already the
-    // oldest-first enumeration — no per-cycle sort.
+    // oldest-first enumeration — no per-cycle sort.  The scan runs
+    // over the dense visibility ticks (tombstones read as kTickMax);
+    // the ROB entry itself is only touched once its tick has passed.
     out.clear();
-    for (auto *slot : order_) {
-        if (slot != nullptr && !slot->issued && slot->iwVisible <= now)
+    for (std::size_t i = 0; i < visible_.size(); ++i) {
+        FW_LAYOUT_TOUCH(IssueWindow, visibleTick);
+        if (visible_[i] > now)
+            continue;
+        InFlightInst *slot = order_[i];
+        FW_LAYOUT_TOUCH(InFlightInst, issued);
+        if (!slot->issued)
             out.push_back(slot);
     }
 }

@@ -89,6 +89,15 @@ class IssueWindow
 
     /** Live entries in age order, nullptr = tombstone. */
     ArenaVector<InFlightInst *> order_;
+    /**
+     * SoA mirror of each slot's visibility tick (kTickMax at
+     * tombstones), index-aligned with order_.  The wakeup scan is the
+     * hottest loop in the simulator (top of the flywheel.layout.v1
+     * profile), so it walks this dense Tick array and only
+     * dereferences the ROB pointer for entries whose tick has passed.
+     */
+    // lint: nosnapshot(mirror of the entries' iwVisible; restore rebuilds it)
+    ArenaVector<Tick> visible_;
     unsigned capacity_;  // lint: nosnapshot(geometry checked by restore, not mutated)
     unsigned used_ = 0;  // lint: nosnapshot(recounted from entries in restore)
     InstSeqNum lastSeq_ = 0;   ///< insertion-order guard

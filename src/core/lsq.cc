@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "obs/layout_profile.hh"
 #include "obs/stats_registry.hh"
 #include "snapshot/bincodec.hh"
 
@@ -15,7 +16,7 @@ Lsq::insert(InstSeqNum seq, bool is_store, Addr addr)
     FW_ASSERT(count_ < capacity_, "LSQ overflow");
     FW_ASSERT(count_ == 0 || buf_[at(count_ - 1)].seq < seq,
               "LSQ inserts must be in program order");
-    buf_[at(count_)] = Entry{seq, addr >> 3, is_store, false};
+    buf_[at(count_)] = Entry{seq, is_store, false, addr >> 3};
     ++count_;
     if (is_store) {
         // Inserts are age-ordered, so the first unknown store seen
@@ -81,10 +82,15 @@ Lsq::loadForwards(InstSeqNum load_seq, Addr addr) const
     const Addr word = addr >> 3;
     for (std::size_t i = 0; i < count_; ++i) {
         const Entry &e = buf_[at(i)];
+        FW_LAYOUT_TOUCH(LsqEntry, seq);
         if (e.seq >= load_seq)
             break;
-        if (e.isStore && e.addrKnown && e.word == word)
-            return true;
+        FW_LAYOUT_TOUCH(LsqEntry, isStore);
+        if (e.isStore && e.addrKnown) {
+            FW_LAYOUT_TOUCH(LsqEntry, word);
+            if (e.word == word)
+                return true;
+        }
     }
     return false;
 }
@@ -94,6 +100,7 @@ Lsq::storeIssued(InstSeqNum seq)
 {
     for (std::size_t i = 0; i < count_; ++i) {
         Entry &e = buf_[at(i)];
+        FW_LAYOUT_TOUCH(LsqEntry, seq);
         if (e.seq == seq) {
             e.addrKnown = true;
             ++knownStores_;

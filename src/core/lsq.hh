@@ -86,12 +86,17 @@ class Lsq
     void restore(BinReader &r);
 
   private:
+    /**
+     * Field order is profile-guided (flywheel.layout.v1): the
+     * disambiguation walks read seq on every entry, isStore/addrKnown
+     * on the survivors and word only on matching known stores.
+     */
     struct Entry
     {
         InstSeqNum seq;
-        Addr word;       ///< address >> 3
         bool isStore;
         bool addrKnown;  ///< store has issued (address generated)
+        Addr word;       ///< address >> 3
     };
 
     /** Ring index of the i-th oldest entry. */

@@ -200,6 +200,8 @@ runMeasurePhase(const RunConfig &config, WorkloadStream &stream,
         });
 }
 
+} // namespace
+
 /** Phase 3: reduce the window deltas to a RunResult. */
 RunResult
 reduceToResult(const RunConfig &config, const EnergyEvents &events,
@@ -229,8 +231,6 @@ reduceToResult(const RunConfig &config, const EnergyEvents &events,
     r.averageWatts = r.energy.averageWatts(r.timePs);
     return r;
 }
-
-} // namespace
 
 RunResult
 runSim(const RunConfig &config, Checkpointer *checkpoints)

@@ -208,6 +208,15 @@ void forEachMeasureWindow(
     const std::function<void(CoreBase &, std::uint64_t)> &window);
 
 /**
+ * Phase 3 of runSim, exposed for other drivers (the batch engine):
+ * reduce the measurement-window deltas to a RunResult — derived
+ * rates, the energy model, average power.
+ */
+RunResult reduceToResult(const RunConfig &config,
+                         const EnergyEvents &events,
+                         const CoreStats &stats);
+
+/**
  * Execute one run.  Honours config.snapshot: with a non-Off mode and
  * a configured store, the warmup phase is restored from / saved to a
  * checkpoint, and Sample mode measures N detailed windows separated

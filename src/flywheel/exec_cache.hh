@@ -36,17 +36,22 @@ namespace obs { class StatsGroup; }
 class BinWriter;
 class BinReader;
 
-/** One recorded instruction slot. */
+/**
+ * One recorded instruction slot.  Field order is profile-guided
+ * (flywheel.layout.v1): replay touches pc/rank/op and the register
+ * fields on every slot, while recordedEffAddr is only read when a
+ * wrong-path slot is synthesized — it trails the struct.
+ */
 struct TraceSlot
 {
     Addr pc = 0;
+    std::uint32_t rank = 0;     ///< program order within the trace
     OpClass op = OpClass::Nop;
     ArchReg dest = kNoArchReg;
     ArchReg src1 = kNoArchReg;
     ArchReg src2 = kNoArchReg;
-    Addr recordedEffAddr = 0;   ///< build-time address (mem ops)
     bool isCondBranch = false;
-    std::uint32_t rank = 0;     ///< program order within the trace
+    Addr recordedEffAddr = 0;   ///< build-time address (mem ops)
 };
 
 /** A group of slots issued in the same cycle. */

@@ -1,0 +1,107 @@
+#include "obs/layout_profile.hh"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flywheel::obs {
+
+namespace {
+
+/**
+ * Registry head.  Function-local so a counter constructed during
+ * static initialization of another translation unit still finds an
+ * initialized head (no init-order dependence).
+ */
+std::atomic<LayoutCounter *> &
+registryHead()
+{
+    static std::atomic<LayoutCounter *> head{nullptr};
+    return head;
+}
+
+} // namespace
+
+LayoutCounter::LayoutCounter(const char *strct, const char *field)
+    : struct_(strct), field_(field)
+{
+    std::atomic<LayoutCounter *> &head = registryHead();
+    LayoutCounter *old = head.load(std::memory_order_relaxed);
+    do {
+        next_ = old;
+    } while (!head.compare_exchange_weak(old, this,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+}
+
+Json
+layoutProfileReport()
+{
+    // Several call sites may touch the same struct/field pair; fold
+    // them before reporting.  std::map keys give a stable tie-break
+    // under the by-count sort, so the report is deterministic for a
+    // deterministic run.
+    std::map<std::string, std::map<std::string, std::uint64_t>> by;
+    for (LayoutCounter *c =
+             registryHead().load(std::memory_order_acquire);
+         c != nullptr; c = c->next()) {
+        by[c->structName()][c->fieldName()] += c->value();
+    }
+
+    Json doc = Json::object();
+    doc.add("schema", "flywheel.layout.v1");
+    doc.add("enabled", layoutProfileEnabled());
+
+    using FieldRow = std::pair<std::string, std::uint64_t>;
+    using StructRow =
+        std::pair<std::string, std::vector<FieldRow>>;
+    std::vector<std::pair<std::uint64_t, StructRow>> rows;
+    for (const auto &s : by) {
+        std::uint64_t total = 0;
+        std::vector<FieldRow> fields(s.second.begin(), s.second.end());
+        for (const FieldRow &f : fields)
+            total += f.second;
+        std::stable_sort(fields.begin(), fields.end(),
+                         [](const FieldRow &a, const FieldRow &b) {
+                             return a.second > b.second;
+                         });
+        rows.emplace_back(total,
+                          StructRow{s.first, std::move(fields)});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+
+    Json structs = Json::array();
+    for (auto &row : rows) {
+        Json s = Json::object();
+        s.add("struct", row.second.first);
+        s.add("touches", row.first);
+        Json fields = Json::array();
+        for (const FieldRow &f : row.second.second) {
+            Json fj = Json::object();
+            fj.add("field", f.first);
+            fj.add("touches", f.second);
+            fields.push(std::move(fj));
+        }
+        s.add("fields", std::move(fields));
+        structs.push(std::move(s));
+    }
+    doc.add("structs", std::move(structs));
+    return doc;
+}
+
+void
+layoutProfileReset()
+{
+    for (LayoutCounter *c =
+             registryHead().load(std::memory_order_acquire);
+         c != nullptr; c = c->next()) {
+        c->reset();
+    }
+}
+
+} // namespace flywheel::obs

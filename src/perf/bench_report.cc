@@ -101,6 +101,18 @@ BenchReport::geomeanMinstrPerSec() const
     return geomean(rates);
 }
 
+double
+BenchReport::aggregateMinstrPerSec() const
+{
+    double instructions = 0.0;
+    double seconds = 0.0;
+    for (const PerfEntry &e : entries) {
+        instructions += double(e.instructions);
+        seconds += e.medianSeconds;
+    }
+    return seconds > 0.0 ? instructions / seconds / 1e6 : 0.0;
+}
+
 Json
 BenchReport::toJson() const
 {
@@ -122,6 +134,7 @@ BenchReport::toJson() const
     config.add("jobs", jobs);
     config.add("sample_windows", sampleWindows);
     config.add("obs_attached", obsAttached);
+    config.add("batch_width", batchWidth);
     j.add("config", std::move(config));
 
     Json arr = Json::array();
@@ -129,6 +142,7 @@ BenchReport::toJson() const
         Json entry = Json::object();
         entry.add("bench", e.bench);
         entry.add("kind", e.kind);
+        entry.add("lanes", e.lanes);
         entry.add("instructions", e.instructions);
         Json reps = Json::array();
         for (double s : e.repSeconds)
@@ -140,6 +154,7 @@ BenchReport::toJson() const
     }
     j.add("entries", std::move(arr));
     j.add("geomean_minstr_per_sec", geomeanMinstrPerSec());
+    j.add("aggregate_minstr_per_sec", aggregateMinstrPerSec());
     if (telemetry.present) {
         Json t = Json::object();
         t.add("wall_seconds", telemetry.wallSeconds);
@@ -172,7 +187,10 @@ BenchReport::fromJson(const Json &j, BenchReport *out,
 {
     if (!j.isObject())
         return fail(error, "bench report: not a JSON object");
-    if (j["schema"].asString() != kBenchSchema)
+    // v1 documents (committed baselines predating batching) are still
+    // accepted: every v1.1 member is additive with a scalar default.
+    const std::string schema = j["schema"].asString();
+    if (schema != kBenchSchema && schema != kBenchSchemaV1)
         return fail(error, "bench report: missing or unsupported "
                            "schema tag (want " +
                                std::string(kBenchSchema) + ")");
@@ -215,6 +233,12 @@ BenchReport::fromJson(const Json &j, BenchReport *out,
     // Absent in pre-observability reports: false.
     if (config.has("obs_attached"))
         r.obsAttached = config["obs_attached"].asBool();
+    // Absent in pre-batching (v1) reports: scalar.
+    if (config.has("batch_width")) {
+        if (!config["batch_width"].isNumber())
+            return fail(error, "bench report: malformed config member");
+        r.batchWidth = unsigned(config["batch_width"].asU64());
+    }
     // Telemetry is optional by design (older baselines lack it).
     if (j.has("telemetry")) {
         const Json &t = j["telemetry"];
@@ -246,6 +270,12 @@ BenchReport::fromJson(const Json &j, BenchReport *out,
         PerfEntry e;
         e.bench = entry["bench"].asString();
         e.kind = entry["kind"].asString();
+        // Absent in pre-batching (v1) reports: one lane.
+        if (entry.has("lanes")) {
+            if (!entry["lanes"].isNumber())
+                return fail(error, "bench report: malformed entry");
+            e.lanes = unsigned(entry["lanes"].asU64());
+        }
         e.instructions = entry["instructions"].asU64();
         for (const Json &s : entry["rep_seconds"].items()) {
             if (!s.isNumber())
@@ -266,14 +296,20 @@ comparePerf(const BenchReport &current, const BenchReport &baseline,
             double max_regression, bool relative)
 {
     // In relative mode each side is normalized by its own geomean,
-    // cancelling uniform machine-speed differences.
+    // cancelling uniform machine-speed differences.  A non-positive
+    // geomean on either side (empty grid, or a cell recorded at 0)
+    // cannot normalize anything: scaling by 0 would zero every cell's
+    // rate and flag the entire healthy grid as regressed, so such a
+    // degenerate report falls back to the absolute comparison.
     double cur_scale = 1.0;
     double base_scale = 1.0;
     if (relative) {
         const double cg = current.geomeanMinstrPerSec();
         const double bg = baseline.geomeanMinstrPerSec();
-        cur_scale = cg > 0.0 ? 1.0 / cg : 0.0;
-        base_scale = bg > 0.0 ? 1.0 / bg : 0.0;
+        if (cg > 0.0 && bg > 0.0) {
+            cur_scale = 1.0 / cg;
+            base_scale = 1.0 / bg;
+        }
     }
 
     std::vector<PerfDelta> deltas;

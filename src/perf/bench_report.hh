@@ -26,8 +26,16 @@
 
 namespace flywheel::perf {
 
-/** Version tag every BENCH_flywheel.json carries. */
-inline constexpr const char *kBenchSchema = "flywheel.bench_perf.v1";
+/**
+ * Version tag every BENCH_flywheel.json carries.  v1.1 added the
+ * batch-width config member, the per-entry lane count and the
+ * aggregate throughput field — all additive, so readers accept v1
+ * documents too (missing members default to the scalar meaning).
+ */
+inline constexpr const char *kBenchSchema = "flywheel.bench_perf.v1.1";
+
+/** Previous tag, still accepted by BenchReport::fromJson(). */
+inline constexpr const char *kBenchSchemaV1 = "flywheel.bench_perf.v1";
 
 /**
  * Median of @p values (the one implementation all tools share; the
@@ -57,10 +65,16 @@ struct PerfEntry
 {
     std::string bench;
     std::string kind;                ///< coreKindName() spelling
-    std::uint64_t instructions = 0;  ///< retired in the timed window
+    /** Lanes timed together in this cell (the harness batch width);
+     *  1 = classic scalar timing.  `instructions` spans all lanes. */
+    unsigned lanes = 1;
+    std::uint64_t instructions = 0;  ///< retired in the timed window(s)
     std::vector<double> repSeconds;  ///< per-repeat wall seconds
     double medianSeconds = 0.0;
-    double minstrPerSec = 0.0;       ///< millions of sim-instrs / s
+    /** Millions of simulated instructions per wall second for the
+     *  cell's timed region — across all lanes, so a batched cell
+     *  reports its combined throughput. */
+    double minstrPerSec = 0.0;
 };
 
 /**
@@ -96,11 +110,25 @@ struct BenchReport
      *  tracer + stats registry dump): measures the emit-site cost.
      *  Part of the config block for the same reason as sampling. */
     bool obsAttached = false;
+    /** Lanes per cell (see PerfEntry::lanes).  Part of the config
+     *  block so batched and scalar reports are never silently
+     *  compared against each other. */
+    unsigned batchWidth = 1;
     std::vector<PerfEntry> entries;
     BenchTelemetry telemetry;
 
     /** Geomean of minstrPerSec over every entry. */
     double geomeanMinstrPerSec() const;
+
+    /**
+     * Aggregate simulated-instructions throughput of the whole grid:
+     * every timed instruction of every cell (all lanes) divided by
+     * the total timed wall clock, in Minstr/s.  Unlike the geomean
+     * this weights cells by their actual simulation cost, so it is
+     * the number that answers "how many instructions does a batched
+     * sweep push through per second".
+     */
+    double aggregateMinstrPerSec() const;
 
     /** Schema'd serialization (stable key order). */
     Json toJson() const;
@@ -138,7 +166,11 @@ struct PerfDelta
  * the rest, exactly what a hot-path defect looks like — trip the
  * gate.  This is the mode for CI baselines committed from a
  * different machine class; absolute mode is for trajectories
- * measured on one reference host.
+ * measured on one reference host.  A degenerate report whose geomean
+ * is zero (empty grid, or any cell recorded at 0 Minstr/s) cannot be
+ * normalized; rather than scaling every cell to zero — which would
+ * flag the whole healthy grid as regressed — relative mode falls
+ * back to the absolute comparison for both sides.
  */
 std::vector<PerfDelta> comparePerf(const BenchReport &current,
                                    const BenchReport &baseline,

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the batched multi-cell simulation engine (core/batch.hh):
+ * byte identity of batched results against scalar runSim across lane
+ * widths, worker counts, warmup checkpointing (cold and warm passes
+ * over a shared store), sampling schedules and the fuzzer's
+ * randomized scenarios — the engine's core contract — plus the
+ * strict --batch width parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hh"
+#include "core/report.hh"
+#include "snapshot/checkpointer.hh"
+#include "sweep/sweep.hh"
+#include "verify/fuzz.hh"
+#include "workload/profiles.hh"
+
+namespace flywheel {
+namespace {
+
+/**
+ * A fig12-style grid slice: several benchmarks, both core kinds, a
+ * front-end boost axis — enough shape that batching must group some
+ * cells and fall back on others.
+ */
+std::vector<SweepPoint>
+gridSlice()
+{
+    std::vector<SweepPoint> points;
+    for (const char *bench : {"gzip", "gcc", "vortex"}) {
+        points.push_back(
+            makePoint(bench, CoreKind::Baseline, {0.0, 0.0}));
+        points.push_back(
+            makePoint(bench, CoreKind::Flywheel, {0.0, 0.0}));
+        points.push_back(
+            makePoint(bench, CoreKind::Flywheel, {0.5, 0.5}));
+    }
+    for (auto &pt : points) {
+        pt.config.warmupInstrs = 2000;
+        pt.config.measureInstrs = 5000;
+    }
+    return points;
+}
+
+std::string
+tableBytes(const SweepTable &table)
+{
+    std::ostringstream os;
+    table.writeJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(BatchIdentity, SweepMatchesScalarAcrossJobsAndWidths)
+{
+    const std::vector<SweepPoint> points = gridSlice();
+
+    SweepOptions scalar_opts;
+    scalar_opts.jobs = 1;
+    SweepRunner scalar(scalar_opts);
+    const std::string reference = tableBytes(scalar.run(points));
+
+    for (unsigned jobs : {1u, 4u}) {
+        for (unsigned width : {1u, 2u, 8u}) {
+            SweepOptions opts;
+            opts.jobs = jobs;
+            opts.batchWidth = width;
+            SweepRunner runner(opts);
+            EXPECT_EQ(tableBytes(runner.run(points)), reference)
+                << "jobs=" << jobs << " width=" << width;
+        }
+    }
+}
+
+TEST(BatchIdentity, HeterogeneousLaneGroupMatchesScalar)
+{
+    // Mixed benchmarks, kinds and measurement lengths in one lane
+    // group; two lanes share a profile (shared StaticProgram path).
+    std::vector<RunConfig> configs;
+    const char *benches[] = {"gcc", "gzip", "gcc", "equake"};
+    const CoreKind kinds[] = {
+        CoreKind::Baseline, CoreKind::Flywheel, CoreKind::Flywheel,
+        CoreKind::RegisterAllocation};
+    for (int i = 0; i < 4; ++i) {
+        RunConfig config;
+        config.profile = benchmarkByName(benches[i]);
+        config.kind = kinds[i];
+        config.warmupInstrs = 500 * i;
+        config.measureInstrs = 4000 + 1000 * i;
+        configs.push_back(config);
+    }
+
+    BatchOptions batching;
+    batching.quantumInstrs = 777;  // deliberately unaligned
+    const std::vector<RunResult> batched =
+        runSimBatch(configs, nullptr, batching);
+
+    ASSERT_EQ(batched.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const RunResult scalar = runSim(configs[i]);
+        EXPECT_EQ(toJson(batched[i]).dump(), toJson(scalar).dump())
+            << "lane " << i;
+    }
+}
+
+TEST(BatchIdentity, CheckpointedWarmupColdAndWarmPasses)
+{
+    // Lanes with checkpointed warmups and a sampling schedule: the
+    // batch engine must restore/save through the shared store and
+    // re-warm between measurement windows exactly as scalar runSim
+    // does — on the cold pass (store empty, one lane creates each
+    // checkpoint) and on the warm pass (every lane restores).
+    std::vector<RunConfig> configs;
+    for (const char *bench : {"gcc", "gcc", "vortex"}) {
+        RunConfig config;
+        config.profile = benchmarkByName(bench);
+        config.kind = CoreKind::Flywheel;
+        config.warmupInstrs = 3000;
+        config.measureInstrs = 6000;
+        config.snapshot.mode = SnapshotPolicy::Mode::Reuse;
+        config.snapshot.sampleWindows = 0;
+        configs.push_back(config);
+    }
+    // One lane additionally samples mid-measure (fresh re-warmed
+    // cores between windows).
+    configs[2].snapshot.mode = SnapshotPolicy::Mode::Sample;
+    configs[2].snapshot.sampleWindows = 3;
+
+    for (int pass = 0; pass < 2; ++pass) {
+        Checkpointer scalar_store(Checkpointer::kMemoryOnly);
+        Checkpointer batch_store(Checkpointer::kMemoryOnly);
+        std::vector<std::string> scalar_bytes;
+        // Scalar reference: first run populates the store, second
+        // restores from it.
+        for (int run = 0; run <= pass; ++run) {
+            scalar_bytes.clear();
+            for (const RunConfig &config : configs)
+                scalar_bytes.push_back(
+                    toJson(runSim(config, &scalar_store)).dump());
+        }
+        for (int run = 0; run <= pass; ++run) {
+            const std::vector<RunResult> batched =
+                runSimBatch(configs, &batch_store);
+            if (run < pass)
+                continue;
+            ASSERT_EQ(batched.size(), configs.size());
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                EXPECT_EQ(toJson(batched[i]).dump(), scalar_bytes[i])
+                    << "pass " << pass << " lane " << i;
+            }
+        }
+    }
+}
+
+TEST(BatchIdentity, FuzzSliceMatchesScalar)
+{
+    // A bounded slice of the randomized differential (full tier runs
+    // as flywheel_fuzz --batch): heterogeneous sibling lanes,
+    // seed-derived warmups/sampling/quanta.
+    for (std::uint64_t seed : {3u, 11u, 42u}) {
+        FuzzCase c = makeFuzzCase(seed);
+        c.options.instructions = 4000;
+        const DiffReport report = runBatchFuzzCase(c);
+        EXPECT_TRUE(report.ok())
+            << "seed " << seed << "\n" << report.summary();
+    }
+}
+
+TEST(BatchWidthParser, AcceptsOnlyStrictWidths)
+{
+    unsigned w = 0;
+    EXPECT_TRUE(parseBatchWidth("1", &w));
+    EXPECT_EQ(w, 1u);
+    EXPECT_TRUE(parseBatchWidth("256", &w));
+    EXPECT_EQ(w, 256u);
+
+    EXPECT_FALSE(parseBatchWidth("0", &w));
+    EXPECT_FALSE(parseBatchWidth("257", &w));
+    EXPECT_FALSE(parseBatchWidth("", &w));
+    EXPECT_FALSE(parseBatchWidth(nullptr, &w));
+    EXPECT_FALSE(parseBatchWidth("8x", &w));
+    EXPECT_FALSE(parseBatchWidth("-2", &w));
+    EXPECT_FALSE(parseBatchWidth(" 4", &w));
+}
+
+} // namespace flywheel

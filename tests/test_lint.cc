@@ -125,8 +125,10 @@ TEST(LintFixtures, ArenaGoodIsClean)
 TEST(LintFixtures, ArenaBadFlagsMissingAssert)
 {
     const auto f = lintFixture("arena_bad.hh");
-    EXPECT_EQ(countChecker(f, "arena"), 1) << dump(f);
+    EXPECT_EQ(countChecker(f, "arena"), 2) << dump(f);
     EXPECT_NE(dump(f).find("Record"), std::string::npos) << dump(f);
+    EXPECT_NE(dump(f).find("LaneArray<LaneState>"), std::string::npos)
+        << dump(f);
 }
 
 TEST(LintFixtures, HygieneGoodIsClean)

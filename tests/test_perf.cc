@@ -230,6 +230,67 @@ TEST(ComparePerf, RelativeModeCancelsUniformMachineSpeed)
     EXPECT_FALSE(rel[1].regressed);
 }
 
+TEST(ComparePerf, RelativeModeSurvivesDegenerateGeomean)
+{
+    // A baseline with one zero-rate cell (truncated write, corrupt
+    // timer) zeroes the whole geomean.  Relative mode must fall back
+    // to absolute scales instead of normalizing by zero — which used
+    // to scale every baseline cell to infinity and flag every
+    // healthy current cell as regressed.
+    BenchReport base = sampleReport();
+    base.entries[0].minstrPerSec = 0.0;
+    BenchReport cur = sampleReport();
+
+    auto rel = perf::comparePerf(cur, base, 0.30, true);
+    ASSERT_EQ(rel.size(), 2u);
+    EXPECT_FALSE(rel[1].regressed);  // healthy cell stays healthy
+
+    // Symmetric degenerate current side: must not divide by zero
+    // either (the genuine per-cell collapse still flags).
+    BenchReport zero_cur = sampleReport();
+    for (PerfEntry &e : zero_cur.entries)
+        e.minstrPerSec = 0.0;
+    auto rel2 = perf::comparePerf(zero_cur, sampleReport(), 0.30, true);
+    ASSERT_EQ(rel2.size(), 2u);
+    EXPECT_TRUE(rel2[0].regressed);
+    EXPECT_TRUE(rel2[1].regressed);
+}
+
+TEST(BenchReportJson, AcceptsLegacyV1SchemaTag)
+{
+    // Committed baselines written before the batching fields existed
+    // carry the v1 tag and none of the additive members; they must
+    // keep parsing with scalar defaults.
+    BenchReport original = sampleReport();
+    std::string bytes = original.toJson().dump(2);
+    const std::string tag = "\"flywheel.bench_perf.v1.1\"";
+    const std::size_t pos = bytes.find(tag);
+    ASSERT_NE(pos, std::string::npos);
+    bytes.replace(pos, tag.size(), "\"flywheel.bench_perf.v1\"");
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(bytes, parsed, &error)) << error;
+    BenchReport restored;
+    ASSERT_TRUE(BenchReport::fromJson(parsed, &restored, &error))
+        << error;
+    EXPECT_EQ(restored.batchWidth, 1u);
+    for (const PerfEntry &e : restored.entries)
+        EXPECT_EQ(e.lanes, 1u);
+}
+
+TEST(BenchReportJson, AggregateSumsInstructionsOverTime)
+{
+    BenchReport r = sampleReport();
+    // aggregate = sum(instructions) / sum(median seconds) / 1e6.
+    const double expect =
+        (200000.0 + 200003.0) / (0.30 + 0.21) / 1e6;
+    EXPECT_NEAR(r.aggregateMinstrPerSec(), expect, 1e-12);
+
+    BenchReport empty;
+    EXPECT_EQ(empty.aggregateMinstrPerSec(), 0.0);
+}
+
 TEST(PerfHarness, InstructionCountsAreDeterministicAcrossJobs)
 {
     perf::PerfOptions opts;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "core/batch.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 #include "perf/bench_report.hh"
@@ -180,6 +181,42 @@ parseJobs(const std::string &s, const char *flag)
         FW_FATAL("%s: expected an integer in 1..%u, got '%s'", flag,
                  ThreadPool::kMaxJobs, s.c_str());
     return v;
+}
+
+/**
+ * Parse a --batch lane count with the FLYWHEEL_BATCH environment
+ * variable's rules (parseBatchWidth: plain decimal in 1..256), so the
+ * CLIs and the environment reject the same garbage the same way.
+ * Width 1 means scalar execution (the default everywhere).
+ */
+inline unsigned
+parseBatch(const std::string &s, const char *flag)
+{
+    unsigned v = 0;
+    if (!parseBatchWidth(s.c_str(), &v))
+        FW_FATAL("%s: expected an integer in 1..256, got '%s'", flag,
+                 s.c_str());
+    return v;
+}
+
+/**
+ * Default batch width from the FLYWHEEL_BATCH environment variable
+ * (1 = scalar when unset or unparsable; a bad value warns, matching
+ * SessionOptions::fromEnv).
+ */
+inline unsigned
+batchWidthFromEnv()
+{
+    const char *env = std::getenv("FLYWHEEL_BATCH");
+    if (!env)
+        return 1;
+    unsigned v = 0;
+    if (parseBatchWidth(env, &v))
+        return v;
+    FW_WARN("ignoring FLYWHEEL_BATCH='%s' (want a decimal lane count "
+            "1..256); running scalar",
+            env);
+    return 1;
 }
 
 /**

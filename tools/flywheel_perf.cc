@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "obs/layout_profile.hh"
 #include "perf/perf_harness.hh"
 #include "sweep/sweep.hh"
 #include "tools/cli_util.hh"
@@ -59,12 +60,19 @@ usage(const char *argv0)
         "(default: 3)\n"
         "  --jobs N          worker threads over cells (default: 1;\n"
         "                    >1 distorts per-cell throughput)\n"
+        "  --batch W         time W lanes of each cell in one batched\n"
+        "                    engine (default: 1 = scalar); entries\n"
+        "                    report the combined Minstr/s of all lanes\n"
         "\n"
         "%s"
         "\n"
         "output:\n"
         "  --json FILE       write BENCH_flywheel.json "
         "('-' = stdout)\n"
+        "  --layout-report FILE  write the flywheel.layout.v1 field-\n"
+        "                    access profile ('-' = stdout); counts are\n"
+        "                    all zero unless the build was configured\n"
+        "                    with -DFLYWHEEL_PROFILE_LAYOUT=ON\n"
         "  --quiet           no per-cell progress, no table\n"
         "\n"
         "regression gate:\n"
@@ -96,10 +104,15 @@ printTable(const perf::BenchReport &report)
                     (unsigned long long)e.instructions,
                     e.medianSeconds, e.minstrPerSec);
     }
-    std::printf("geomean Minstr/s: %.3f  (%s, %s, %u hw threads)\n",
+    std::printf("geomean Minstr/s: %.3f  aggregate: %.3f  "
+                "(%s, %s, %u hw threads",
                 report.geomeanMinstrPerSec(),
+                report.aggregateMinstrPerSec(),
                 report.host.compiler.c_str(),
                 report.host.build.c_str(), report.host.hwThreads);
+    if (report.batchWidth > 1)
+        std::printf(", %u lanes/cell", report.batchWidth);
+    std::printf(")\n");
 }
 
 bool
@@ -133,6 +146,7 @@ main(int argc, char **argv)
     perf::PerfOptions options;
     cli::SnapshotFlags snapshot;
     std::string json_path;
+    std::string layout_path;
     std::string compare_path;
     double threshold = 0.30;
     double obs_gate = -1.0;  // < 0 = gate off
@@ -174,8 +188,12 @@ main(int argc, char **argv)
                 FW_FATAL("--repeats: must be positive");
         } else if (flag == "--jobs") {
             options.jobs = cli::parseJobs(value(), "--jobs");
+        } else if (flag == "--batch") {
+            options.batchWidth = cli::parseBatch(value(), "--batch");
         } else if (flag == "--json") {
             json_path = value();
+        } else if (flag == "--layout-report") {
+            layout_path = value();
         } else if (flag == "--compare") {
             compare_path = value();
         } else if (flag == "--threshold") {
@@ -208,6 +226,9 @@ main(int argc, char **argv)
     // either way.
     snapshot.apply(&options);
     options.sampleWindows = snapshot.sampleWindows;
+    if (options.batchWidth > 1 && obs_gate >= 0.0)
+        FW_FATAL("--obs-gate times the scalar engine's emit sites; "
+                 "run it without --batch");
 
     perf::BenchReport baseline;
     if (!compare_path.empty() && !loadReport(compare_path, &baseline))
@@ -232,6 +253,16 @@ main(int argc, char **argv)
         std::ofstream file;
         std::ostream &os = cli::openOut(json_path, file);
         report.toJson().write(os, 2);
+        os << "\n";
+    }
+    if (!layout_path.empty()) {
+        if (!obs::layoutProfileEnabled())
+            FW_WARN("this build was configured without "
+                    "FLYWHEEL_PROFILE_LAYOUT; the layout report "
+                    "carries no counts");
+        std::ofstream file;
+        std::ostream &os = cli::openOut(layout_path, file);
+        obs::layoutProfileReport().write(os, 2);
         os << "\n";
     }
 
@@ -271,6 +302,15 @@ main(int argc, char **argv)
                      "contiguous throughput are different quantities\n",
                      report.sampleWindows, compare_path.c_str(),
                      baseline.sampleWindows);
+        return 2;
+    }
+    if (report.batchWidth != baseline.batchWidth) {
+        std::fprintf(stderr,
+                     "cannot compare: this run timed %u lanes per "
+                     "cell, baseline %s timed %u — batched and scalar "
+                     "throughput are different quantities\n",
+                     report.batchWidth, compare_path.c_str(),
+                     baseline.batchWidth);
         return 2;
     }
     bool ok = true;
